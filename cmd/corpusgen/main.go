@@ -1,0 +1,84 @@
+// Command corpusgen emits corpus apps in the textual .app format so the
+// synthetic datasets can be inspected (or re-analyzed via sierra -file).
+//
+//	corpusgen -app OpenSudoku             # one named app to stdout
+//	corpusgen -fdroid 17                  # one generated app to stdout
+//	corpusgen -all -out corpus/           # every named app into a dir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sierra/internal/apk"
+	"sierra/internal/appfile"
+	"sierra/internal/corpus"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "", "named dataset app")
+		fdroid  = flag.Int("fdroid", -1, "generated dataset index")
+		all     = flag.Bool("all", false, "emit every named app")
+		out     = flag.String("out", "", "output directory (with -all) or file")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+
+	if *all {
+		if *out == "" {
+			fail(fmt.Errorf("-all needs -out DIR"))
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fail(err)
+		}
+		for _, row := range corpus.PaperRows() {
+			app, _ := corpus.NamedApp(row)
+			f, err := os.Create(filepath.Join(*out, row.Name+".app"))
+			if err != nil {
+				fail(err)
+			}
+			if err := appfile.Write(f, app); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s.app\n", row.Name)
+		}
+		return
+	}
+
+	var app *apk.App
+	switch {
+	case *appName != "":
+		row, ok := corpus.RowByName(*appName)
+		if !ok {
+			fail(fmt.Errorf("unknown app %q", *appName))
+		}
+		app, _ = corpus.NamedApp(row)
+	case *fdroid >= 0:
+		app, _ = corpus.FDroidApp(*fdroid)
+	default:
+		fail(fmt.Errorf("pick one of -app, -fdroid, -all"))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := appfile.Write(w, app); err != nil {
+		fail(err)
+	}
+}

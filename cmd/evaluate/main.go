@@ -1,0 +1,79 @@
+// Command evaluate regenerates the paper's evaluation tables (§6):
+//
+//	evaluate -table 2          # dataset metadata (Table 2)
+//	evaluate -table 3          # effectiveness on the 20-app dataset
+//	evaluate -table 4          # per-stage timings
+//	evaluate -table 5          # 174-app dataset medians
+//	evaluate -table all        # everything
+//
+// Table 3's EventRacer column needs the dynamic baseline; pass -dynamic
+// to run it (a few schedules per app).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sierra/internal/corpus"
+	"sierra/internal/metrics"
+)
+
+func main() {
+	var (
+		table     = flag.String("table", "all", "which table to regenerate: 2 | 3 | 4 | 5 | all")
+		dynamic   = flag.Bool("dynamic", true, "run the EventRacer baseline for Table 3")
+		schedules = flag.Int("schedules", 5, "dynamic schedules per app")
+		events    = flag.Int("events", 40, "events per dynamic schedule")
+		nFDroid   = flag.Int("fdroid-count", corpus.FDroidCount, "how many generated apps for Table 5")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opts := metrics.Options{
+		WithDynamic:       *dynamic,
+		Schedules:         *schedules,
+		EventsPerSchedule: *events,
+	}
+
+	progress := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+
+	want := func(t string) bool { return *table == "all" || *table == t }
+
+	if want("2") {
+		fmt.Println(metrics.FormatTable2())
+	}
+
+	var named []metrics.Row
+	if want("3") || want("4") {
+		rows := corpus.PaperRows()
+		for i, pr := range rows {
+			progress("[%2d/%d] %s\n", i+1, len(rows), pr.Name)
+			named = append(named, metrics.EvaluateNamed(pr, opts))
+		}
+	}
+	if want("3") {
+		fmt.Println(metrics.FormatTable3(named))
+	}
+	if want("4") {
+		fmt.Println(metrics.FormatTable4(named))
+	}
+
+	if want("5") {
+		var rows []metrics.Row
+		var sizes []int
+		for i := 0; i < *nFDroid; i++ {
+			if i%25 == 0 {
+				progress("[fdroid %d/%d]\n", i, *nFDroid)
+			}
+			rows = append(rows, metrics.EvaluateFDroid(i, metrics.Options{}))
+			app, _ := corpus.FDroidApp(i)
+			sizes = append(sizes, app.BytecodeSize())
+		}
+		fmt.Println(metrics.FormatTable5(rows, sizes))
+	}
+}

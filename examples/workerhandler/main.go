@@ -1,0 +1,93 @@
+// Worker-handler walkthrough: a handler bound to a HandlerThread's
+// looper (§4.4's handler→looper binding) processes messages off the main
+// thread while the activity lifecycle touches the same state. SIERRA
+// binds each handler to its looper through the points-to analysis, keeps
+// same-looper FIFO reasoning separate per looper, and reports the
+// cross-looper race — which the schedule search then confirms
+// dynamically.
+//
+//	go run ./examples/workerhandler
+package main
+
+import (
+	"fmt"
+
+	"sierra/internal/actions"
+	"sierra/internal/apk"
+	"sierra/internal/core"
+	"sierra/internal/frontend"
+	"sierra/internal/ir"
+	"sierra/internal/verify"
+)
+
+// buildApp: onCreate spins up a HandlerThread, binds WorkHandler to its
+// looper, and sends it a message; handleMessage writes this.result which
+// onStop reads.
+func buildApp() *apk.App {
+	p := ir.NewProgram()
+	frontend.InstallFramework(p)
+
+	wh := ir.NewClass("WorkHandler", frontend.HandlerClass)
+	wh.Fields = []string{"act"}
+	hb := ir.NewMethodBuilder(frontend.HandleMessage, "m")
+	hb.Load("a", "this", "act")
+	hb.NewObj("x", frontend.BundleClass)
+	hb.Store("a", "result", "x")
+	hb.Ret("")
+	wh.AddMethod(hb.Build())
+	p.AddClass(wh)
+
+	act := ir.NewClass("WorkerActivity", frontend.ActivityClass)
+	act.Fields = []string{"result"}
+	oc := ir.NewMethodBuilder(frontend.OnCreate)
+	oc.NewObj("ht", frontend.HandlerThreadClass)
+	oc.CallSpecial("", "ht", frontend.HandlerThreadClass, "<initHT>")
+	oc.Call("", "ht", frontend.HandlerThreadClass, frontend.Start)
+	oc.Call("lp", "ht", frontend.HandlerThreadClass, frontend.GetLooper)
+	oc.NewObj("h", "WorkHandler")
+	oc.CallSpecial("", "h", frontend.HandlerClass, "<init>", "lp")
+	oc.Store("h", "act", "this")
+	oc.Int("code", 4)
+	oc.Call("", "h", "WorkHandler", frontend.SendEmptyMessage, "code")
+	oc.Ret("")
+	act.AddMethod(oc.Build())
+	os := ir.NewMethodBuilder(frontend.OnStop)
+	os.Load("r", "this", "result")
+	os.Ret("")
+	act.AddMethod(os.Build())
+	p.AddClass(act)
+	p.Finalize()
+
+	return &apk.App{
+		Name:    "workerhandler",
+		Program: p,
+		Manifest: apk.Manifest{
+			Activities: []apk.Component{{Class: "WorkerActivity"}},
+		},
+		Layouts: map[string]*apk.Layout{},
+	}
+}
+
+func main() {
+	res := core.Analyze(buildApp(), core.Options{})
+
+	fmt.Println("== worker handler on a HandlerThread looper ==")
+	for _, a := range res.Registry.Actions() {
+		if a.Kind != actions.KindMessage {
+			continue
+		}
+		fmt.Printf("message action %s bound to looper %d (main = %d)\n",
+			a.Name(), a.Looper, actions.LooperMain)
+	}
+	fmt.Printf("races: %d\n", res.TrueRaces())
+	for i := range res.Reports {
+		fmt.Print(res.Reports[i].Explain(res.Registry, res.Graph))
+	}
+
+	if len(res.Reports) > 0 {
+		out := verify.Witness(buildApp, res.Reports[0].Pair,
+			verify.Options{Schedules: 150, EventsPerSchedule: 60, Seed: 1})
+		fmt.Printf("\ndynamic confirmation: both orders observed = %v (%d schedules)\n",
+			out.Confirmed(), out.Schedules)
+	}
+}

@@ -1,0 +1,3 @@
+module sierra
+
+go 1.22

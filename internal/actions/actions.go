@@ -1,0 +1,139 @@
+// Package actions reifies Android concurrency as the paper's "concurrency
+// actions" (§4.2, Table 1): context-sensitive event processors covering
+// threads, async tasks, posted runnables, messages, lifecycle events, GUI
+// events, and system events. Actions are the nodes of the Static
+// Happens-Before Graph.
+package actions
+
+import (
+	"fmt"
+
+	"sierra/internal/ir"
+)
+
+// Kind classifies actions per Table 1.
+type Kind int
+
+const (
+	// KindHarnessRoot is the synthetic per-activity startup action (the
+	// harness main itself) — the sender of every lifecycle action.
+	KindHarnessRoot Kind = iota
+	// KindLifecycle is an Activity lifecycle callback instance.
+	KindLifecycle
+	// KindGUI is a user-input callback.
+	KindGUI
+	// KindSystem is a broadcast/service callback.
+	KindSystem
+	// KindAsyncBackground is AsyncTask.doInBackground.
+	KindAsyncBackground
+	// KindAsyncPre is AsyncTask.onPreExecute (main thread, before the
+	// background body).
+	KindAsyncPre
+	// KindAsyncPost is AsyncTask.onPostExecute (posted to main looper).
+	KindAsyncPost
+	// KindThread is a background thread body (Thread.run, executor task,
+	// timer task).
+	KindThread
+	// KindRunnable is a Runnable posted to a looper.
+	KindRunnable
+	// KindMessage is Handler.handleMessage for a posted message.
+	KindMessage
+)
+
+func (k Kind) String() string {
+	return [...]string{
+		"harness", "lifecycle", "gui", "system",
+		"doInBackground", "onPreExecute", "onPostExecute",
+		"thread", "runnable", "message",
+	}[k]
+}
+
+// Looper identifies the event queue an action executes on.
+type Looper int
+
+const (
+	// LooperNone: the action runs on a free background thread — no
+	// looper atomicity with respect to other actions.
+	LooperNone Looper = -1
+	// LooperMain: the main (UI) thread's looper. All lifecycle, GUI and
+	// system actions run here.
+	LooperMain Looper = 0
+	// Values above LooperMain identify background loopers (HandlerThread
+	// instances), interned per abstract looper object by the registry —
+	// the handler→looper binding of §4.4.
+)
+
+// Action is one SHBG node.
+type Action struct {
+	ID   int
+	Kind Kind
+	// Roots are the handler bodies the action may execute (usually one;
+	// GUI slots with over-approximated listener classes may have more).
+	Roots []*ir.Method
+	// Class is the implementing class of the handler.
+	Class string
+	// Callback is the handler method name (onCreate, run, …).
+	Callback string
+	// Instance numbers duplicated lifecycle callbacks (onStart "1"/"2").
+	Instance int
+	// HarnessSite is the harness call site for lifecycle/GUI actions.
+	HarnessSite ir.Pos
+	// Scope indexes the owning harness (activity); -1 for app-global
+	// actions (system events).
+	Scope int
+	// Looper is where the action runs.
+	Looper Looper
+	// Spawns records every site that creates/posts this action.
+	Spawns []Spawn
+	// MsgWhats collects constant message codes observed at send sites —
+	// input to the refuter's on-demand constant propagation.
+	MsgWhats []int64
+}
+
+// Spawn records one creation/posting of an action.
+type Spawn struct {
+	// From is the spawning action's id (NoSpawner when unknown, e.g.
+	// manifest-declared receivers enabled at install time).
+	From int
+	// Site is the spawn call site.
+	Site ir.Pos
+	// Delayed marks postDelayed/sendMessageDelayed/schedule: delayed
+	// posts break the FIFO reasoning of inter-action transitivity.
+	Delayed bool
+	// Posted marks real looper-queue posts (Handler/View posts,
+	// messages, AsyncTask's completion callback). Only posted spawns
+	// participate in the FIFO-based HB rules 4/5/6; synthetic harness
+	// invocation records and system registrations do not.
+	Posted bool
+}
+
+// NoSpawner marks spawns with no known spawning action.
+const NoSpawner = -1
+
+// Name renders a stable human-readable action name.
+func (a *Action) Name() string {
+	switch a.Kind {
+	case KindHarnessRoot:
+		return fmt.Sprintf("harness[%s]", a.Class)
+	case KindLifecycle:
+		return fmt.Sprintf("%s[%s]#%d", a.Callback, a.Class, a.Instance)
+	default:
+		return fmt.Sprintf("%s[%s]", a.Callback, a.Class)
+	}
+}
+
+func (a *Action) String() string {
+	return fmt.Sprintf("A%d:%s(%s)", a.ID, a.Name(), a.Kind)
+}
+
+// OnMainLooper reports whether the action runs on the main looper.
+func (a *Action) OnMainLooper() bool { return a.Looper == LooperMain }
+
+// Background reports whether the action runs off-looper.
+func (a *Action) Background() bool { return a.Looper == LooperNone }
+
+// SameScope reports whether two actions can belong to the same execution
+// (same activity harness, or either is app-global).
+func SameScope(a, b *Action) bool {
+	return a.Scope == -1 || b.Scope == -1 || a.Scope == b.Scope
+}

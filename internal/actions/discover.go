@@ -1,0 +1,54 @@
+package actions
+
+import (
+	"sierra/internal/apk"
+	"sierra/internal/harness"
+	"sierra/internal/pointer"
+)
+
+// Analyze runs the joint action-discovery / points-to fixpoint for an
+// app whose harnesses have already been generated: it builds the
+// registry, wires the harness GUI receiver seeds and view map into the
+// pointer analysis, and returns both the populated registry and the
+// points-to result.
+//
+// Call it twice with different policies (action-sensitive vs hybrid) to
+// reproduce the paper's with/without-action-sensitivity comparison; the
+// harnesses are shared.
+func Analyze(app *apk.App, hs []*harness.Harness, pol pointer.Policy) (*Registry, *pointer.Result) {
+	reg := NewRegistry(app, hs, pol)
+
+	var seeds []pointer.Seed
+	for _, h := range hs {
+		for _, slot := range h.GUI {
+			if slot.BindActivity {
+				seeds = append(seeds, pointer.Seed{
+					SrcMethod: h.Method, SrcVar: h.ActivityVar,
+					DstMethod: h.Method, DstVar: slot.RecvVar,
+				})
+			}
+			for _, bind := range slot.Bindings {
+				seeds = append(seeds, pointer.Seed{
+					SrcMethod: bind.SrcMethod, SrcVar: bind.SrcVar,
+					DstMethod: h.Method, DstVar: slot.RecvVar,
+				})
+			}
+		}
+	}
+
+	views := make(map[int]string)
+	for id, v := range app.ViewIDs() {
+		views[id] = v.Type
+	}
+
+	res := pointer.Analyze(pointer.Config{
+		Prog:     app.Program,
+		Policy:   pol,
+		Entries:  reg.Entries(),
+		Seeds:    seeds,
+		Views:    views,
+		OnEvent:  reg.OnEvent,
+		ActionAt: reg.ActionAt,
+	})
+	return reg, res
+}

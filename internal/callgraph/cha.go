@@ -1,0 +1,138 @@
+// Package callgraph builds call graphs over the IR. It provides a cheap
+// class-hierarchy-analysis (CHA) graph used by harness generation and by
+// the action-insensitive baseline, and defines the call-graph types the
+// pointer analysis populates on the fly (the precise, context-sensitive
+// graph the paper gets from WALA).
+package callgraph
+
+import (
+	"sort"
+
+	"sierra/internal/ir"
+)
+
+// CHA is a context-insensitive call graph computed by class-hierarchy
+// analysis: a virtual call resolves to every subtype override of the
+// static receiver type.
+type CHA struct {
+	prog *ir.Program
+	// callees maps a call site to its possible targets.
+	callees map[ir.Pos][]*ir.Method
+	// reachable is the set of methods reachable from the entry points.
+	reachable map[*ir.Method]bool
+}
+
+// BuildCHA computes the CHA call graph reachable from entries.
+func BuildCHA(p *ir.Program, entries []*ir.Method) *CHA {
+	g := &CHA{
+		prog:      p,
+		callees:   make(map[ir.Pos][]*ir.Method),
+		reachable: make(map[*ir.Method]bool),
+	}
+	work := append([]*ir.Method(nil), entries...)
+	for len(work) > 0 {
+		m := work[len(work)-1]
+		work = work[:len(work)-1]
+		if m == nil || g.reachable[m] {
+			continue
+		}
+		g.reachable[m] = true
+		for _, blk := range m.Blocks {
+			for _, s := range blk.Stmts {
+				inv, ok := s.(*ir.Invoke)
+				if !ok {
+					continue
+				}
+				targets := g.resolve(inv)
+				if len(targets) > 0 {
+					g.callees[inv.Pos()] = targets
+					work = append(work, targets...)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// resolve returns the possible callees of inv under CHA.
+func (g *CHA) resolve(inv *ir.Invoke) []*ir.Method {
+	switch inv.Kind {
+	case ir.InvokeStatic, ir.InvokeSpecial:
+		if m := g.prog.ResolveMethod(inv.Class, inv.Method); m != nil {
+			return []*ir.Method{m}
+		}
+		return nil
+	default:
+		seen := make(map[*ir.Method]bool)
+		var out []*ir.Method
+		add := func(m *ir.Method) {
+			if m != nil && !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+		// The static type's own resolution…
+		add(g.prog.ResolveMethod(inv.Class, inv.Method))
+		// …plus every subtype override.
+		for _, sub := range g.prog.SubclassesOf(inv.Class) {
+			if m := sub.Methods[inv.Method]; m != nil {
+				add(m)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool {
+			return out[i].QualifiedName() < out[j].QualifiedName()
+		})
+		return out
+	}
+}
+
+// Callees returns the resolved targets of the call at p (nil for
+// non-calls and framework no-ops).
+func (g *CHA) Callees(p ir.Pos) []*ir.Method { return g.callees[p] }
+
+// Reachable reports whether m is reachable from the entry points.
+func (g *CHA) Reachable(m *ir.Method) bool { return g.reachable[m] }
+
+// ReachableMethods returns all reachable methods sorted by name.
+func (g *CHA) ReachableMethods() []*ir.Method {
+	out := make([]*ir.Method, 0, len(g.reachable))
+	for m := range g.reachable {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].QualifiedName() < out[j].QualifiedName()
+	})
+	return out
+}
+
+// ReachableFrom computes the subset of this graph reachable from the
+// given roots (following only edges already in the graph). Used to
+// attribute code to actions in the action-insensitive baseline.
+func (g *CHA) ReachableFrom(roots ...*ir.Method) map[*ir.Method]bool {
+	seen := make(map[*ir.Method]bool)
+	var work []*ir.Method
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			work = append(work, r)
+		}
+	}
+	for len(work) > 0 {
+		m := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, blk := range m.Blocks {
+			for _, s := range blk.Stmts {
+				if _, ok := s.(*ir.Invoke); !ok {
+					continue
+				}
+				for _, t := range g.callees[s.Pos()] {
+					if !seen[t] {
+						seen[t] = true
+						work = append(work, t)
+					}
+				}
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,256 @@
+// Package cfg provides control-flow-graph analyses: dominator trees,
+// reachability (including reachability with a node removed, which HB rule
+// 5 needs), and an interprocedural CFG over IR statements.
+//
+// It is the substitute for the CFG/ICFG layer the paper gets from WALA.
+package cfg
+
+// Graph is a digraph over dense node ids 0..NumNodes()-1.
+type Graph interface {
+	NumNodes() int
+	Succs(n int) []int
+}
+
+// sliceGraph adapts adjacency lists to Graph.
+type sliceGraph [][]int
+
+func (g sliceGraph) NumNodes() int     { return len(g) }
+func (g sliceGraph) Succs(n int) []int { return g[n] }
+
+// NewGraph wraps adjacency lists as a Graph.
+func NewGraph(adj [][]int) Graph { return sliceGraph(adj) }
+
+// DomTree is a dominator tree: IDom(n) is n's immediate dominator, -1 for
+// the root and for unreachable nodes.
+type DomTree struct {
+	root int
+	idom []int
+	// depth[n] is the distance from the root along idom links; -1 when
+	// unreachable. Used to answer Dominates in O(depth).
+	depth []int
+}
+
+// Dominators computes the dominator tree of g rooted at root using the
+// Cooper–Harvey–Kennedy iterative algorithm. Nodes unreachable from root
+// get IDom -1 and dominate nothing.
+func Dominators(g Graph, root int) *DomTree {
+	n := g.NumNodes()
+	// Reverse post-order numbering via iterative DFS.
+	order := make([]int, 0, n) // nodes in post-order
+	number := make([]int, n)   // post-order index, -1 if unreachable
+	for i := range number {
+		number[i] = -1
+	}
+	type frame struct {
+		node int
+		next int
+	}
+	visited := make([]bool, n)
+	stack := []frame{{root, 0}}
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := g.Succs(f.node)
+		if f.next < len(succs) {
+			s := succs[f.next]
+			f.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		number[f.node] = len(order)
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+
+	// Predecessors restricted to reachable nodes.
+	preds := make([][]int, n)
+	for u := 0; u < n; u++ {
+		if number[u] < 0 {
+			continue
+		}
+		for _, v := range g.Succs(u) {
+			if number[v] >= 0 {
+				preds[v] = append(preds[v], u)
+			}
+		}
+	}
+
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[root] = root
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for number[a] < number[b] {
+				a = idom[a]
+			}
+			for number[b] < number[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		// Iterate in reverse post-order (skip the root).
+		for i := len(order) - 1; i >= 0; i-- {
+			b := order[i]
+			if b == root {
+				continue
+			}
+			var newIdom = -1
+			for _, p := range preds[b] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[root] = -1
+
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[root] = 0
+	// order is post-order; walking it backwards visits parents before
+	// children in the dominator tree is NOT guaranteed, so fix point.
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < n; u++ {
+			if u == root || idom[u] < 0 {
+				continue
+			}
+			if depth[idom[u]] >= 0 && depth[u] != depth[idom[u]]+1 {
+				depth[u] = depth[idom[u]] + 1
+				changed = true
+			}
+		}
+	}
+
+	return &DomTree{root: root, idom: idom, depth: depth}
+}
+
+// IDom returns n's immediate dominator (-1 for the root or unreachable
+// nodes).
+func (d *DomTree) IDom(n int) int { return d.idom[n] }
+
+// Reachable reports whether n was reachable from the root.
+func (d *DomTree) Reachable(n int) bool { return n == d.root || d.idom[n] >= 0 }
+
+// Dominates reports whether a dominates b (reflexively). Unreachable
+// nodes dominate nothing and are dominated by nothing.
+func (d *DomTree) Dominates(a, b int) bool {
+	if !d.Reachable(a) || !d.Reachable(b) {
+		return false
+	}
+	for b != -1 && d.depth[b] >= d.depth[a] {
+		if b == a {
+			return true
+		}
+		b = d.idom[b]
+	}
+	return false
+}
+
+// StrictlyDominates reports a ≠ b ∧ a dom b.
+func (d *DomTree) StrictlyDominates(a, b int) bool {
+	return a != b && d.Dominates(a, b)
+}
+
+// Reachable returns the set of nodes reachable from root in g.
+func Reachable(g Graph, root int) []bool {
+	seen := make([]bool, g.NumNodes())
+	stack := []int{root}
+	seen[root] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Succs(u) {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// ReachableWithout reports whether target is reachable from root when node
+// removed is deleted from the graph (its in- and out-edges vanish). This
+// is the de-facto-dominance test of HB rule 5: if removing e1 makes e2
+// unreachable, e1 dominates e2 in practice.
+func ReachableWithout(g Graph, root, removed, target int) bool {
+	if root == removed {
+		return false
+	}
+	if root == target {
+		return true
+	}
+	seen := make([]bool, g.NumNodes())
+	seen[root] = true
+	seen[removed] = true // never enter it
+	stack := []int{root}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Succs(u) {
+			if v == target {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return false
+}
+
+// reverse builds the reversed graph of g.
+func reverse(g Graph) Graph {
+	n := g.NumNodes()
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Succs(u) {
+			adj[v] = append(adj[v], u)
+		}
+	}
+	return sliceGraph(adj)
+}
+
+// PostDominators computes the post-dominator tree of g with respect to a
+// single exit node. Callers with multiple exits should add a virtual exit
+// first (see WithVirtualExit).
+func PostDominators(g Graph, exit int) *DomTree {
+	return Dominators(reverse(g), exit)
+}
+
+// WithVirtualExit returns a copy of g plus one extra node (the new exit)
+// that every node in exits points to, and the id of that node.
+func WithVirtualExit(g Graph, exits []int) (Graph, int) {
+	n := g.NumNodes()
+	adj := make([][]int, n+1)
+	for u := 0; u < n; u++ {
+		adj[u] = append([]int(nil), g.Succs(u)...)
+	}
+	for _, e := range exits {
+		adj[e] = append(adj[e], n)
+	}
+	return sliceGraph(adj), n
+}

@@ -1,0 +1,206 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diamond: 0 -> 1, 2; 1 -> 3; 2 -> 3
+func diamond() Graph { return NewGraph([][]int{{1, 2}, {3}, {3}, {}}) }
+
+func TestDominatorsDiamond(t *testing.T) {
+	d := Dominators(diamond(), 0)
+	if d.IDom(1) != 0 || d.IDom(2) != 0 || d.IDom(3) != 0 {
+		t.Fatalf("idoms = %d %d %d, want all 0", d.IDom(1), d.IDom(2), d.IDom(3))
+	}
+	if !d.Dominates(0, 3) {
+		t.Error("0 should dominate 3")
+	}
+	if d.Dominates(1, 3) || d.Dominates(2, 3) {
+		t.Error("neither branch arm dominates the join")
+	}
+	if !d.Dominates(3, 3) {
+		t.Error("dominance is reflexive")
+	}
+	if d.StrictlyDominates(3, 3) {
+		t.Error("strict dominance is irreflexive")
+	}
+}
+
+func TestDominatorsChainAndLoop(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3; 3 -> 1 (loop); 2 -> 4 (exit)
+	g := NewGraph([][]int{{1}, {2}, {3, 4}, {1}, {}})
+	d := Dominators(g, 0)
+	want := []int{-1, 0, 1, 2, 2}
+	for n, w := range want {
+		if d.IDom(n) != w {
+			t.Errorf("IDom(%d) = %d, want %d", n, d.IDom(n), w)
+		}
+	}
+	if !d.Dominates(1, 4) || !d.Dominates(2, 3) {
+		t.Error("chain dominance broken")
+	}
+}
+
+func TestDominatorsIrreducible(t *testing.T) {
+	// Irreducible: 0 -> 1, 2; 1 -> 2; 2 -> 1. Only 0 dominates 1 and 2.
+	g := NewGraph([][]int{{1, 2}, {2}, {1}})
+	d := Dominators(g, 0)
+	if d.IDom(1) != 0 || d.IDom(2) != 0 {
+		t.Fatalf("irreducible idoms = %d %d, want 0 0", d.IDom(1), d.IDom(2))
+	}
+	if d.Dominates(1, 2) || d.Dominates(2, 1) {
+		t.Error("mutual loop nodes must not dominate each other")
+	}
+}
+
+func TestUnreachableNodes(t *testing.T) {
+	g := NewGraph([][]int{{1}, {}, {1}}) // 2 unreachable from 0
+	d := Dominators(g, 0)
+	if d.Reachable(2) {
+		t.Error("2 should be unreachable")
+	}
+	if d.Dominates(2, 1) || d.Dominates(0, 2) {
+		t.Error("unreachable nodes neither dominate nor are dominated")
+	}
+	r := Reachable(g, 0)
+	if !r[0] || !r[1] || r[2] {
+		t.Errorf("Reachable = %v", r)
+	}
+}
+
+func TestReachableWithout(t *testing.T) {
+	// 0 -> 1 -> 3, 0 -> 2 -> 3: removing 1 leaves 3 reachable via 2.
+	g := diamond()
+	if !ReachableWithout(g, 0, 1, 3) {
+		t.Error("3 should be reachable without 1 (via 2)")
+	}
+	// chain 0 -> 1 -> 2: removing 1 cuts 2 off.
+	chain := NewGraph([][]int{{1}, {2}, {}})
+	if ReachableWithout(chain, 0, 1, 2) {
+		t.Error("2 must be unreachable without 1")
+	}
+	if !ReachableWithout(chain, 0, 2, 1) {
+		t.Error("1 remains reachable without 2")
+	}
+	if ReachableWithout(chain, 0, 0, 2) {
+		t.Error("removing the root cuts everything")
+	}
+	if !ReachableWithout(chain, 0, 1, 0) {
+		t.Error("root reaches itself regardless")
+	}
+}
+
+func TestPostDominators(t *testing.T) {
+	// 0 -> 1, 2; 1 -> 3; 2 -> 3; 3 is the exit: 3 post-dominates all.
+	d := PostDominators(diamond(), 3)
+	for n := 0; n < 3; n++ {
+		if !d.Dominates(3, n) {
+			t.Errorf("3 should post-dominate %d", n)
+		}
+	}
+	if d.Dominates(1, 0) {
+		t.Error("1 must not post-dominate 0")
+	}
+}
+
+func TestWithVirtualExit(t *testing.T) {
+	// Two exits 1 and 2: 0 -> 1; 0 -> 2.
+	g := NewGraph([][]int{{1, 2}, {}, {}})
+	gx, exit := WithVirtualExit(g, []int{1, 2})
+	if exit != 3 || gx.NumNodes() != 4 {
+		t.Fatalf("exit = %d nodes = %d", exit, gx.NumNodes())
+	}
+	d := PostDominators(gx, exit)
+	if !d.Dominates(exit, 0) {
+		t.Error("virtual exit should post-dominate entry")
+	}
+	if d.Dominates(1, 0) || d.Dominates(2, 0) {
+		t.Error("neither real exit post-dominates entry")
+	}
+}
+
+// randomGraph builds a connected-ish random digraph for property tests.
+func randomGraph(r *rand.Rand, n int) Graph {
+	adj := make([][]int, n)
+	for u := 1; u < n; u++ {
+		// Guarantee reachability with a random back-pointing tree edge,
+		// then add extras.
+		p := r.Intn(u)
+		adj[p] = append(adj[p], u)
+	}
+	extra := r.Intn(2 * n)
+	for i := 0; i < extra; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		adj[u] = append(adj[u], v)
+	}
+	return NewGraph(adj)
+}
+
+// dominatesBySimulation checks "a dom b" by brute force: b unreachable
+// when a removed (a != b), per the classical definition.
+func dominatesBySimulation(g Graph, root, a, b int) bool {
+	if !Reachable(g, root)[b] || !Reachable(g, root)[a] {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	if b == root {
+		return false
+	}
+	return !ReachableWithout(g, root, a, b)
+}
+
+func TestDominatorsMatchSimulationProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 2 + rr.Intn(14)
+		g := randomGraph(rr, n)
+		d := Dominators(g, 0)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				want := dominatesBySimulation(g, 0, a, b)
+				if got := d.Dominates(a, b); got != want {
+					t.Logf("n=%d a=%d b=%d got=%t want=%t", n, a, b, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominatorTreeIsATreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 2 + rr.Intn(20)
+		g := randomGraph(rr, n)
+		d := Dominators(g, 0)
+		for u := 0; u < n; u++ {
+			if !d.Reachable(u) {
+				continue
+			}
+			// Walking idom links terminates at the root without cycles.
+			steps := 0
+			for v := u; v != 0; v = d.IDom(v) {
+				if steps++; steps > n {
+					return false
+				}
+				if v < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

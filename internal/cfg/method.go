@@ -1,0 +1,32 @@
+package cfg
+
+import "sierra/internal/ir"
+
+// MethodGraph adapts a method's basic blocks to the Graph interface.
+// Node ids are block indices; block 0 is the entry.
+type MethodGraph struct{ M *ir.Method }
+
+// NumNodes returns the block count.
+func (g MethodGraph) NumNodes() int { return len(g.M.Blocks) }
+
+// Succs returns the successor block indices of block n.
+func (g MethodGraph) Succs(n int) []int { return g.M.Blocks[n].Succs }
+
+// MethodDominators computes the block dominator tree of m.
+func MethodDominators(m *ir.Method) *DomTree {
+	return Dominators(MethodGraph{m}, 0)
+}
+
+// StmtDominates reports whether statement a dominates statement b inside
+// one method: either a's block strictly dominates b's, or they share a
+// block and a comes first. Positions in different methods never dominate
+// (use the ICFG for that).
+func StmtDominates(dom *DomTree, a, b ir.Pos) bool {
+	if a.Method != b.Method {
+		return false
+	}
+	if a.Block == b.Block {
+		return a.Index < b.Index
+	}
+	return dom.StrictlyDominates(a.Block, b.Block)
+}

@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"fmt"
+
+	"sierra/internal/core"
+	"sierra/internal/corpus"
+)
+
+// ExampleAnalyze runs the full pipeline on the paper's Fig 1 app and
+// prints the funnel — the canonical library entry point.
+func ExampleAnalyze() {
+	res := core.Analyze(corpus.NewsApp(), core.Options{CompareContexts: true})
+	fmt.Printf("harnesses: %d\n", res.NumHarnesses())
+	fmt.Printf("actions: %d\n", res.NumActions())
+	fmt.Printf("racy pairs: %d (hybrid contexts: %d)\n", len(res.RacyPairs), res.RacyPairsNoAS)
+	fmt.Printf("races: %d\n", res.TrueRaces())
+	for i := range res.Reports {
+		fmt.Printf("  %s\n", res.Reports[i].Pair.A.Location())
+	}
+	// Output:
+	// harnesses: 1
+	// actions: 14
+	// racy pairs: 2 (hybrid contexts: 8)
+	// races: 2
+	//   .mData
+	//   .mCacheValid
+}
+
+// ExampleAnalyze_refutation shows the symbolic refuter eliminating the
+// guarded Fig 8 candidates while keeping the guard-flag race.
+func ExampleAnalyze_refutation() {
+	res := core.Analyze(corpus.SudokuTimerApp(), core.Options{})
+	fields := map[string]int{}
+	for _, p := range res.RacyPairs {
+		fields[p.A.Field]++
+	}
+	fmt.Printf("candidates include mAccumTime: %v\n", fields["mAccumTime"] > 0)
+	surviving := map[string]bool{}
+	for i := range res.Reports {
+		surviving[res.Reports[i].Pair.A.Field] = true
+	}
+	fmt.Printf("mAccumTime survives: %v\n", surviving["mAccumTime"])
+	fmt.Printf("mIsRunning survives: %v\n", surviving["mIsRunning"])
+	// Output:
+	// candidates include mAccumTime: true
+	// mAccumTime survives: false
+	// mIsRunning survives: true
+}

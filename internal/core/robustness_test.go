@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+
+	"sierra/internal/apk"
+	"sierra/internal/frontend"
+	"sierra/internal/ir"
+)
+
+// bareApp wraps a program as an app with the given activities.
+func bareApp(p *ir.Program, activities ...string) *apk.App {
+	p.Finalize()
+	var comps []apk.Component
+	for _, a := range activities {
+		comps = append(comps, apk.Component{Class: a})
+	}
+	return &apk.App{
+		Name:     "degenerate",
+		Program:  p,
+		Manifest: apk.Manifest{Activities: comps},
+		Layouts:  map[string]*apk.Layout{},
+	}
+}
+
+func freshProgram() *ir.Program {
+	p := ir.NewProgram()
+	frontend.InstallFramework(p)
+	return p
+}
+
+func TestNoActivitiesApp(t *testing.T) {
+	res := Analyze(bareApp(freshProgram()), Options{CompareContexts: true})
+	if res.NumHarnesses() != 0 || res.NumActions() != 0 {
+		t.Errorf("empty app produced harnesses=%d actions=%d", res.NumHarnesses(), res.NumActions())
+	}
+	if len(res.RacyPairs) != 0 || res.TrueRaces() != 0 {
+		t.Error("empty app produced races")
+	}
+}
+
+func TestActivityWithNoOverrides(t *testing.T) {
+	p := freshProgram()
+	p.AddClass(ir.NewClass("Empty", frontend.ActivityClass))
+	res := Analyze(bareApp(p, "Empty"), Options{})
+	// The harness still models the full lifecycle (framework stubs).
+	if res.NumHarnesses() != 1 {
+		t.Fatalf("harnesses = %d", res.NumHarnesses())
+	}
+	if res.TrueRaces() != 0 {
+		t.Error("no-op activity produced races")
+	}
+}
+
+func TestSelfRecursiveMethod(t *testing.T) {
+	p := freshProgram()
+	act := ir.NewClass("Rec", frontend.ActivityClass)
+	b := ir.NewMethodBuilder(frontend.OnCreate)
+	b.Call("", "this", "Rec", "spin")
+	b.Ret("")
+	act.AddMethod(b.Build())
+	spin := ir.NewMethodBuilder("spin")
+	then, els := spin.IfStar()
+	spin.SetBlock(then)
+	spin.Call("", "this", "Rec", "spin") // direct recursion
+	spin.Ret("")
+	spin.SetBlock(els)
+	spin.Store("this", "x", "this")
+	spin.Ret("")
+	act.AddMethod(spin.Build())
+	act.Fields = []string{"x"}
+	p.AddClass(act)
+	res := Analyze(bareApp(p, "Rec"), Options{})
+	if res.NumActions() == 0 {
+		t.Fatal("recursion broke action discovery")
+	}
+}
+
+func TestMutualRecursionThroughPosts(t *testing.T) {
+	// Two runnables posting each other — the action graph has a spawn
+	// cycle; the pipeline must terminate and stay acyclic in HB.
+	p := freshProgram()
+	for _, pair := range [][2]string{{"Ping", "Pong"}, {"Pong", "Ping"}} {
+		c := ir.NewClass(pair[0], frontend.Object, frontend.RunnableIface)
+		c.Fields = []string{"view", "other"}
+		b := ir.NewMethodBuilder(frontend.Run)
+		b.Load("v", "this", "view")
+		b.Load("o", "this", "other")
+		b.Call("", "v", frontend.ViewClass, frontend.Post, "o")
+		b.Ret("")
+		c.AddMethod(b.Build())
+		p.AddClass(c)
+	}
+	act := ir.NewClass("A", frontend.ActivityClass)
+	b := ir.NewMethodBuilder(frontend.OnCreate)
+	b.Int("id", 1)
+	b.Call("v", "this", "A", frontend.FindViewByID, "id")
+	b.NewObj("ping", "Ping")
+	b.NewObj("pong", "Pong")
+	b.Store("ping", "view", "v")
+	b.Store("pong", "view", "v")
+	b.Store("ping", "other", "pong")
+	b.Store("pong", "other", "ping")
+	b.Call("", "v", frontend.ViewClass, frontend.Post, "ping")
+	b.Ret("")
+	act.AddMethod(b.Build())
+	p.AddClass(act)
+
+	app := bareApp(p, "A")
+	app.Layouts[""] = nil
+	delete(app.Layouts, "")
+	app.Layouts["l"] = &apk.Layout{Name: "l", Root: &apk.View{ID: 1, Type: frontend.ViewClass}}
+	app.Manifest.Activities[0].Layout = "l"
+
+	res := Analyze(app, Options{})
+	// HB must stay acyclic despite the spawn cycle.
+	n := res.NumActions()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b && res.Graph.HB(a, b) && res.Graph.HB(b, a) {
+				t.Fatalf("HB cycle between %d and %d", a, b)
+			}
+		}
+	}
+}
+
+func TestDeepCallChain(t *testing.T) {
+	// A 30-deep call chain exceeds the refuter's inline depth; the
+	// pipeline must degrade gracefully (fall-through edges), not hang.
+	p := freshProgram()
+	act := ir.NewClass("Deep", frontend.ActivityClass)
+	act.Fields = []string{"x"}
+	const depth = 30
+	for i := 0; i < depth; i++ {
+		b := ir.NewMethodBuilder(callName(i))
+		if i+1 < depth {
+			b.Call("", "this", "Deep", callName(i+1))
+		} else {
+			b.Store("this", "x", "this")
+		}
+		b.Ret("")
+		act.AddMethod(b.Build())
+	}
+	oc := ir.NewMethodBuilder(frontend.OnCreate)
+	oc.Call("", "this", "Deep", callName(0))
+	oc.Ret("")
+	act.AddMethod(oc.Build())
+	od := ir.NewMethodBuilder(frontend.OnDestroy)
+	od.Null("n")
+	od.Store("this", "x", "n")
+	od.Ret("")
+	act.AddMethod(od.Build())
+	p.AddClass(act)
+
+	res := Analyze(bareApp(p, "Deep"), Options{})
+	// The deep write is ordered before onDestroy; no race expected, and
+	// more importantly: no hang, no panic.
+	_ = res
+}
+
+func callName(i int) string { return "lvl" + string(rune('A'+i%26)) + string(rune('0'+i/26)) }
+
+func TestListenerBehindFieldOverApproximates(t *testing.T) {
+	// A listener stored in a field then registered elsewhere: the
+	// harness falls back to type-based over-approximation and must not
+	// crash or miss the callback entirely.
+	p := freshProgram()
+	l := ir.NewClass("FieldListener", frontend.Object, frontend.OnClickListener)
+	lb := ir.NewMethodBuilder(frontend.OnClick, "v")
+	lb.Ret("")
+	l.AddMethod(lb.Build())
+	p.AddClass(l)
+
+	act := ir.NewClass("F", frontend.ActivityClass)
+	act.Fields = []string{"listener"}
+	oc := ir.NewMethodBuilder(frontend.OnCreate)
+	oc.NewObj("x", "FieldListener")
+	oc.Store("this", "listener", "x")
+	oc.Call("", "this", "F", "wire")
+	oc.Ret("")
+	act.AddMethod(oc.Build())
+	wire := ir.NewMethodBuilder("wire")
+	wire.Int("id", 1)
+	wire.Call("v", "this", "F", frontend.FindViewByID, "id")
+	wire.Load("lst", "this", "listener")
+	wire.Call("", "v", frontend.ViewClass, frontend.SetOnClickListener, "lst")
+	wire.Ret("")
+	act.AddMethod(wire.Build())
+	p.AddClass(act)
+
+	app := bareApp(p, "F")
+	app.Layouts["l"] = &apk.Layout{Name: "l", Root: &apk.View{ID: 1, Type: frontend.ButtonClass}}
+	app.Manifest.Activities[0].Layout = "l"
+	res := Analyze(app, Options{})
+
+	found := false
+	for _, a := range res.Registry.Actions() {
+		if a.Callback == frontend.OnClick {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("field-stored listener's callback not discovered")
+	}
+}
+
+func TestBrokenSuccessorIndicesDoNotCrashAnalysis(t *testing.T) {
+	// An If with a single successor (malformed builder usage) must not
+	// panic the pipeline stages that read block structure.
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("pipeline panicked on malformed CFG: %v", r)
+		}
+	}()
+	p := freshProgram()
+	act := ir.NewClass("Bad", frontend.ActivityClass)
+	m := &ir.Method{Name: frontend.OnCreate}
+	m.Blocks = []*ir.Block{
+		{Index: 0, Stmts: []ir.Stmt{&ir.If{A: "x", Op: ir.CmpEQ, B: ir.IntOperand(0)}}, Succs: []int{1}},
+		{Index: 1, Stmts: []ir.Stmt{&ir.Return{}}},
+	}
+	act.AddMethod(m)
+	p.AddClass(act)
+	Analyze(bareApp(p, "Bad"), Options{})
+}

@@ -1,0 +1,137 @@
+// Package core orchestrates the SIERRA pipeline (Fig 3): harness
+// generation → action discovery + context-sensitive points-to analysis →
+// Static Happens-Before Graph → racy-pair generation → symbolic
+// refutation → ranked race reports. It is the library's public analysis
+// entry point.
+package core
+
+import (
+	"time"
+
+	"sierra/internal/actions"
+	"sierra/internal/apk"
+	"sierra/internal/harness"
+	"sierra/internal/pointer"
+	"sierra/internal/race"
+	"sierra/internal/report"
+	"sierra/internal/shbg"
+	"sierra/internal/symexec"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// Policy is the context-sensitivity policy (default: the paper's
+	// action-sensitive hybrid abstraction with k = 2).
+	Policy pointer.Policy
+	// CompareContexts additionally runs the pipeline under plain hybrid
+	// contexts to fill the "racy pairs without action sensitivity"
+	// column of Table 3.
+	CompareContexts bool
+	// SkipRefutation stops after racy-pair generation.
+	SkipRefutation bool
+	// Refuter tunes the symbolic executor.
+	Refuter symexec.Config
+	// SHBG tunes happens-before construction (rule ablation).
+	SHBG shbg.Options
+}
+
+// Timing records per-stage wall-clock durations (Table 4's columns).
+type Timing struct {
+	// CGPA covers harness generation, call graph and pointer analysis.
+	CGPA time.Duration
+	// HBG covers SHBG construction.
+	HBG time.Duration
+	// Refutation covers backward symbolic execution.
+	Refutation time.Duration
+	// Total is the whole pipeline.
+	Total time.Duration
+}
+
+// Result carries everything a run produced.
+type Result struct {
+	App       *apk.App
+	Harnesses []*harness.Harness
+	Registry  *actions.Registry
+	PTA       *pointer.Result
+	Graph     *shbg.Graph
+	Accesses  []race.Access
+	// RacyPairs are the candidates under the configured policy.
+	RacyPairs []race.Pair
+	// RacyPairsNoAS is the candidate count under plain hybrid contexts
+	// (only when CompareContexts is set).
+	RacyPairsNoAS int
+	// Verdicts align with RacyPairs.
+	Verdicts []symexec.Verdict
+	// Reports are the surviving races, ranked.
+	Reports []report.Report
+	Timing  Timing
+}
+
+// NumHarnesses returns the per-activity harness count.
+func (r *Result) NumHarnesses() int { return len(r.Harnesses) }
+
+// NumActions returns the SHBG node count.
+func (r *Result) NumActions() int { return r.Registry.NumActions() }
+
+// HBEdges returns the SHBG edge count after closure.
+func (r *Result) HBEdges() int { return r.Graph.NumEdges() }
+
+// OrderedPercent is Table 3's "Ordered (%)" column.
+func (r *Result) OrderedPercent() float64 { return 100 * r.Graph.OrderedFraction() }
+
+// TrueRaces counts reports (races surviving refutation).
+func (r *Result) TrueRaces() int { return len(r.Reports) }
+
+// Analyze runs the full pipeline on one app. The app's program is
+// extended with synthetic harness classes; analyze each app instance at
+// most once (corpus constructors return fresh instances).
+func Analyze(app *apk.App, opts Options) *Result {
+	if opts.Policy == nil {
+		opts.Policy = pointer.ActionSensitivePolicy{K: 2}
+	}
+	res := &Result{App: app}
+	start := time.Now()
+
+	// Stage 1: harness + call graph + pointer analysis (+ actions).
+	t0 := time.Now()
+	res.Harnesses = harness.Generate(app)
+	reg, pta := actions.Analyze(app, res.Harnesses, opts.Policy)
+	res.Registry, res.PTA = reg, pta
+	res.Timing.CGPA = time.Since(t0)
+
+	// Stage 2: Static Happens-Before Graph.
+	t1 := time.Now()
+	res.Graph = shbg.Build(reg, pta, opts.SHBG)
+	res.Timing.HBG = time.Since(t1)
+
+	// Stage 3: racy pairs (the action-sensitive run is authoritative;
+	// the hybrid rerun only contributes its candidate count).
+	res.Accesses = race.CollectAccesses(reg, pta)
+	res.RacyPairs = race.RacyPairs(reg, res.Graph, res.Accesses)
+	if opts.CompareContexts {
+		regH, ptaH := actions.Analyze(app, res.Harnesses, pointer.Hybrid{K: 2})
+		gH := shbg.Build(regH, ptaH, opts.SHBG)
+		pairsH := race.RacyPairs(regH, gH, race.CollectAccesses(regH, ptaH))
+		res.RacyPairsNoAS = len(pairsH)
+	}
+
+	// Stage 4: refutation + ranking.
+	t2 := time.Now()
+	if !opts.SkipRefutation {
+		ref := symexec.NewRefuter(reg, pta, opts.Refuter)
+		var survivors []race.Pair
+		var verdicts []symexec.Verdict
+		for _, p := range res.RacyPairs {
+			v := ref.Check(p)
+			if v.TruePositive {
+				survivors = append(survivors, p)
+				verdicts = append(verdicts, v)
+			}
+		}
+		res.Verdicts = verdicts
+		res.Reports = report.Rank(app.Program, survivors, verdicts)
+	}
+	res.Timing.Refutation = time.Since(t2)
+	res.Timing.Total = time.Since(start)
+	return res
+}

@@ -1,0 +1,830 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sierra/internal/apk"
+	"sierra/internal/frontend"
+	"sierra/internal/ir"
+)
+
+// Knobs are the per-app generation parameters, usually derived from a
+// paper table row (see DeriveKnobs).
+type Knobs struct {
+	// Activities is the number of activities (= harnesses).
+	Activities int
+	// AsyncTotal plants Fig-1-style AsyncTask update races, distributed
+	// round-robin over activities.
+	AsyncTotal int
+	// AsyncFields is how many shared fields each async pattern races on
+	// (more fields = more racy pairs per action).
+	AsyncFields int
+	// GuardTotal plants Fig-8-style guarded (refutable) patterns.
+	GuardTotal int
+	// GuardFields is the number of guarded fields per guard pattern
+	// (each contributes one refutable candidate pair).
+	GuardFields int
+	// ImplicitTotal plants implicit-dependency patterns (SIERRA false
+	// positives by design, §6.5).
+	ImplicitTotal int
+	// ImplicitFields is the FP field count per implicit pattern.
+	ImplicitFields int
+	// TrapOnlyTotal adds extra callbacks that only exercise the
+	// per-activity alias trap (inflating the without-action-sensitivity
+	// candidate count, §3.3).
+	TrapOnlyTotal int
+	// FillerTotal adds chained listeners with activity-local effects
+	// (actions without races; the chaining densifies HB order).
+	FillerTotal int
+	// WithReceiver plants one Fig-2-style receiver pattern (activity 0).
+	WithReceiver bool
+	// WithService plants a started-service pattern (activity 0): the
+	// service callback and the activity lifecycle race on static state.
+	WithService bool
+	// WithHandlerThread plants a worker-handler pattern (activity 1 when
+	// present): messages handled on a HandlerThread's looper race with
+	// the activity lifecycle — exercising §4.4's handler→looper binding.
+	WithHandlerThread bool
+	// PaddingStmts adds unanalyzed plain code to approximate bytecode
+	// size ranking.
+	PaddingStmts int
+}
+
+// share splits a total count across activities round-robin.
+func share(total, acts, ai int) int {
+	v := total / acts
+	if ai < total%acts {
+		v++
+	}
+	return v
+}
+
+// GroundTruth records which planted fields are real races and which are
+// known false positives, so measured reports can be classified the way
+// the paper's manual inspection classified them.
+type GroundTruth struct {
+	// TrueFields are fields whose surviving reports are true races.
+	TrueFields map[string]bool
+	// FPFields are fields whose surviving reports are false positives
+	// (implicit dependencies beyond SIERRA's reasoning).
+	FPFields map[string]bool
+	// RefutableFields are guarded fields the refuter should eliminate;
+	// a surviving report on one counts as a false positive.
+	RefutableFields map[string]bool
+	// TrapFields exist only to conflate under context-insensitive
+	// analysis; a surviving report on one counts as a false positive.
+	TrapFields map[string]bool
+}
+
+// Classify buckets a reported field.
+func (gt *GroundTruth) Classify(field string) string {
+	switch {
+	case gt.TrueFields[field]:
+		return "true"
+	case gt.FPFields[field], gt.RefutableFields[field], gt.TrapFields[field]:
+		return "fp"
+	default:
+		return "unknown"
+	}
+}
+
+// Generate builds a synthetic app from knobs. The same (name, knobs)
+// always yields the same app.
+func Generate(name, installs string, k Knobs) (*apk.App, *GroundTruth) {
+	g := &genState{
+		gt: &GroundTruth{
+			TrueFields:      map[string]bool{},
+			FPFields:        map[string]bool{},
+			RefutableFields: map[string]bool{},
+			TrapFields:      map[string]bool{},
+		},
+	}
+	p := ir.NewProgram()
+	frontend.InstallFramework(p)
+	app := &apk.App{
+		Name:     name,
+		Program:  p,
+		Installs: installs,
+		Manifest: apk.Manifest{Package: "gen." + name},
+		Layouts:  map[string]*apk.Layout{},
+	}
+
+	for ai := 0; ai < k.Activities; ai++ {
+		g.buildActivity(app, ai, k)
+	}
+	if k.PaddingStmts > 0 {
+		g.buildPadding(p, k.PaddingStmts)
+	}
+	p.Finalize()
+	return app, g.gt
+}
+
+type genState struct {
+	gt             *GroundTruth
+	nextID         int
+	pendingFillers []pendingFiller
+}
+
+// viewID hands out fresh layout resource ids.
+func (g *genState) viewID() int {
+	g.nextID++
+	return 1000 + g.nextID
+}
+
+// buildActivity assembles one activity with its planted patterns.
+func (g *genState) buildActivity(app *apk.App, ai int, k Knobs) {
+	p := app.Program
+	actName := fmt.Sprintf("Act%d", ai)
+	layoutName := fmt.Sprintf("layout%d", ai)
+	act := ir.NewClass(actName, frontend.ActivityClass, frontend.OnScrollListener)
+	var views []*apk.View
+
+	onCreate := ir.NewMethodBuilder(frontend.OnCreate)
+	onResume := ir.NewMethodBuilder(frontend.OnResume)
+	onPause := ir.NewMethodBuilder(frontend.OnPause)
+	onStart := ir.NewMethodBuilder(frontend.OnStart)
+	onStop := ir.NewMethodBuilder(frontend.OnStop)
+	onDestroy := ir.NewMethodBuilder(frontend.OnDestroy)
+	scroll := ir.NewMethodBuilder(frontend.OnScroll, "v", "pos")
+
+	// The per-activity alias trap (§3.3): a static helper chain deeper
+	// than k=2 that allocates a cell; every participating callback
+	// writes its own cell, which only action-sensitive contexts keep
+	// apart.
+	trapField := fmt.Sprintf("v%d", ai)
+	g.gt.TrapFields[trapField] = true
+	buildTrapUtil(p, ai, trapField)
+	emitTrapInit(onCreate, ai)
+
+	newView := func(cls string) (int, string) {
+		id := g.viewID()
+		views = append(views, &apk.View{ID: id, Type: cls})
+		return id, cls
+	}
+
+	// (a) async update patterns (Fig 1).
+	nAsync := share(k.AsyncTotal, k.Activities, ai)
+	for j := 0; j < nAsync; j++ {
+		g.asyncPattern(p, act, onCreate, scroll, ai, j, k.AsyncFields, newView)
+	}
+	// The scroll listener itself is registered on a dedicated view.
+	{
+		id, _ := newView(frontend.RecycleViewClass)
+		onCreate.Int("idScroll", int64(id))
+		onCreate.Call("rvScroll", "this", actName, frontend.FindViewByID, "idScroll")
+		onCreate.Call("", "rvScroll", frontend.ViewClass, frontend.SetOnScrollListener, "this")
+	}
+	// The scroll handler participates in the alias trap.
+	emitTrapUse(scroll, ai, trapField)
+
+	// (b) guarded patterns (Fig 8).
+	for j := 0; j < share(k.GuardTotal, k.Activities, ai); j++ {
+		g.guardPattern(p, act, onCreate, onResume, onPause, ai, j, k.GuardFields, newView)
+	}
+	// (c) receiver pattern (Fig 2) on activity 0.
+	if k.WithReceiver && ai == 0 {
+		g.receiverPattern(app, act, onCreate, onStart, onStop, onDestroy, ai)
+	}
+	// (c') started-service pattern on activity 0.
+	if k.WithService && ai == 0 {
+		g.servicePattern(app, act, onCreate, onStop, ai)
+	}
+	// (c'') worker-handler pattern on activity 1.
+	if k.WithHandlerThread && ai == 1 {
+		g.handlerThreadPattern(p, act, onCreate, onStop, ai)
+	}
+	// (d) implicit-dependency patterns (designed FPs).
+	for j := 0; j < share(k.ImplicitTotal, k.Activities, ai); j++ {
+		g.implicitPattern(p, act, onCreate, ai, j, k.ImplicitFields, newView)
+	}
+	// (e) trap-only callbacks.
+	for j := 0; j < share(k.TrapOnlyTotal, k.Activities, ai); j++ {
+		g.trapOnlyListener(p, act, onCreate, ai, j, trapField, newView)
+	}
+	// (f) filler callbacks (activity-local, race-free), chained: each is
+	// registered inside the previous one, which nests the harness GUI
+	// slots and densifies dominance-derived HB order (Fig 6's
+	// onClick2 ≺ onClick3 shape).
+	var prevFiller *ir.MethodBuilder
+	recvVar := "this" // registration receiver: activity in onCreate
+	for j := 0; j < share(k.FillerTotal, k.Activities, ai); j++ {
+		regInto := onCreate
+		if prevFiller != nil {
+			regInto = prevFiller
+			recvVar = "v" // the previous callback's view parameter
+		}
+		prevFiller = g.fillerListener(p, regInto, recvVar, ai, j, newView)
+	}
+	g.finishFillers()
+
+	// (g) navigation: each activity (except the last) starts the next
+	// one from a dedicated click — the launch chain that orders whole
+	// activities in the SHBG (and is how real apps reach non-launcher
+	// screens).
+	if ai+1 < k.Activities {
+		g.navListener(p, act, onCreate, ai, newView)
+	}
+
+	for _, b := range []*ir.MethodBuilder{onCreate, onResume, onPause, onStart, onStop, onDestroy, scroll} {
+		b.Ret("")
+	}
+	act.AddMethod(onCreate.Build())
+	act.AddMethod(onResume.Build())
+	act.AddMethod(onPause.Build())
+	act.AddMethod(onStart.Build())
+	act.AddMethod(onStop.Build())
+	act.AddMethod(onDestroy.Build())
+	act.AddMethod(scroll.Build())
+	p.AddClass(act)
+
+	root := &apk.View{ID: g.viewID(), Type: frontend.ViewClass, Children: views}
+	app.Layouts[layoutName] = &apk.Layout{Name: layoutName, Root: root}
+	app.Manifest.Activities = append(app.Manifest.Activities,
+		apk.Component{Class: actName, Layout: layoutName})
+}
+
+// buildTrapUtil creates the §3.3 aliasing trap: a shared per-activity
+// helper object whose 3-deep virtual chain m1→m2→m3 allocates a Cell.
+// Every caller dispatches on the same helper instance, so k-obj (and
+// hybrid) contexts coincide and the per-callback cells conflate into one
+// abstract object; only the action id in action-sensitive contexts keeps
+// them apart. Each callback writes its own cell — under conflation those
+// writes look like races.
+func buildTrapUtil(p *ir.Program, ai int, trapField string) {
+	cell := ir.NewClass(fmt.Sprintf("Cell%d", ai), frontend.Object)
+	cell.Fields = []string{trapField}
+	p.AddClass(cell)
+
+	util := ir.NewClass(fmt.Sprintf("Util%d", ai), frontend.Object)
+	m3 := ir.NewMethodBuilder("m3")
+	m3.NewObj("o", cell.Name)
+	m3.Ret("o")
+	util.AddMethod(m3.Build())
+	m2 := ir.NewMethodBuilder("m2")
+	m2.Call("r", "this", util.Name, "m3")
+	m2.Ret("r")
+	util.AddMethod(m2.Build())
+	m1 := ir.NewMethodBuilder("m1")
+	m1.Call("r", "this", util.Name, "m2")
+	m1.Ret("r")
+	util.AddMethod(m1.Build())
+	p.AddClass(util)
+}
+
+// emitTrapInit allocates the shared helper in onCreate and publishes it
+// through a static field so every callback can reach it.
+func emitTrapInit(onCreate *ir.MethodBuilder, ai int) {
+	onCreate.NewObj("trapUtil", fmt.Sprintf("Util%d", ai))
+	onCreate.SStore(fmt.Sprintf("Util%d", ai), "inst", "trapUtil")
+}
+
+// emitTrapUse makes a callback allocate its cell through the shared
+// helper chain and write its field.
+func emitTrapUse(b *ir.MethodBuilder, ai int, trapField string) {
+	b.SLoad("util", fmt.Sprintf("Util%d", ai), "inst")
+	b.Call("cell", "util", fmt.Sprintf("Util%d", ai), "m1")
+	b.Int("tv", 1)
+	b.Store("cell", trapField, "tv")
+}
+
+// asyncPattern plants one Fig-1-style race: a click-started AsyncTask
+// writes shared store fields from the background and from its completion
+// callback, while the scroll handler reads them.
+func (g *genState) asyncPattern(p *ir.Program, act *ir.Class, onCreate, scroll *ir.MethodBuilder, ai, j, nFields int, newView func(string) (int, string)) {
+	if nFields < 1 {
+		nFields = 1
+	}
+	var dataFields []string
+	for fi := 0; fi < nFields; fi++ {
+		df := fmt.Sprintf("data%d_%d_%d", ai, j, fi)
+		dataFields = append(dataFields, df)
+		g.gt.TrueFields[df] = true
+	}
+	cacheF := fmt.Sprintf("cache%d_%d", ai, j)
+	g.gt.TrueFields[cacheF] = true
+
+	storeCls := ir.NewClass(fmt.Sprintf("Store%d_%d", ai, j), frontend.Object)
+	storeCls.Fields = append(append([]string(nil), dataFields...), cacheF)
+	p.AddClass(storeCls)
+
+	// Every third pattern routes its background writes through a bundled
+	// third-party library helper, exercising the prioritizer's library
+	// bucket (app > framework > library).
+	viaLibrary := (ai+j)%3 == 2
+	var libCls *ir.Class
+	if viaLibrary {
+		libCls = ir.NewClass(fmt.Sprintf("Lib%d_%d", ai, j), frontend.Object)
+		libCls.Library = true
+		lb := ir.NewStaticMethodBuilder("put", "s", "x")
+		for _, df := range dataFields {
+			lb.Store("s", df, "x")
+		}
+		lb.Ret("")
+		libCls.AddMethod(lb.Build())
+		p.AddClass(libCls)
+	}
+
+	storeField := fmt.Sprintf("store%d_%d", ai, j)
+	act.Fields = append(act.Fields, storeField)
+
+	// Task class.
+	task := ir.NewClass(fmt.Sprintf("Task%d_%d", ai, j), frontend.AsyncTaskClass)
+	task.Fields = []string{"store"}
+	init := ir.NewMethodBuilder("<init>", "s")
+	init.Store("this", "store", "s")
+	init.Ret("")
+	task.AddMethod(init.Build())
+	bg := ir.NewMethodBuilder(frontend.DoInBackground)
+	bg.Load("s", "this", "store")
+	bg.NewObj("x", frontend.BundleClass)
+	if viaLibrary {
+		bg.CallStatic("", libCls.Name, "put", "s", "x")
+	} else {
+		for _, df := range dataFields {
+			bg.Store("s", df, "x")
+		}
+	}
+	bg.Ret("")
+	task.AddMethod(bg.Build())
+	post := ir.NewMethodBuilder(frontend.OnPostExecute, "result")
+	post.Load("s", "this", "store")
+	post.Bool("t", true)
+	post.Store("s", cacheF, "t")
+	post.Ret("")
+	task.AddMethod(post.Build())
+	p.AddClass(task)
+
+	// Click listener class launching the task (+ trap participation).
+	click := ir.NewClass(fmt.Sprintf("Click%d_%d", ai, j), frontend.Object, frontend.OnClickListener)
+	click.Fields = []string{"act"}
+	cinit := ir.NewMethodBuilder("<init>", "a")
+	cinit.Store("this", "act", "a")
+	cinit.Ret("")
+	click.AddMethod(cinit.Build())
+	cb := ir.NewMethodBuilder(frontend.OnClick, "v")
+	cb.Load("a", "this", "act")
+	cb.Load("s", "a", storeField)
+	cb.NewObj("t", task.Name)
+	cb.CallSpecial("", "t", task.Name, "<init>", "s")
+	cb.Call("", "t", task.Name, frontend.Execute)
+	emitTrapUse(cb, ai, fmt.Sprintf("v%d", ai))
+	cb.Ret("")
+	click.AddMethod(cb.Build())
+	p.AddClass(click)
+
+	// onCreate wiring: store allocation + listener registration.
+	id, _ := newView(frontend.ButtonClass)
+	sv := fmt.Sprintf("s%d_%d", ai, j)
+	lv := fmt.Sprintf("l%d_%d", ai, j)
+	bv := fmt.Sprintf("btn%d_%d", ai, j)
+	iv := fmt.Sprintf("idb%d_%d", ai, j)
+	onCreate.NewObj(sv, storeCls.Name)
+	onCreate.Store("this", storeField, sv)
+	onCreate.NewObj(lv, click.Name)
+	onCreate.CallSpecial("", lv, click.Name, "<init>", "this")
+	onCreate.Int(iv, int64(id))
+	onCreate.Call(bv, "this", act.Name, frontend.FindViewByID, iv)
+	onCreate.Call("", bv, frontend.ViewClass, frontend.SetOnClickListener, lv)
+
+	// The shared scroll handler reads every raced field.
+	rs := fmt.Sprintf("rs%d_%d", ai, j)
+	scroll.Load(rs, "this", storeField)
+	for fi, df := range dataFields {
+		scroll.Load(fmt.Sprintf("%s_d%d", rs, fi), rs, df)
+	}
+	scroll.Load(rs+"_c", rs, cacheF)
+}
+
+// guardPattern plants one Fig-8-style ad-hoc-synchronized pattern: a
+// posted runnable and onPause's stop() both write accum fields guarded
+// by a running flag; the accum pairs are refutable, the flag pair is a
+// true benign race.
+func (g *genState) guardPattern(p *ir.Program, act *ir.Class, onCreate, onResume, onPause *ir.MethodBuilder, ai, j, nFields int, newView func(string) (int, string)) {
+	if nFields < 1 {
+		nFields = 1
+	}
+	runF := fmt.Sprintf("running%d_%d", ai, j)
+	g.gt.TrueFields[runF] = true
+	var accFields []string
+	for fi := 0; fi < nFields; fi++ {
+		f := fmt.Sprintf("accum%d_%d_%d", ai, j, fi)
+		accFields = append(accFields, f)
+		g.gt.RefutableFields[f] = true
+	}
+	act.Fields = append(act.Fields, runF)
+	act.Fields = append(act.Fields, accFields...)
+	act.Fields = append(act.Fields,
+		fmt.Sprintf("runner%d_%d", ai, j), fmt.Sprintf("timerView%d_%d", ai, j))
+
+	run := ir.NewClass(fmt.Sprintf("Ticker%d_%d", ai, j), frontend.Object, frontend.RunnableIface)
+	run.Fields = []string{"act"}
+	init := ir.NewMethodBuilder("<init>", "a")
+	init.Store("this", "act", "a")
+	init.Ret("")
+	run.AddMethod(init.Build())
+	rb := ir.NewMethodBuilder(frontend.Run)
+	rb.Load("a", "this", "act")
+	rb.Load("flag", "a", runF)
+	then, els := rb.If("flag", ir.CmpEQ, ir.BoolOperand(true))
+	rb.SetBlock(then)
+	rb.Int("t", 1)
+	for _, f := range accFields {
+		rb.Store("a", f, "t")
+	}
+	rb.Ret("")
+	rb.SetBlock(els)
+	rb.Ret("")
+	run.AddMethod(rb.Build())
+	p.AddClass(run)
+
+	stopName := fmt.Sprintf("stopTimer%d_%d", ai, j)
+	sb := ir.NewMethodBuilder(stopName)
+	sb.Load("flag", "this", runF)
+	then2, els2 := sb.If("flag", ir.CmpEQ, ir.BoolOperand(true))
+	sb.SetBlock(then2)
+	sb.Bool("f", false)
+	sb.Store("this", runF, "f")
+	sb.Int("z", 0)
+	for _, f := range accFields {
+		sb.Store("this", f, "z")
+	}
+	sb.Ret("")
+	sb.SetBlock(els2)
+	sb.Ret("")
+	act.AddMethod(sb.Build())
+
+	id, _ := newView(frontend.ViewClass)
+	iv := fmt.Sprintf("idt%d_%d", ai, j)
+	vv := fmt.Sprintf("tview%d_%d", ai, j)
+	rv := fmt.Sprintf("ticker%d_%d", ai, j)
+	onCreate.Int(iv, int64(id))
+	onCreate.Call(vv, "this", act.Name, frontend.FindViewByID, iv)
+	onCreate.Store("this", fmt.Sprintf("timerView%d_%d", ai, j), vv)
+	onCreate.NewObj(rv, run.Name)
+	onCreate.CallSpecial("", rv, run.Name, "<init>", "this")
+	onCreate.Store("this", fmt.Sprintf("runner%d_%d", ai, j), rv)
+
+	tv := fmt.Sprintf("rt%d_%d", ai, j)
+	onResume.Bool(tv, true)
+	onResume.Store("this", runF, tv)
+	onResume.Load(tv+"_v", "this", fmt.Sprintf("timerView%d_%d", ai, j))
+	onResume.Load(tv+"_r", "this", fmt.Sprintf("runner%d_%d", ai, j))
+	onResume.Call("", tv+"_v", frontend.ViewClass, frontend.Post, tv+"_r")
+
+	onPause.Call("", "this", act.Name, stopName)
+}
+
+// receiverPattern plants the Fig-2 inter-component race on activity 0.
+func (g *genState) receiverPattern(app *apk.App, act *ir.Class, onCreate, onStart, onStop, onDestroy *ir.MethodBuilder, ai int) {
+	p := app.Program
+	openF := fmt.Sprintf("open%d", ai)
+	dbF := fmt.Sprintf("db%d", ai)
+	g.gt.TrueFields[openF] = true
+	g.gt.TrueFields[dbF] = true
+	act.Fields = append(act.Fields, dbF, fmt.Sprintf("recv%d", ai))
+
+	res := ir.NewClass(fmt.Sprintf("Resource%d", ai), frontend.Object)
+	res.Fields = []string{openF}
+	op := ir.NewMethodBuilder("open")
+	op.Bool("t", true).Store("this", openF, "t")
+	op.Ret("")
+	res.AddMethod(op.Build())
+	cl := ir.NewMethodBuilder("close")
+	cl.Bool("f", false).Store("this", openF, "f")
+	cl.Ret("")
+	res.AddMethod(cl.Build())
+	up := ir.NewMethodBuilder("update", "b")
+	up.Load("o", "this", openF)
+	up.Ret("")
+	res.AddMethod(up.Build())
+	p.AddClass(res)
+
+	recv := ir.NewClass(fmt.Sprintf("Recv%d", ai), frontend.ReceiverClass)
+	recv.Fields = []string{"act"}
+	init := ir.NewMethodBuilder("<init>", "a")
+	init.Store("this", "act", "a")
+	init.Ret("")
+	recv.AddMethod(init.Build())
+	orb := ir.NewMethodBuilder(frontend.OnReceive, "ctx", "intent")
+	orb.Call("b", "intent", frontend.IntentClass, "getExtras")
+	orb.Load("a", "this", "act")
+	orb.Load("res", "a", dbF)
+	orb.Call("", "res", res.Name, "update", "b")
+	orb.Ret("")
+	recv.AddMethod(orb.Build())
+	p.AddClass(recv)
+
+	onCreate.NewObj("resrc", res.Name)
+	onCreate.Store("this", dbF, "resrc")
+	onCreate.NewObj("rcv", recv.Name)
+	onCreate.CallSpecial("", "rcv", recv.Name, "<init>", "this")
+	onCreate.Store("this", fmt.Sprintf("recv%d", ai), "rcv")
+	onCreate.NewObj("fltr", frontend.IntentFilterClass)
+	onCreate.Call("", "this", act.Name, frontend.RegisterReceiver, "rcv", "fltr")
+
+	onStart.Load("resA", "this", dbF)
+	onStart.Call("", "resA", res.Name, "open")
+	onStop.Load("resB", "this", dbF)
+	onStop.Call("", "resB", res.Name, "close")
+	onDestroy.Load("rcvD", "this", fmt.Sprintf("recv%d", ai))
+	onDestroy.Call("", "this", act.Name, frontend.UnregisterReceiver, "rcvD")
+	onDestroy.Null("nulD")
+	onDestroy.Store("this", dbF, "nulD")
+}
+
+// implicitPattern plants a designed false positive: onCreate's thread
+// fills a field that a click handler reads; the app's flow guarantees
+// data is ready before any click, but that dependency is beyond SIERRA
+// (§6.5's OpenManager example).
+func (g *genState) implicitPattern(p *ir.Program, act *ir.Class, onCreate *ir.MethodBuilder, ai, j, nFields int, newView func(string) (int, string)) {
+	if nFields < 1 {
+		nFields = 1
+	}
+	var itemFields []string
+	for fi := 0; fi < nFields; fi++ {
+		f := fmt.Sprintf("items%d_%d_%d", ai, j, fi)
+		itemFields = append(itemFields, f)
+		g.gt.FPFields[f] = true
+	}
+	act.Fields = append(act.Fields, itemFields...)
+
+	th := ir.NewClass(fmt.Sprintf("Loader%d_%d", ai, j), frontend.ThreadClass)
+	th.Fields = []string{"act2"}
+	init := ir.NewMethodBuilder("<init2>", "a")
+	init.Store("this", "act2", "a")
+	init.Ret("")
+	th.AddMethod(init.Build())
+	rb := ir.NewMethodBuilder(frontend.Run)
+	rb.Load("a", "this", "act2")
+	rb.NewObj("x", frontend.BundleClass)
+	for _, f := range itemFields {
+		rb.Store("a", f, "x")
+	}
+	rb.Ret("")
+	th.AddMethod(rb.Build())
+	p.AddClass(th)
+
+	click := ir.NewClass(fmt.Sprintf("ItemClick%d_%d", ai, j), frontend.Object, frontend.OnClickListener)
+	click.Fields = []string{"act"}
+	cinit := ir.NewMethodBuilder("<init>", "a")
+	cinit.Store("this", "act", "a")
+	cinit.Ret("")
+	click.AddMethod(cinit.Build())
+	cb := ir.NewMethodBuilder(frontend.OnClick, "v")
+	cb.Load("a", "this", "act")
+	for fi, f := range itemFields {
+		cb.Load(fmt.Sprintf("x%d", fi), "a", f)
+	}
+	cb.Ret("")
+	click.AddMethod(cb.Build())
+	p.AddClass(click)
+
+	id, _ := newView(frontend.ListViewClass)
+	tv := fmt.Sprintf("ld%d_%d", ai, j)
+	onCreate.NewObj(tv, th.Name)
+	onCreate.CallSpecial("", tv, th.Name, "<init2>", "this")
+	onCreate.Call("", tv, th.Name, frontend.Start)
+	onCreate.NewObj(tv+"_l", click.Name)
+	onCreate.CallSpecial("", tv+"_l", click.Name, "<init>", "this")
+	onCreate.Int(tv+"_id", int64(id))
+	onCreate.Call(tv+"_v", "this", act.Name, frontend.FindViewByID, tv+"_id")
+	onCreate.Call("", tv+"_v", frontend.ViewClass, frontend.SetOnClickListener, tv+"_l")
+}
+
+// trapOnlyListener adds a click handler that only exercises the alias
+// trap — no real shared state.
+func (g *genState) trapOnlyListener(p *ir.Program, act *ir.Class, onCreate *ir.MethodBuilder, ai, j int, trapField string, newView func(string) (int, string)) {
+	click := ir.NewClass(fmt.Sprintf("TrapClick%d_%d", ai, j), frontend.Object, frontend.OnClickListener)
+	cb := ir.NewMethodBuilder(frontend.OnClick, "v")
+	emitTrapUse(cb, ai, trapField)
+	cb.Ret("")
+	click.AddMethod(cb.Build())
+	p.AddClass(click)
+
+	id, _ := newView(frontend.ButtonClass)
+	tv := fmt.Sprintf("tc%d_%d", ai, j)
+	onCreate.NewObj(tv, click.Name)
+	onCreate.Int(tv+"_id", int64(id))
+	onCreate.Call(tv+"_v", "this", act.Name, frontend.FindViewByID, tv+"_id")
+	onCreate.Call("", tv+"_v", frontend.ViewClass, frontend.SetOnClickListener, tv)
+}
+
+// fillerListener adds a race-free long-click handler touching only its
+// own object. Registration is emitted into regInto (onCreate for the
+// first link, the previous filler's callback for the rest), looking the
+// target view up through recvVar (the activity, or the previous
+// callback's view parameter). The returned builder is the new callback
+// body, left open so the next chain link can register inside it; all
+// pending bodies are sealed by finishFillers.
+func (g *genState) fillerListener(p *ir.Program, regInto *ir.MethodBuilder, recvVar string, ai, j int, newView func(string) (int, string)) *ir.MethodBuilder {
+	click := ir.NewClass(fmt.Sprintf("Filler%d_%d", ai, j), frontend.Object, frontend.OnLongClickListener)
+	click.Fields = []string{"local"}
+	cb := ir.NewMethodBuilder(frontend.OnLongClick, "v")
+	cb.Int("x", int64(j))
+	cb.Store("this", "local", "x")
+	cb.Load("y", "this", "local")
+
+	id, _ := newView(frontend.ButtonClass)
+	tv := fmt.Sprintf("fl%d_%d", ai, j)
+	regInto.NewObj(tv, click.Name)
+	regInto.Int(tv+"_id", int64(id))
+	regInto.Call(tv+"_v", recvVar, frontend.ViewClass, frontend.FindViewByID, tv+"_id")
+	regInto.Call("", tv+"_v", frontend.ViewClass, frontend.SetOnLongClickListener, tv)
+
+	p.AddClass(click)
+	g.pendingFillers = append(g.pendingFillers, pendingFiller{cls: click, b: cb})
+	return cb
+}
+
+// pendingFiller defers Build of chained filler callbacks until the whole
+// chain is emitted (later links register inside earlier bodies).
+type pendingFiller struct {
+	cls *ir.Class
+	b   *ir.MethodBuilder
+}
+
+// finishFillers seals and registers all pending filler callbacks.
+func (g *genState) finishFillers() {
+	for _, pf := range g.pendingFillers {
+		pf.b.Ret("")
+		pf.cls.AddMethod(pf.b.Build())
+	}
+	g.pendingFillers = nil
+}
+
+// servicePattern plants a started service whose onStartCommand writes
+// static state the activity's onStop reads — a service-vs-lifecycle race
+// (Table 1's startService row).
+func (g *genState) servicePattern(app *apk.App, act *ir.Class, onCreate, onStop *ir.MethodBuilder, ai int) {
+	p := app.Program
+	stateF := fmt.Sprintf("svcstate%d", ai)
+	g.gt.TrueFields[stateF] = true
+
+	svc := ir.NewClass(fmt.Sprintf("Svc%d", ai), frontend.ServiceClass)
+	sb := ir.NewMethodBuilder(frontend.OnStartCommand, "intent")
+	sb.NewObj("x", frontend.BundleClass)
+	sb.SStore(svc.Name, stateF, "x")
+	sb.Ret("")
+	svc.AddMethod(sb.Build())
+	p.AddClass(svc)
+	app.Manifest.Services = append(app.Manifest.Services, apk.Component{Class: svc.Name})
+
+	onCreate.NewObj("svcIntent", frontend.IntentClass)
+	onCreate.Call("", "this", act.Name, frontend.StartService, "svcIntent")
+	onStop.SLoad("svcPeek", svc.Name, stateF)
+}
+
+// handlerThreadPattern plants a worker handler bound to a HandlerThread
+// looper; its handleMessage writes activity state that onStop reads —
+// a background-looper message race (§4.4).
+func (g *genState) handlerThreadPattern(p *ir.Program, act *ir.Class, onCreate, onStop *ir.MethodBuilder, ai int) {
+	resF := fmt.Sprintf("workres%d", ai)
+	g.gt.TrueFields[resF] = true
+	act.Fields = append(act.Fields, resF)
+
+	wh := ir.NewClass(fmt.Sprintf("Worker%d", ai), frontend.HandlerClass)
+	wh.Fields = []string{"act"}
+	hb := ir.NewMethodBuilder(frontend.HandleMessage, "m")
+	hb.Load("a", "this", "act")
+	hb.NewObj("x", frontend.BundleClass)
+	hb.Store("a", resF, "x")
+	hb.Ret("")
+	wh.AddMethod(hb.Build())
+	p.AddClass(wh)
+
+	onCreate.NewObj("ht", frontend.HandlerThreadClass)
+	onCreate.CallSpecial("", "ht", frontend.HandlerThreadClass, "<initHT>")
+	onCreate.Call("", "ht", frontend.HandlerThreadClass, frontend.Start)
+	onCreate.Call("wlp", "ht", frontend.HandlerThreadClass, frontend.GetLooper)
+	onCreate.NewObj("wrk", wh.Name)
+	onCreate.CallSpecial("", "wrk", frontend.HandlerClass, "<init>", "wlp")
+	onCreate.Store("wrk", "act", "this")
+	onCreate.Int("wcode", 9)
+	onCreate.Call("", "wrk", wh.Name, frontend.SendEmptyMessage, "wcode")
+	onStop.Load("wpeek", "this", resF)
+}
+
+// navListener plants a click handler that starts the next activity; the
+// intent's targetClass field carries the destination for the registry's
+// launch-order rule.
+func (g *genState) navListener(p *ir.Program, act *ir.Class, onCreate *ir.MethodBuilder, ai int, newView func(string) (int, string)) {
+	nextAct := fmt.Sprintf("Act%d", ai+1)
+	click := ir.NewClass(fmt.Sprintf("Nav%d", ai), frontend.Object, frontend.OnClickListener)
+	click.Fields = []string{"act"}
+	init := ir.NewMethodBuilder("<init>", "a")
+	init.Store("this", "act", "a")
+	init.Ret("")
+	click.AddMethod(init.Build())
+	cb := ir.NewMethodBuilder(frontend.OnClick, "v")
+	cb.Load("a", "this", "act")
+	cb.NewObj("tgt", nextAct)
+	cb.NewObj("it", frontend.IntentClass)
+	cb.Store("it", "targetClass", "tgt")
+	cb.Call("", "a", act.Name, frontend.StartActivity, "it")
+	cb.Ret("")
+	click.AddMethod(cb.Build())
+	p.AddClass(click)
+
+	id, _ := newView(frontend.ButtonClass)
+	onCreate.NewObj("nav", click.Name)
+	onCreate.CallSpecial("", "nav", click.Name, "<init>", "this")
+	onCreate.Int("navId", int64(id))
+	onCreate.Call("navBtn", "this", act.Name, frontend.FindViewByID, "navId")
+	onCreate.Call("", "navBtn", frontend.ViewClass, frontend.SetOnClickListener, "nav")
+}
+
+// buildPadding emits plain arithmetic classes unreachable from any
+// callback; they contribute bytecode size without analysis cost.
+func (g *genState) buildPadding(p *ir.Program, stmts int) {
+	const perMethod = 40
+	n := 0
+	for stmts > 0 {
+		c := ir.NewClass(fmt.Sprintf("Pad%d", n), frontend.Object)
+		for mi := 0; mi < 4 && stmts > 0; mi++ {
+			b := ir.NewStaticMethodBuilder(fmt.Sprintf("compute%d", mi), "x")
+			count := perMethod
+			if count > stmts {
+				count = stmts
+			}
+			b.Int("acc", 0)
+			for i := 0; i < count; i++ {
+				b.BinOp("acc", ir.OpAdd, "acc", "x")
+			}
+			b.Ret("acc")
+			stmts -= count
+			c.AddMethod(b.Build())
+		}
+		p.AddClass(c)
+		n++
+	}
+}
+
+// DeriveKnobs inverts a paper table row into generation knobs: pattern
+// counts and per-pattern field counts that land the measured statistics
+// in the row's neighbourhood. The derivation is approximate by design —
+// the paper's apps are real code; ours only needs the same shape.
+func DeriveKnobs(r PaperRow, rng *rand.Rand) Knobs {
+	acts := r.Harnesses
+	if acts < 1 {
+		acts = 1
+	}
+	k := Knobs{
+		Activities:        acts,
+		WithReceiver:      true,
+		WithService:       true,
+		WithHandlerThread: acts > 1,
+		// ~36 statements model one KB of dex (28 bytes/stmt plus method
+		// overhead), so model sizes land near the paper's Table 2 sizes.
+		PaddingStmts: r.SizeKB * 36,
+	}
+	// Refutable candidates: one per guarded field.
+	refutable := r.RacyAS - r.AfterRefutation
+	if refutable < 0 {
+		refutable = 0
+	}
+	k.GuardTotal = clamp((refutable+5)/6, 1, 2*acts)
+	k.GuardFields = clamp((refutable+k.GuardTotal-1)/k.GuardTotal, 1, 12)
+	// Designed false positives: one per implicit field.
+	if r.FP > 0 {
+		k.ImplicitTotal = clamp((r.FP+4)/5, 1, 2*acts)
+		k.ImplicitFields = clamp((r.FP+k.ImplicitTotal-1)/k.ImplicitTotal, 1, 8)
+	}
+	// True races: receiver ≈ 3, each guard pattern 1 (the flag), each
+	// async pattern AsyncFields+1.
+	trueLeft := r.TrueRaces - 5 - k.GuardTotal
+	if trueLeft < 1 {
+		trueLeft = 1
+	}
+	k.AsyncTotal = clamp((trueLeft+4)/5, 1, 2*acts)
+	k.AsyncFields = clamp((trueLeft+k.AsyncTotal-1)/k.AsyncTotal-1, 1, 16)
+
+	// The alias trap inflates the no-AS count quadratically per
+	// activity: participants k_i give ~C(k_i,2) extra pairs. Attribution
+	// sharing under context-insensitive runs already inflates the
+	// organic patterns by roughly 2.2×, so the trap only covers the
+	// residual deficit.
+	organic := float64(r.RacyAS) * 2.2
+	deficit := (float64(r.RacyNoAS) - organic) / float64(acts)
+	if deficit > 1 {
+		ki := int(math.Ceil((1 + math.Sqrt(1+8*deficit)) / 2))
+		baseline := (k.AsyncTotal+k.ImplicitTotal)/acts + 2 // + scroll + click
+		k.TrapOnlyTotal = clamp((ki-baseline)*acts, 0, 30*acts)
+	}
+	// Filler listeners absorb the remaining action budget.
+	used := acts*11 + k.AsyncTotal*3 + k.GuardTotal + k.ImplicitTotal*2 + k.TrapOnlyTotal + 2
+	k.FillerTotal = clamp(r.Actions-used, 0, 40*acts)
+	_ = rng
+	return k
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

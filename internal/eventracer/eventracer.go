@@ -1,0 +1,214 @@
+// Package eventracer is the dynamic event-race detector SIERRA is
+// compared against (Table 3's last column): it runs the app on the
+// simulated Android runtime under randomized schedules, derives a
+// dynamic happens-before relation over the observed events, and reports
+// conflicting accesses from unordered events.
+//
+// It reproduces the baseline's characteristic behaviour the paper
+// leans on (§6.4): coverage-limited recall (only executed code and
+// schedules are seen) and a "race coverage" filter that recognizes
+// primitive-typed guard variables but not pointer-check conditions — so
+// pointer-guarded ad-hoc synchronization shows up as false positives.
+package eventracer
+
+import (
+	"fmt"
+	"sort"
+
+	"sierra/internal/apk"
+	"sierra/internal/interp"
+	"sierra/internal/ir"
+)
+
+// Race is one dynamic race report, deduplicated across schedules.
+type Race struct {
+	// Field is the racy field.
+	Field string
+	// Labels names the two racing events (sorted).
+	Labels [2]string
+	// RefTyped marks pointer reference races.
+	RefTyped bool
+	// PointerGuarded marks races whose accesses sit behind pointer-check
+	// conditions — the false-positive class EventRacer cannot filter but
+	// SIERRA refutes.
+	PointerGuarded bool
+	// Schedules counts in how many schedules the race was observed.
+	Schedules int
+}
+
+// Key canonicalizes the report identity.
+func (r Race) Key() string {
+	return fmt.Sprintf("%s|%s|%s", r.Field, r.Labels[0], r.Labels[1])
+}
+
+// Options tunes a detection run.
+type Options struct {
+	// Schedules is how many random schedules to execute.
+	Schedules int
+	// EventsPerSchedule bounds each schedule's length.
+	EventsPerSchedule int
+	// Seed makes runs reproducible.
+	Seed int64
+	// DisableRaceCoverage turns off the primitive-guard filter.
+	DisableRaceCoverage bool
+}
+
+// Detect runs the dynamic analysis and returns deduplicated races.
+func Detect(app func() *apk.App, opts Options) []Race {
+	if opts.Schedules == 0 {
+		opts.Schedules = 5
+	}
+	if opts.EventsPerSchedule == 0 {
+		opts.EventsPerSchedule = 40
+	}
+	found := map[string]*Race{}
+	for s := 0; s < opts.Schedules; s++ {
+		a := app()
+		m := interp.NewMachine(a, opts.Seed+int64(s)*7919)
+		m.RegisterManifestReceivers()
+		tr := m.Run(opts.EventsPerSchedule)
+		for _, r := range analyzeTrace(a.Program, tr, opts) {
+			if have, ok := found[r.Key()]; ok {
+				have.Schedules++
+			} else {
+				rr := r
+				rr.Schedules = 1
+				found[r.Key()] = &rr
+			}
+		}
+	}
+	out := make([]Race, 0, len(found))
+	for _, r := range found {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// analyzeTrace computes dynamic HB over one trace and reports
+// conflicting accesses of unordered events.
+func analyzeTrace(prog *ir.Program, tr *interp.Trace, opts Options) []Race {
+	n := len(tr.Events)
+	if n == 0 {
+		return nil
+	}
+	// hb[a][b]: event a happens-before event b.
+	hb := make([][]bool, n)
+	for i := range hb {
+		hb[i] = make([]bool, n)
+	}
+	var lastLC = -1
+	for _, ev := range tr.Events {
+		// Poster/enabler edges.
+		if ev.PostedBy >= 0 && ev.PostedBy < n {
+			hb[ev.PostedBy][ev.ID] = true
+		}
+		// Lifecycle events are totally ordered as executed.
+		if ev.Kind == interp.EvLifecycle {
+			if lastLC >= 0 {
+				hb[lastLC][ev.ID] = true
+			}
+			lastLC = ev.ID
+		}
+	}
+	// Transitive closure (Floyd–Warshall on the small event count).
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !hb[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if hb[k][j] {
+					hb[i][j] = true
+				}
+			}
+		}
+	}
+
+	guards := primitiveGuardFields(prog)
+	pointerGuards := pointerGuardFields(prog)
+
+	seen := map[string]bool{}
+	var out []Race
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if hb[i][j] || hb[j][i] {
+				continue
+			}
+			e1, e2 := tr.Events[i], tr.Events[j]
+			for _, a1 := range e1.Accesses {
+				for _, a2 := range e2.Accesses {
+					if a1.Field != a2.Field || a1.ObjID != a2.ObjID {
+						continue
+					}
+					if a1.Kind != interp.Write && a2.Kind != interp.Write {
+						continue
+					}
+					// Race coverage: primitive guard variables are
+					// recognized and filtered; pointer guards are not.
+					if !opts.DisableRaceCoverage && guards[a1.Field] && !a1.RefTyped {
+						continue
+					}
+					labels := [2]string{e1.Label, e2.Label}
+					if labels[0] > labels[1] {
+						labels[0], labels[1] = labels[1], labels[0]
+					}
+					r := Race{
+						Field:          a1.Field,
+						Labels:         labels,
+						RefTyped:       a1.RefTyped || a2.RefTyped,
+						PointerGuarded: pointerGuards[a1.Field],
+					}
+					if !seen[r.Key()] {
+						seen[r.Key()] = true
+						out = append(out, r)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// primitiveGuardFields finds fields loaded into variables that If
+// statements compare against int/bool constants — the guard shape
+// EventRacer's race coverage recognizes.
+func primitiveGuardFields(prog *ir.Program) map[string]bool {
+	return guardFieldsWhere(prog, func(op ir.Operand) bool {
+		return !op.IsVar && (op.Kind == ir.ConstInt || op.Kind == ir.ConstBool)
+	})
+}
+
+// pointerGuardFields finds fields guarded by null checks — the shape
+// race coverage misses.
+func pointerGuardFields(prog *ir.Program) map[string]bool {
+	return guardFieldsWhere(prog, func(op ir.Operand) bool {
+		return !op.IsVar && op.Kind == ir.ConstNull
+	})
+}
+
+func guardFieldsWhere(prog *ir.Program, match func(ir.Operand) bool) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range prog.Classes() {
+		for _, m := range c.MethodsSorted() {
+			loaded := map[string][]string{}
+			for _, blk := range m.Blocks {
+				for _, s := range blk.Stmts {
+					switch st := s.(type) {
+					case *ir.Load:
+						loaded[st.Dst] = append(loaded[st.Dst], st.Field)
+					case *ir.StaticLoad:
+						loaded[st.Dst] = append(loaded[st.Dst], st.Field)
+					case *ir.If:
+						if match(st.B) {
+							for _, f := range loaded[st.A] {
+								out[f] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package frontend
+
+// CallbackKind classifies callbacks the way the paper's Table 1
+// classifies actions.
+type CallbackKind int
+
+const (
+	// LifecycleCallback is an Activity/Service lifecycle method.
+	LifecycleCallback CallbackKind = iota
+	// GUICallback is a user-input handler (click, scroll, …).
+	GUICallback
+	// SystemCallback is invoked by the system (broadcasts, service
+	// connections).
+	SystemCallback
+	// TaskCallback is a thread/task/message body (run, doInBackground,
+	// onPostExecute, handleMessage).
+	TaskCallback
+)
+
+func (k CallbackKind) String() string {
+	return [...]string{"lifecycle", "gui", "system", "task"}[k]
+}
+
+// CallbackSpec describes one known framework callback: its method name,
+// the framework type that declares it, and its kind. This registry plays
+// the role of FlowDroid's predefined callback list in the paper.
+type CallbackSpec struct {
+	Method   string
+	Declarer string
+	Kind     CallbackKind
+}
+
+// Registry is the full callback list. Harness generation seeds its
+// fixpoint from it; anything not here is plain code.
+var Registry = []CallbackSpec{
+	{OnCreate, ActivityClass, LifecycleCallback},
+	{OnStart, ActivityClass, LifecycleCallback},
+	{OnResume, ActivityClass, LifecycleCallback},
+	{OnPause, ActivityClass, LifecycleCallback},
+	{OnStop, ActivityClass, LifecycleCallback},
+	{OnRestart, ActivityClass, LifecycleCallback},
+	{OnDestroy, ActivityClass, LifecycleCallback},
+
+	{OnClick, OnClickListener, GUICallback},
+	{OnLongClick, OnLongClickListener, GUICallback},
+	{OnScroll, OnScrollListener, GUICallback},
+	{OnItemClick, OnItemClickListener, GUICallback},
+	{OnTouch, OnTouchListener, GUICallback},
+
+	{OnReceive, ReceiverClass, SystemCallback},
+	{OnStartCommand, ServiceClass, SystemCallback},
+	{OnBind, ServiceClass, SystemCallback},
+	{OnServiceConnected, ServiceConnectionIface, SystemCallback},
+	{OnServiceDisconnected, ServiceConnectionIface, SystemCallback},
+
+	{Run, RunnableIface, TaskCallback},
+	{DoInBackground, AsyncTaskClass, TaskCallback},
+	{OnPreExecute, AsyncTaskClass, TaskCallback},
+	{OnPostExecute, AsyncTaskClass, TaskCallback},
+	{OnProgressUpdate, AsyncTaskClass, TaskCallback},
+	{HandleMessage, HandlerClass, TaskCallback},
+}
+
+// callbackByMethod indexes Registry.
+var callbackByMethod = func() map[string]CallbackSpec {
+	m := make(map[string]CallbackSpec, len(Registry))
+	for _, s := range Registry {
+		m[s.Method] = s
+	}
+	return m
+}()
+
+// LookupCallback returns the spec for a callback method name.
+func LookupCallback(method string) (CallbackSpec, bool) {
+	s, ok := callbackByMethod[method]
+	return s, ok
+}
+
+// LifecycleSequence is the activity lifecycle in invocation order for a
+// full visible pass: create → start → resume … pause → stop → destroy.
+// The harness generator mirrors it (Fig 4) and the SHBG lifecycle rule
+// (Fig 5) orders the duplicated onStart/onResume instances around the
+// pause/stop cycles.
+var LifecycleSequence = []string{OnCreate, OnStart, OnResume, OnPause, OnStop, OnDestroy}
+
+// IsLifecycleName reports whether method is an Activity lifecycle
+// callback name (including onRestart).
+func IsLifecycleName(method string) bool {
+	switch method {
+	case OnCreate, OnStart, OnResume, OnPause, OnStop, OnRestart, OnDestroy:
+		return true
+	}
+	return false
+}
+
+// LifecycleIndex returns the position of a lifecycle callback in the
+// canonical sequence, or -1.
+func LifecycleIndex(method string) int {
+	for i, m := range LifecycleSequence {
+		if m == method {
+			return i
+		}
+	}
+	if method == OnRestart {
+		return -1 // onRestart sits on the stop→start back edge
+	}
+	return -1
+}

@@ -1,0 +1,216 @@
+package frontend
+
+import (
+	"testing"
+
+	"sierra/internal/ir"
+)
+
+func newFrameworkProgram(t *testing.T) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram()
+	InstallFramework(p)
+	return p
+}
+
+func TestFrameworkHierarchy(t *testing.T) {
+	p := newFrameworkProgram(t)
+	cases := []struct {
+		sub, super string
+	}{
+		{ActivityClass, ContextClass},
+		{ServiceClass, ContextClass},
+		{ButtonClass, ViewClass},
+		{RecycleViewClass, ViewClass},
+		{ThreadClass, Object},
+		{HandlerClass, Object},
+	}
+	for _, c := range cases {
+		if !p.IsSubtype(c.sub, c.super) {
+			t.Errorf("%s should be subtype of %s", c.sub, c.super)
+		}
+	}
+	for _, cls := range p.Classes() {
+		if !cls.Framework {
+			t.Errorf("%s not marked Framework", cls.Name)
+		}
+	}
+}
+
+func TestFrameworkPredicates(t *testing.T) {
+	p := newFrameworkProgram(t)
+	act := ir.NewClass("MyActivity", ActivityClass)
+	task := ir.NewClass("MyTask", AsyncTaskClass)
+	run := ir.NewClass("MyRunnable", Object, RunnableIface)
+	thr := ir.NewClass("MyThread", ThreadClass)
+	h := ir.NewClass("MyHandler", HandlerClass)
+	rcv := ir.NewClass("MyReceiver", ReceiverClass)
+	for _, c := range []*ir.Class{act, task, run, thr, h, rcv} {
+		p.AddClass(c)
+	}
+	if !IsActivity(p, "MyActivity") || IsActivity(p, "MyTask") {
+		t.Error("IsActivity wrong")
+	}
+	if !IsAsyncTask(p, "MyTask") || IsAsyncTask(p, "MyRunnable") {
+		t.Error("IsAsyncTask wrong")
+	}
+	if !IsRunnable(p, "MyRunnable") {
+		t.Error("IsRunnable wrong")
+	}
+	if !IsThread(p, "MyThread") || IsThread(p, "MyHandler") {
+		t.Error("IsThread wrong")
+	}
+	if !IsHandler(p, "MyHandler") {
+		t.Error("IsHandler wrong")
+	}
+	if !IsReceiver(p, "MyReceiver") {
+		t.Error("IsReceiver wrong")
+	}
+	if !IsView(p, ButtonClass) {
+		t.Error("IsView wrong")
+	}
+}
+
+func TestThreadRunDelegatesToTarget(t *testing.T) {
+	p := newFrameworkProgram(t)
+	run := p.ResolveMethod(ThreadClass, Run)
+	if run == nil {
+		t.Fatal("Thread.run missing")
+	}
+	// Body loads this.target and virtually calls run on it.
+	foundCall := false
+	for _, b := range run.Blocks {
+		for _, s := range b.Stmts {
+			if inv, ok := s.(*ir.Invoke); ok && inv.Method == Run && inv.Class == RunnableIface {
+				foundCall = true
+			}
+		}
+	}
+	if !foundCall {
+		t.Error("Thread.run does not delegate to Runnable target")
+	}
+}
+
+func TestRecognizeSpawningAPIs(t *testing.T) {
+	p := newFrameworkProgram(t)
+	p.AddClass(ir.NewClass("MyTask", AsyncTaskClass))
+	p.AddClass(ir.NewClass("MyThread", ThreadClass))
+	p.AddClass(ir.NewClass("MyHandler", HandlerClass))
+	p.AddClass(ir.NewClass("MyActivity", ActivityClass))
+
+	cases := []struct {
+		inv    *ir.Invoke
+		kind   APIKind
+		target PostTarget
+	}{
+		{&ir.Invoke{Class: "MyTask", Method: Execute}, APIExecuteAsyncTask, TargetBackground},
+		{&ir.Invoke{Class: "MyThread", Method: Start}, APIThreadStart, TargetBackground},
+		{&ir.Invoke{Class: ExecutorIface, Method: Execute}, APIExecutorExecute, TargetBackground},
+		{&ir.Invoke{Class: "MyHandler", Method: Post}, APIPostRunnable, TargetHandlerLooper},
+		{&ir.Invoke{Class: "MyHandler", Method: PostDelayed}, APIPostRunnable, TargetHandlerLooper},
+		{&ir.Invoke{Class: ViewClass, Method: Post}, APIPostRunnable, TargetMain},
+		{&ir.Invoke{Class: "MyActivity", Method: RunOnUiThread}, APIPostRunnable, TargetMain},
+		{&ir.Invoke{Class: "MyHandler", Method: SendMessage}, APISendMessage, TargetHandlerLooper},
+		{&ir.Invoke{Class: "MyHandler", Method: SendEmptyMessage}, APISendMessage, TargetHandlerLooper},
+		{&ir.Invoke{Class: TimerClass, Method: Schedule}, APITimerSchedule, TargetBackground},
+	}
+	for _, c := range cases {
+		got, ok := Recognize(p, c.inv)
+		if !ok {
+			t.Errorf("Recognize(%v) not recognized", c.inv)
+			continue
+		}
+		if got.Kind != c.kind || got.Target != c.target {
+			t.Errorf("Recognize(%v) = kind %d target %d, want %d %d", c.inv, got.Kind, got.Target, c.kind, c.target)
+		}
+		if !got.IsActionSpawn() {
+			t.Errorf("Recognize(%v) should be an action spawn", c.inv)
+		}
+	}
+}
+
+func TestRecognizeNonSpawningAPIs(t *testing.T) {
+	p := newFrameworkProgram(t)
+	p.AddClass(ir.NewClass("MyActivity", ActivityClass))
+	cases := []struct {
+		inv  *ir.Invoke
+		kind APIKind
+	}{
+		{&ir.Invoke{Class: "MyActivity", Method: FindViewByID}, APIFindViewByID},
+		{&ir.Invoke{Class: "MyActivity", Method: RegisterReceiver}, APIRegisterReceiver},
+		{&ir.Invoke{Class: "MyActivity", Method: UnregisterReceiver}, APIUnregisterReceiver},
+		{&ir.Invoke{Class: "MyActivity", Method: StartService}, APIStartService},
+		{&ir.Invoke{Class: "MyActivity", Method: BindService}, APIBindService},
+		{&ir.Invoke{Class: "MyActivity", Method: StartActivity}, APIStartActivity},
+		{&ir.Invoke{Class: ButtonClass, Method: SetOnClickListener}, APISetListener},
+	}
+	for _, c := range cases {
+		got, ok := Recognize(p, c.inv)
+		if !ok || got.Kind != c.kind {
+			t.Errorf("Recognize(%v) = (%d, %t), want kind %d", c.inv, got.Kind, ok, c.kind)
+		}
+		if got.IsActionSpawn() {
+			t.Errorf("Recognize(%v) must not be an action spawn", c.inv)
+		}
+	}
+	if got, _ := Recognize(p, &ir.Invoke{Class: ButtonClass, Method: SetOnClickListener}); got.Callback != OnClick {
+		t.Errorf("setOnClickListener callback = %q, want onClick", got.Callback)
+	}
+}
+
+func TestRecognizeRejectsUnrelatedCalls(t *testing.T) {
+	p := newFrameworkProgram(t)
+	p.AddClass(ir.NewClass("Plain", Object))
+	unrelated := []*ir.Invoke{
+		{Class: "Plain", Method: "execute"},
+		{Class: "Plain", Method: "start"},
+		{Class: "Plain", Method: "post"},
+		{Class: "Plain", Method: "compute"},
+	}
+	for _, inv := range unrelated {
+		if got, ok := Recognize(p, inv); ok {
+			t.Errorf("Recognize(%v) = %+v, want unrecognized", inv, got)
+		}
+	}
+}
+
+func TestCallbackRegistry(t *testing.T) {
+	for _, name := range []string{OnCreate, OnClick, OnReceive, Run, HandleMessage, DoInBackground} {
+		if _, ok := LookupCallback(name); !ok {
+			t.Errorf("LookupCallback(%s) missing", name)
+		}
+	}
+	if _, ok := LookupCallback("notACallback"); ok {
+		t.Error("bogus callback found")
+	}
+	if spec, _ := LookupCallback(OnCreate); spec.Kind != LifecycleCallback {
+		t.Error("onCreate should be lifecycle")
+	}
+	if spec, _ := LookupCallback(OnClick); spec.Kind != GUICallback {
+		t.Error("onClick should be GUI")
+	}
+	if spec, _ := LookupCallback(OnReceive); spec.Kind != SystemCallback {
+		t.Error("onReceive should be system")
+	}
+	if spec, _ := LookupCallback(Run); spec.Kind != TaskCallback {
+		t.Error("run should be task")
+	}
+}
+
+func TestLifecycleSequenceOrder(t *testing.T) {
+	want := []string{"onCreate", "onStart", "onResume", "onPause", "onStop", "onDestroy"}
+	if len(LifecycleSequence) != len(want) {
+		t.Fatalf("sequence = %v", LifecycleSequence)
+	}
+	for i, m := range want {
+		if LifecycleSequence[i] != m {
+			t.Errorf("LifecycleSequence[%d] = %s, want %s", i, LifecycleSequence[i], m)
+		}
+		if LifecycleIndex(m) != i {
+			t.Errorf("LifecycleIndex(%s) = %d, want %d", m, LifecycleIndex(m), i)
+		}
+	}
+	if LifecycleIndex(OnRestart) != -1 {
+		t.Error("onRestart has no linear index")
+	}
+}

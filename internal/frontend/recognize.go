@@ -1,0 +1,152 @@
+package frontend
+
+import "sierra/internal/ir"
+
+// APIKind classifies framework API invocations with concurrency or GUI
+// semantics. Everything else is APINone and analyzed as a plain call.
+type APIKind int
+
+const (
+	APINone APIKind = iota
+	// APIFindViewByID resolves an inflated view by constant id.
+	APIFindViewByID
+	// APISetListener registers a GUI callback on a view.
+	APISetListener
+	// APIExecuteAsyncTask spawns doInBackground (background) and
+	// onPostExecute (main looper) actions.
+	APIExecuteAsyncTask
+	// APIThreadStart spawns the thread's run() as a background action.
+	APIThreadStart
+	// APIExecutorExecute runs the Runnable argument on a background pool.
+	APIExecutorExecute
+	// APIPostRunnable posts the Runnable argument to a looper.
+	APIPostRunnable
+	// APISendMessage posts a message; the receiver handler's
+	// handleMessage is the action.
+	APISendMessage
+	// APIRegisterReceiver / APIUnregisterReceiver gate onReceive.
+	APIRegisterReceiver
+	APIUnregisterReceiver
+	// APIStartService / APIBindService gate service callbacks.
+	APIStartService
+	APIBindService
+	// APIStartActivity transitions to another activity.
+	APIStartActivity
+	// APITimerSchedule runs a task on the timer's own thread.
+	APITimerSchedule
+)
+
+// PostTarget says which looper/thread a spawned action runs on.
+type PostTarget int
+
+const (
+	// TargetNone: not a posting API.
+	TargetNone PostTarget = iota
+	// TargetMain: the main (UI) looper.
+	TargetMain
+	// TargetHandlerLooper: the looper the receiver Handler is bound to.
+	TargetHandlerLooper
+	// TargetBackground: a fresh background thread (no looper atomicity
+	// with respect to the main thread).
+	TargetBackground
+)
+
+// APICall is the classification of one Invoke.
+type APICall struct {
+	Kind APIKind
+	// Target is where the spawned action runs, for spawning kinds.
+	Target PostTarget
+	// Callback is the callback method a SetListener call registers.
+	Callback string
+	// Delayed marks postDelayed/sendMessageDelayed/schedule.
+	Delayed bool
+	// RunnableArg / MessageArg / ListenerArg index into inv.Args for the
+	// relevant argument (-1 when absent).
+	Arg int
+}
+
+// Recognize classifies inv against the framework API surface. The check
+// is receiver-type based (static type, widened by subtype tests), which
+// mirrors how the paper's implementation hooks WALA call sites on
+// framework signatures.
+func Recognize(p *ir.Program, inv *ir.Invoke) (APICall, bool) {
+	cls := inv.Class
+	switch inv.Method {
+	case FindViewByID:
+		if p.IsSubtype(cls, ActivityClass) || p.IsSubtype(cls, ViewClass) {
+			return APICall{Kind: APIFindViewByID, Arg: 0}, true
+		}
+	case Execute:
+		if p.IsSubtype(cls, AsyncTaskClass) {
+			return APICall{Kind: APIExecuteAsyncTask, Target: TargetBackground, Arg: -1}, true
+		}
+		if p.IsSubtype(cls, ExecutorIface) {
+			return APICall{Kind: APIExecutorExecute, Target: TargetBackground, Arg: 0}, true
+		}
+	case Start:
+		if p.IsSubtype(cls, ThreadClass) {
+			return APICall{Kind: APIThreadStart, Target: TargetBackground, Arg: -1}, true
+		}
+	case Post, PostDelayed:
+		delayed := inv.Method == PostDelayed
+		if p.IsSubtype(cls, HandlerClass) {
+			return APICall{Kind: APIPostRunnable, Target: TargetHandlerLooper, Delayed: delayed, Arg: 0}, true
+		}
+		if p.IsSubtype(cls, ViewClass) || p.IsSubtype(cls, ActivityClass) {
+			return APICall{Kind: APIPostRunnable, Target: TargetMain, Delayed: delayed, Arg: 0}, true
+		}
+	case RunOnUiThread:
+		if p.IsSubtype(cls, ActivityClass) {
+			return APICall{Kind: APIPostRunnable, Target: TargetMain, Arg: 0}, true
+		}
+	case SendMessage, SendEmptyMessage, SendMessageDelayed:
+		if p.IsSubtype(cls, HandlerClass) {
+			return APICall{
+				Kind:    APISendMessage,
+				Target:  TargetHandlerLooper,
+				Delayed: inv.Method == SendMessageDelayed,
+				Arg:     0,
+			}, true
+		}
+	case RegisterReceiver:
+		if p.IsSubtype(cls, ContextClass) {
+			return APICall{Kind: APIRegisterReceiver, Arg: 0}, true
+		}
+	case UnregisterReceiver:
+		if p.IsSubtype(cls, ContextClass) {
+			return APICall{Kind: APIUnregisterReceiver, Arg: 0}, true
+		}
+	case StartService:
+		if p.IsSubtype(cls, ContextClass) {
+			return APICall{Kind: APIStartService, Arg: 0}, true
+		}
+	case BindService:
+		if p.IsSubtype(cls, ContextClass) {
+			return APICall{Kind: APIBindService, Arg: 1}, true
+		}
+	case StartActivity:
+		if p.IsSubtype(cls, ContextClass) {
+			return APICall{Kind: APIStartActivity, Arg: 0}, true
+		}
+	case Schedule:
+		if p.IsSubtype(cls, TimerClass) {
+			return APICall{Kind: APITimerSchedule, Target: TargetBackground, Delayed: true, Arg: 0}, true
+		}
+	}
+	if cb, ok := ListenerCallback(inv.Method); ok {
+		if p.IsSubtype(cls, ViewClass) {
+			return APICall{Kind: APISetListener, Callback: cb, Arg: 0}, true
+		}
+	}
+	return APICall{Kind: APINone, Arg: -1}, false
+}
+
+// IsActionSpawn reports whether the API creates a new action (SHBG node)
+// when invoked.
+func (c APICall) IsActionSpawn() bool {
+	switch c.Kind {
+	case APIExecuteAsyncTask, APIThreadStart, APIExecutorExecute, APIPostRunnable, APISendMessage, APITimerSchedule:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,386 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sierra/internal/apk"
+	"sierra/internal/frontend"
+	"sierra/internal/ir"
+)
+
+// AccessKind is read or write, mirroring the static analysis.
+type AccessKind int
+
+const (
+	// Read is a field load.
+	Read AccessKind = iota
+	// Write is a field store.
+	Write
+)
+
+// TraceAccess is one observed memory access.
+type TraceAccess struct {
+	ObjID int // -1 for statics
+	Class string
+	Field string
+	Kind  AccessKind
+	Pos   ir.Pos
+	// RefTyped marks accesses whose observed value is a reference (or
+	// null) — the pointer-check distinction EventRacer's race-coverage
+	// filter misses.
+	RefTyped bool
+}
+
+// EventKind classifies trace events.
+type EventKind int
+
+const (
+	// EvLifecycle is an Activity lifecycle callback.
+	EvLifecycle EventKind = iota
+	// EvGUI is a user-input callback.
+	EvGUI
+	// EvMain is a runnable/message executed on the main looper.
+	EvMain
+	// EvBackground is a background thread body.
+	EvBackground
+	// EvSystem is a broadcast/service callback.
+	EvSystem
+)
+
+// TraceEvent is one executed event with its accesses.
+type TraceEvent struct {
+	ID       int
+	Kind     EventKind
+	Label    string // e.g. "onCreate", "run[TimerRunnable]"
+	PostedBy int    // event id that posted/enabled this one; -1 otherwise
+	Delayed  bool
+	Accesses []TraceAccess
+}
+
+// Trace is one execution's event sequence, in execution order.
+type Trace struct {
+	Events []*TraceEvent
+}
+
+// pendingEvent is a not-yet-executed event.
+type pendingEvent struct {
+	kind     EventKind
+	label    string
+	postedBy int
+	delayed  bool
+	run      func(m *Machine)
+}
+
+// guiHandler is a registered listener awaiting user input.
+type guiHandler struct {
+	label     string
+	listener  *Object
+	callback  string
+	enabledBy int
+}
+
+// Machine simulates the Android runtime for one app.
+type Machine struct {
+	App  *apk.App
+	prog *ir.Program
+	rng  *rand.Rand
+
+	nextObjID int
+	statics   map[string]Value
+	viewObjs  map[int]*Object
+	looperObj *Object
+
+	activity *Object
+	// state is the activity lifecycle state: created, started, resumed,
+	// paused, stopped, destroyed.
+	state string
+
+	// queues holds one FIFO per looper object; loopers lists them in
+	// creation order (index 0 is the main looper).
+	queues    map[*Object][]*pendingEvent
+	loopers   []*Object
+	bgTasks   []*pendingEvent
+	gui       []*guiHandler
+	receivers []*guiHandler // registered broadcast receivers
+
+	trace   Trace
+	current *TraceEvent
+
+	// Steps guards against runaway interpretation.
+	steps    int
+	maxSteps int
+
+	// lastLifecycle remembers the event id of the last lifecycle event
+	// (each lifecycle step is enabled by the previous one).
+	lastLifecycle int
+}
+
+// NewMachine prepares a machine for the app's launcher activity.
+func NewMachine(app *apk.App, seed int64) *Machine {
+	m := &Machine{
+		App:           app,
+		prog:          app.Program,
+		rng:           rand.New(rand.NewSource(seed)),
+		statics:       map[string]Value{},
+		viewObjs:      map[int]*Object{},
+		maxSteps:      200000,
+		state:         "init",
+		lastLifecycle: -1,
+	}
+	m.looperObj = m.alloc(frontend.LooperClass)
+	m.queues = map[*Object][]*pendingEvent{}
+	m.loopers = []*Object{m.looperObj}
+	return m
+}
+
+// enqueue appends an event to a looper's FIFO, registering the looper on
+// first use (a HandlerThread's looper materializes when first posted to).
+func (m *Machine) enqueue(looper *Object, ev *pendingEvent) {
+	if looper == nil {
+		looper = m.looperObj
+	}
+	if _, known := m.queues[looper]; !known {
+		if looper != m.looperObj {
+			m.loopers = append(m.loopers, looper)
+		}
+	}
+	m.queues[looper] = append(m.queues[looper], ev)
+}
+
+// alloc creates a fresh heap object.
+func (m *Machine) alloc(cls string) *Object {
+	m.nextObjID++
+	return &Object{ID: m.nextObjID, Class: cls, Fields: map[string]Value{}}
+}
+
+// viewObj lazily materializes the inflated view for a resource id.
+func (m *Machine) viewObj(id int) *Object {
+	if o, ok := m.viewObjs[id]; ok {
+		return o
+	}
+	cls := frontend.ViewClass
+	for _, l := range m.App.Layouts {
+		for _, v := range l.AllViews() {
+			if v.ID == id {
+				cls = v.Type
+			}
+		}
+	}
+	o := m.alloc(cls)
+	o.Set("$viewID", IntV(int64(id)))
+	m.viewObjs[id] = o
+	return o
+}
+
+// record appends an access to the current event.
+func (m *Machine) record(a TraceAccess) {
+	if m.current != nil {
+		m.current.Accesses = append(m.current.Accesses, a)
+	}
+}
+
+// beginEvent starts a new trace event and returns it.
+func (m *Machine) beginEvent(kind EventKind, label string, postedBy int, delayed bool) *TraceEvent {
+	ev := &TraceEvent{
+		ID:       len(m.trace.Events),
+		Kind:     kind,
+		Label:    label,
+		PostedBy: postedBy,
+		Delayed:  delayed,
+	}
+	m.trace.Events = append(m.trace.Events, ev)
+	m.current = ev
+	return ev
+}
+
+// Trace returns the execution trace so far.
+func (m *Machine) Trace() *Trace { return &m.trace }
+
+// Run executes up to maxEvents events under the machine's random
+// scheduler, starting from activity launch, and returns the trace.
+func (m *Machine) Run(maxEvents int) *Trace {
+	launcher := m.App.Launcher()
+	if launcher == nil {
+		return &m.trace
+	}
+	m.activity = m.alloc(launcher.Class)
+
+	// onCreate always runs first.
+	m.fireLifecycle(frontend.OnCreate, "created")
+
+	for len(m.trace.Events) < maxEvents {
+		if !m.step() {
+			break
+		}
+	}
+	return &m.trace
+}
+
+// choice is one scheduler-eligible step.
+type choice struct {
+	describe string
+	fire     func()
+}
+
+// step picks and executes one event; false when nothing is runnable.
+func (m *Machine) step() bool {
+	var cs []choice
+
+	// Lifecycle transitions per the activity state machine.
+	for _, next := range m.lifecycleNext() {
+		cb, to := next[0], next[1]
+		cs = append(cs, choice{cb, func() { m.fireLifecycle(cb, to) }})
+	}
+	// GUI events require a resumed activity.
+	if m.state == "resumed" {
+		for _, h := range m.gui {
+			h := h
+			cs = append(cs, choice{"gui:" + h.label, func() { m.fireGUI(h) }})
+		}
+	}
+	// Looper queues: FIFO for non-delayed; delayed events may fire
+	// anytime. Each looper (main + HandlerThreads) progresses
+	// independently.
+	for _, lp := range m.loopers {
+		lp := lp
+		if i := m.firstUndelayed(lp); i >= 0 {
+			ev := m.queues[lp][i]
+			cs = append(cs, choice{"looper:" + ev.label, func() { m.fireQueued(lp, ev) }})
+		}
+		for _, ev := range m.queues[lp] {
+			if ev.delayed {
+				ev := ev
+				cs = append(cs, choice{"delayed:" + ev.label, func() { m.fireQueued(lp, ev) }})
+			}
+		}
+	}
+	// Background tasks run whenever the scheduler feels like it.
+	for _, ev := range m.bgTasks {
+		ev := ev
+		cs = append(cs, choice{"bg:" + ev.label, func() { m.fireBackground(ev) }})
+	}
+	// Broadcast delivery to registered (or manifest) receivers while the
+	// app is alive.
+	if m.state != "destroyed" {
+		for _, h := range m.receivers {
+			h := h
+			cs = append(cs, choice{"recv:" + h.label, func() { m.fireReceiver(h) }})
+		}
+	}
+
+	if len(cs) == 0 {
+		return false
+	}
+	cs[m.rng.Intn(len(cs))].fire()
+	return true
+}
+
+// lifecycleNext returns (callback, nextState) pairs allowed now.
+func (m *Machine) lifecycleNext() [][2]string {
+	switch m.state {
+	case "created":
+		return [][2]string{{frontend.OnStart, "started"}}
+	case "started":
+		return [][2]string{{frontend.OnResume, "resumed"}}
+	case "resumed":
+		return [][2]string{{frontend.OnPause, "paused"}}
+	case "paused":
+		return [][2]string{{frontend.OnResume, "resumed"}, {frontend.OnStop, "stopped"}}
+	case "stopped":
+		return [][2]string{{frontend.OnRestart, "restarted"}, {frontend.OnDestroy, "destroyed"}}
+	case "restarted":
+		return [][2]string{{frontend.OnStart, "started"}}
+	default:
+		return nil
+	}
+}
+
+func (m *Machine) fireLifecycle(cb, newState string) {
+	ev := m.beginEvent(EvLifecycle, cb, m.lastLifecycle, false)
+	m.lastLifecycle = ev.ID
+	m.state = newState
+	m.invokeOn(m.activity, cb)
+	m.current = nil
+}
+
+func (m *Machine) fireGUI(h *guiHandler) {
+	m.beginEvent(EvGUI, h.label, h.enabledBy, false)
+	args := make([]Value, m.paramCount(h.listener.Class, h.callback))
+	for i := range args {
+		args[i] = RefV(m.viewObj(0))
+	}
+	m.invoke(h.listener, h.callback, args)
+	m.current = nil
+}
+
+func (m *Machine) fireQueued(looper *Object, ev *pendingEvent) {
+	q := m.queues[looper]
+	for i, have := range q {
+		if have == ev {
+			m.queues[looper] = append(q[:i:i], q[i+1:]...)
+			break
+		}
+	}
+	m.beginEvent(ev.kind, ev.label, ev.postedBy, ev.delayed)
+	ev.run(m)
+	m.current = nil
+}
+
+func (m *Machine) fireBackground(ev *pendingEvent) {
+	for i, have := range m.bgTasks {
+		if have == ev {
+			m.bgTasks = append(m.bgTasks[:i], m.bgTasks[i+1:]...)
+			break
+		}
+	}
+	m.beginEvent(EvBackground, ev.label, ev.postedBy, false)
+	ev.run(m)
+	m.current = nil
+}
+
+func (m *Machine) fireReceiver(h *guiHandler) {
+	m.beginEvent(EvSystem, h.label, h.enabledBy, false)
+	intent := m.alloc(frontend.IntentClass)
+	intent.Set("extras", RefV(m.alloc(frontend.BundleClass)))
+	args := []Value{RefV(m.activity), RefV(intent)}
+	n := m.paramCount(h.listener.Class, h.callback)
+	if n < len(args) {
+		args = args[:n]
+	}
+	m.invoke(h.listener, h.callback, args)
+	m.current = nil
+}
+
+func (m *Machine) firstUndelayed(looper *Object) int {
+	for i, ev := range m.queues[looper] {
+		if !ev.delayed {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *Machine) paramCount(cls, method string) int {
+	if mm := m.prog.ResolveMethod(cls, method); mm != nil {
+		return len(mm.Params)
+	}
+	return 0
+}
+
+// curID returns the current event id (-1 outside events).
+func (m *Machine) curID() int {
+	if m.current == nil {
+		return -1
+	}
+	return m.current.ID
+}
+
+// invokeOn dispatches method name on the object if a body exists.
+func (m *Machine) invokeOn(o *Object, name string) {
+	m.invoke(o, name, nil)
+}
+
+func (m *Machine) String() string {
+	return fmt.Sprintf("machine[%s, %d events, state %s]", m.App.Name, len(m.trace.Events), m.state)
+}

@@ -1,0 +1,119 @@
+// Package interp executes IR apps on a simulated Android runtime: a main
+// looper with a FIFO message queue, background threads, a lifecycle
+// state machine, GUI input events, and broadcast delivery. A pluggable
+// randomized scheduler picks the next event, so different seeds explore
+// different event interleavings.
+//
+// It substitutes for the instrumented device/emulator execution that the
+// paper's dynamic baseline (EventRacer Android) observes: the dynamic
+// detector in package eventracer consumes the traces produced here, with
+// exactly the coverage limitation the paper contrasts against — it only
+// sees the schedules that were actually run.
+package interp
+
+import "fmt"
+
+// VKind discriminates runtime values.
+type VKind int
+
+const (
+	// VNull is the zero value for references (and uninitialized slots).
+	VNull VKind = iota
+	// VInt is a 64-bit integer.
+	VInt
+	// VBool is a boolean.
+	VBool
+	// VStr is a string.
+	VStr
+	// VRef references a heap object.
+	VRef
+)
+
+// Value is a runtime value.
+type Value struct {
+	Kind VKind
+	Int  int64
+	Bool bool
+	Str  string
+	Ref  *Object
+}
+
+// NullV is the null value.
+func NullV() Value { return Value{} }
+
+// IntV wraps an integer.
+func IntV(i int64) Value { return Value{Kind: VInt, Int: i} }
+
+// BoolV wraps a boolean.
+func BoolV(b bool) Value { return Value{Kind: VBool, Bool: b} }
+
+// StrV wraps a string.
+func StrV(s string) Value { return Value{Kind: VStr, Str: s} }
+
+// RefV wraps an object reference.
+func RefV(o *Object) Value {
+	if o == nil {
+		return NullV()
+	}
+	return Value{Kind: VRef, Ref: o}
+}
+
+// IsNull reports null-ness.
+func (v Value) IsNull() bool { return v.Kind == VNull || (v.Kind == VRef && v.Ref == nil) }
+
+func (v Value) String() string {
+	switch v.Kind {
+	case VInt:
+		return fmt.Sprintf("%d", v.Int)
+	case VBool:
+		return fmt.Sprintf("%t", v.Bool)
+	case VStr:
+		return fmt.Sprintf("%q", v.Str)
+	case VRef:
+		if v.Ref == nil {
+			return "null"
+		}
+		return fmt.Sprintf("%s@%d", v.Ref.Class, v.Ref.ID)
+	default:
+		return "null"
+	}
+}
+
+// Equal implements == on runtime values (reference identity for refs).
+func (v Value) Equal(o Value) bool {
+	if v.IsNull() && o.IsNull() {
+		return true
+	}
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case VInt:
+		return v.Int == o.Int
+	case VBool:
+		return v.Bool == o.Bool
+	case VStr:
+		return v.Str == o.Str
+	case VRef:
+		return v.Ref == o.Ref
+	}
+	return false
+}
+
+// Object is a heap object.
+type Object struct {
+	ID     int
+	Class  string
+	Fields map[string]Value
+}
+
+// Get reads a field (null when unset).
+func (o *Object) Get(f string) Value { return o.Fields[f] }
+
+// Set writes a field.
+func (o *Object) Set(f string, v Value) {
+	if o.Fields == nil {
+		o.Fields = map[string]Value{}
+	}
+	o.Fields[f] = v
+}

@@ -1,0 +1,350 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildDiamond(t *testing.T) (*Program, *Method) {
+	t.Helper()
+	p := NewProgram()
+	c := NewClass("A", "")
+	c.Fields = []string{"x"}
+	b := NewMethodBuilder("m", "p0")
+	b.Int("i", 1)
+	then, els := b.If("i", CmpEQ, IntOperand(1))
+	b.SetBlock(then)
+	b.Store("this", "x", "i")
+	join := b.GotoNew()
+	b.SetBlock(els)
+	b.Load("y", "this", "x")
+	b.Goto(join)
+	b.SetBlock(join)
+	b.Ret("")
+	c.AddMethod(b.Build())
+	p.AddClass(c)
+	p.Finalize()
+	return p, c.Methods["m"]
+}
+
+func TestBuilderDiamondShape(t *testing.T) {
+	_, m := buildDiamond(t)
+	if len(m.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(m.Blocks))
+	}
+	entry := m.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry succs = %v, want 2", entry.Succs)
+	}
+	if _, ok := entry.Stmts[len(entry.Stmts)-1].(*If); !ok {
+		t.Fatalf("entry does not end in If: %v", entry.Stmts)
+	}
+	// Both arms converge on the join block.
+	if m.Blocks[entry.Succs[0]].Succs[0] != m.Blocks[entry.Succs[1]].Succs[0] {
+		t.Fatalf("arms do not join: %v vs %v",
+			m.Blocks[entry.Succs[0]].Succs, m.Blocks[entry.Succs[1]].Succs)
+	}
+}
+
+func TestFinalizeAssignsPositionsAndSites(t *testing.T) {
+	p, m := buildDiamond(t)
+	if !p.Finalized() {
+		t.Fatal("program not finalized")
+	}
+	for bi, blk := range m.Blocks {
+		for si, s := range blk.Stmts {
+			pos := s.Pos()
+			if pos.Method != m || pos.Block != bi || pos.Index != si {
+				t.Fatalf("stmt %v pos = %v, want %s@%d.%d", s, pos, m.QualifiedName(), bi, si)
+			}
+			if !pos.Valid() {
+				t.Fatalf("pos %v not valid", pos)
+			}
+			if pos.Stmt() != s {
+				t.Fatalf("pos.Stmt mismatch at %v", pos)
+			}
+		}
+	}
+}
+
+func TestAllocSitesAreUnique(t *testing.T) {
+	p := NewProgram()
+	c := NewClass("A", "")
+	b := NewMethodBuilder("m")
+	b.NewObj("a", "A").NewObj("b", "A").NewObj("c", "A")
+	b.Ret("")
+	c.AddMethod(b.Build())
+	p.AddClass(c)
+	p.Finalize()
+	seen := map[int]bool{}
+	for _, blk := range c.Methods["m"].Blocks {
+		for _, s := range blk.Stmts {
+			if n, ok := s.(*New); ok {
+				if seen[n.Site] {
+					t.Fatalf("duplicate site %d", n.Site)
+				}
+				seen[n.Site] = true
+			}
+		}
+	}
+	if len(seen) != 3 || p.NumAllocSites() != 3 {
+		t.Fatalf("sites = %d (program says %d), want 3", len(seen), p.NumAllocSites())
+	}
+}
+
+func TestIsSubtypeWalksSupersAndInterfaces(t *testing.T) {
+	p := NewProgram()
+	p.AddClass(NewClass("Object", ""))
+	p.AddClass(NewClass("Runnable", "")) // interface modelled as a class
+	p.AddClass(NewClass("Activity", "Object"))
+	p.AddClass(NewClass("MyActivity", "Activity", "Runnable"))
+	p.AddClass(NewClass("SubActivity", "MyActivity"))
+
+	cases := []struct {
+		sub, super string
+		want       bool
+	}{
+		{"MyActivity", "Activity", true},
+		{"MyActivity", "Object", true},
+		{"MyActivity", "Runnable", true},
+		{"SubActivity", "Runnable", true}, // inherited interface
+		{"Activity", "MyActivity", false},
+		{"Activity", "Activity", true},
+		{"Nope", "Object", false},
+		{"Nope", "Nope", true}, // reflexive even for unknown names
+	}
+	for _, c := range cases {
+		if got := p.IsSubtype(c.sub, c.super); got != c.want {
+			t.Errorf("IsSubtype(%s, %s) = %t, want %t", c.sub, c.super, got, c.want)
+		}
+	}
+}
+
+func TestResolveMethodWalksSuperChain(t *testing.T) {
+	p := NewProgram()
+	base := NewClass("Base", "")
+	mb := NewMethodBuilder("foo")
+	mb.Ret("")
+	base.AddMethod(mb.Build())
+	derived := NewClass("Derived", "Base")
+	p.AddClass(base)
+	p.AddClass(derived)
+
+	if m := p.ResolveMethod("Derived", "foo"); m == nil || m.Class != base {
+		t.Fatalf("ResolveMethod(Derived, foo) = %v, want Base#foo", m)
+	}
+	if m := p.ResolveMethod("Derived", "bar"); m != nil {
+		t.Fatalf("ResolveMethod(Derived, bar) = %v, want nil", m)
+	}
+	// Override shadows the base implementation.
+	ob := NewMethodBuilder("foo")
+	ob.Ret("")
+	derived.AddMethod(ob.Build())
+	if m := p.ResolveMethod("Derived", "foo"); m == nil || m.Class != derived {
+		t.Fatalf("override not found: %v", m)
+	}
+}
+
+func TestSubclassesOf(t *testing.T) {
+	p := NewProgram()
+	p.AddClass(NewClass("Task", ""))
+	p.AddClass(NewClass("A", "Task"))
+	p.AddClass(NewClass("B", "A"))
+	p.AddClass(NewClass("C", ""))
+	subs := p.SubclassesOf("Task")
+	if len(subs) != 2 || subs[0].Name != "A" || subs[1].Name != "B" {
+		t.Fatalf("SubclassesOf(Task) = %v", subs)
+	}
+}
+
+func TestDuplicateClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate class")
+		}
+	}()
+	p := NewProgram()
+	p.AddClass(NewClass("A", ""))
+	p.AddClass(NewClass("A", ""))
+}
+
+func TestDuplicateMethodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate method")
+		}
+	}()
+	c := NewClass("A", "")
+	b1 := NewMethodBuilder("m")
+	b1.Ret("")
+	c.AddMethod(b1.Build())
+	b2 := NewMethodBuilder("m")
+	b2.Ret("")
+	c.AddMethod(b2.Build())
+}
+
+func TestBuildSealsOpenBlocks(t *testing.T) {
+	b := NewMethodBuilder("m")
+	b.Int("x", 5) // never returns explicitly
+	m := b.Build()
+	last := m.Blocks[0].Stmts[len(m.Blocks[0].Stmts)-1]
+	if _, ok := last.(*Return); !ok {
+		t.Fatalf("open block not sealed with Return: %v", last)
+	}
+}
+
+func TestEmitIntoSealedBlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic emitting into sealed block")
+		}
+	}()
+	b := NewMethodBuilder("m")
+	b.Ret("")
+	b.Int("x", 1) // current block already sealed by Ret
+}
+
+func TestIfStarUsesFreshVars(t *testing.T) {
+	b := NewMethodBuilder("m")
+	_, e1 := b.IfStar()
+	b.Ret("")
+	b.SetBlock(e1)
+	_, e2 := b.IfStar()
+	b.Ret("")
+	b.SetBlock(e2)
+	b.Ret("")
+	m := b.Build()
+	vars := map[string]bool{}
+	for _, blk := range m.Blocks {
+		for _, s := range blk.Stmts {
+			if iff, ok := s.(*If); ok {
+				if vars[iff.A] {
+					t.Fatalf("star var %s reused", iff.A)
+				}
+				vars[iff.A] = true
+			}
+		}
+	}
+	if len(vars) != 2 {
+		t.Fatalf("star vars = %d, want 2", len(vars))
+	}
+}
+
+func TestStmtStrings(t *testing.T) {
+	cases := []struct {
+		s    Stmt
+		want string
+	}{
+		{&New{Dst: "a", Class: "C"}, "a = new C"},
+		{&Const{Dst: "a", Kind: ConstInt, Int: 7}, "a = 7"},
+		{&Const{Dst: "a", Kind: ConstBool, Bool: true}, "a = true"},
+		{&Const{Dst: "a", Kind: ConstNull}, "a = null"},
+		{&Const{Dst: "a", Kind: ConstString, Str: "s"}, `a = "s"`},
+		{&Move{Dst: "a", Src: "b"}, "a = b"},
+		{&Load{Dst: "a", Obj: "o", Field: "f"}, "a = o.f"},
+		{&Store{Obj: "o", Field: "f", Src: "a"}, "o.f = a"},
+		{&StaticLoad{Dst: "a", Class: "C", Field: "f"}, "a = static C.f"},
+		{&StaticStore{Class: "C", Field: "f", Src: "a"}, "static C.f = a"},
+		{&BinOp{Dst: "a", Op: OpAdd, A: "b", B: "c"}, "a = b + c"},
+		{&Invoke{Kind: InvokeVirtual, Dst: "r", Recv: "o", Class: "C", Method: "m", Args: []string{"x"}}, "r = o.m(x)"},
+		{&Invoke{Kind: InvokeStatic, Class: "C", Method: "m"}, "C.m()"},
+		{&If{A: "x", Op: CmpNE, B: NullOperand()}, "if x != null"},
+		{&Return{}, "return"},
+		{&Return{Src: "v"}, "return v"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCmpOpNegate(t *testing.T) {
+	ops := []CmpOp{CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE}
+	for _, op := range ops {
+		if op.Negate().Negate() != op {
+			t.Errorf("double negate of %v = %v", op, op.Negate().Negate())
+		}
+		if op.Negate() == op {
+			t.Errorf("negate of %v is itself", op)
+		}
+	}
+}
+
+func TestProgramPrintRoundTripShape(t *testing.T) {
+	p, _ := buildDiamond(t)
+	out := Dump(p)
+	for _, want := range []string{"class A {", "field x", "method m(p0)", "if i == 1", "this.x = i"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMethodQualifiedNameAndCounts(t *testing.T) {
+	_, m := buildDiamond(t)
+	if m.QualifiedName() != "A#m" {
+		t.Fatalf("QualifiedName = %q", m.QualifiedName())
+	}
+	if m.NumStmts() < 5 {
+		t.Fatalf("NumStmts = %d, want >= 5", m.NumStmts())
+	}
+	if m.Entry() == nil || m.Entry().Index != 0 {
+		t.Fatalf("Entry = %v", m.Entry())
+	}
+}
+
+func TestValidateAcceptsBuilderOutput(t *testing.T) {
+	p, _ := buildDiamond(t)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("builder output rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsMalformedMethods(t *testing.T) {
+	mk := func(blocks []*Block) *Program {
+		p := NewProgram()
+		c := NewClass("Bad", "")
+		c.AddMethod(&Method{Name: "m", Blocks: blocks})
+		p.AddClass(c)
+		return p
+	}
+	cases := []struct {
+		name   string
+		blocks []*Block
+	}{
+		{"succ out of range", []*Block{{Stmts: []Stmt{&Return{}}, Succs: []int{3}}}},
+		{"if not terminator", []*Block{
+			{Stmts: []Stmt{&If{A: "x", Op: CmpEQ, B: IntOperand(0)}, &Return{}}, Succs: []int{0, 0}},
+		}},
+		{"if with one successor", []*Block{
+			{Stmts: []Stmt{&If{A: "x", Op: CmpEQ, B: IntOperand(0)}}, Succs: []int{0}},
+		}},
+		{"stmt after return", []*Block{
+			{Stmts: []Stmt{&Return{}, &Const{Dst: "x", Kind: ConstInt}}},
+		}},
+		{"return with successors", []*Block{
+			{Stmts: []Stmt{&Return{}}, Succs: []int{0}},
+		}},
+		{"multi-succ without if", []*Block{
+			{Stmts: []Stmt{&Const{Dst: "x", Kind: ConstInt}}, Succs: []int{0, 0}},
+		}},
+		{"empty multi-succ block", []*Block{
+			{Succs: []int{0, 0}},
+		}},
+	}
+	for _, c := range cases {
+		if err := mk(c.blocks).Validate(); err == nil {
+			t.Errorf("%s: not rejected", c.name)
+		}
+	}
+	// Framework classes are exempt (trusted construction).
+	p := NewProgram()
+	fw := NewClass("FW", "")
+	fw.Framework = true
+	fw.AddMethod(&Method{Name: "m", Blocks: []*Block{{Succs: []int{9}}}})
+	p.AddClass(fw)
+	if err := p.Validate(); err != nil {
+		t.Errorf("framework class should be exempt: %v", err)
+	}
+}

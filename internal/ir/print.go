@@ -1,0 +1,96 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Fprint writes a stable textual rendering of the program: the same format
+// the parser package reads back. Framework classes are skipped unless
+// includeFramework is set — app dumps usually only want app code.
+func Fprint(w io.Writer, p *Program, includeFramework bool) {
+	for _, c := range p.Classes() {
+		if c.Framework && !includeFramework {
+			continue
+		}
+		printClass(w, c)
+	}
+}
+
+// String renders a single class.
+func (c *Class) String() string {
+	var b strings.Builder
+	printClass(&b, c)
+	return b.String()
+}
+
+func printClass(w io.Writer, c *Class) {
+	fmt.Fprintf(w, "class %s", c.Name)
+	if c.Super != "" {
+		fmt.Fprintf(w, " extends %s", c.Super)
+	}
+	if len(c.Interfaces) > 0 {
+		ifs := append([]string(nil), c.Interfaces...)
+		sort.Strings(ifs)
+		fmt.Fprintf(w, " implements %s", strings.Join(ifs, ", "))
+	}
+	if c.Library {
+		fmt.Fprint(w, " library")
+	}
+	fmt.Fprintln(w, " {")
+	for _, f := range c.Fields {
+		fmt.Fprintf(w, "  field %s\n", f)
+	}
+	for _, m := range c.MethodsSorted() {
+		printMethod(w, m)
+	}
+	fmt.Fprintln(w, "}")
+}
+
+func printMethod(w io.Writer, m *Method) {
+	kw := "method"
+	if m.Static {
+		kw = "static method"
+	}
+	fmt.Fprintf(w, "  %s %s(%s) {\n", kw, m.Name, strings.Join(m.Params, ", "))
+	for _, blk := range m.Blocks {
+		fmt.Fprintf(w, "   b%d:", blk.Index)
+		if len(blk.Succs) > 0 {
+			succ := make([]string, len(blk.Succs))
+			for i, s := range blk.Succs {
+				succ[i] = fmt.Sprintf("b%d", s)
+			}
+			fmt.Fprintf(w, "  -> %s", strings.Join(succ, ", "))
+		}
+		fmt.Fprintln(w)
+		for _, s := range blk.Stmts {
+			fmt.Fprintf(w, "      %s\n", s)
+		}
+	}
+	fmt.Fprintln(w, "  }")
+}
+
+// Dump renders the whole program including framework classes — a
+// debugging aid.
+func Dump(p *Program) string {
+	var b strings.Builder
+	Fprint(&b, p, true)
+	return b.String()
+}
+
+// ConstIntDefs returns every integer constant assigned to variable v
+// anywhere in m (flow-insensitive). Used to resolve constant view ids at
+// findViewById sites and constant message codes at sendMessage sites.
+func ConstIntDefs(m *Method, v string) []int64 {
+	var out []int64
+	for _, blk := range m.Blocks {
+		for _, s := range blk.Stmts {
+			if c, ok := s.(*Const); ok && c.Dst == v && c.Kind == ConstInt {
+				out = append(out, c.Int)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,507 @@
+package pointer
+
+import (
+	"fmt"
+	"sort"
+
+	"sierra/internal/frontend"
+	"sierra/internal/ir"
+)
+
+// Entry is an analysis entrypoint: a method instance with seeded
+// receiver/parameter points-to sets. Harness mains and action roots are
+// entries.
+type Entry struct {
+	Method *ir.Method
+	Ctx    Context
+	// This seeds the receiver variable.
+	This []Obj
+	// ParamObjs seeds parameters with objects directly.
+	ParamObjs map[string][]Obj
+	// ParamFrom installs persistent copy constraints param ⊆ src, e.g.
+	// handleMessage's msg parameter from the sendMessage argument.
+	ParamFrom map[string]VarKey
+}
+
+// Seed is a cross-context copy constraint: the points-to set of
+// (SrcMethod, SrcVar) under every context flows into (DstMethod, DstVar)
+// under every context. Harness GUI receiver variables are seeded this
+// way from listener-registration arguments.
+type Seed struct {
+	SrcMethod *ir.Method
+	SrcVar    string
+	DstMethod *ir.Method
+	DstVar    string
+}
+
+// Event is a recognized framework API call observed during the analysis,
+// with the current points-to sets of its receiver and arguments. The
+// OnEvent hook turns spawn events into new analysis entries (action
+// roots) and records HB bookkeeping.
+type Event struct {
+	Caller MKey
+	Pos    ir.Pos
+	Inv    *ir.Invoke
+	API    frontend.APICall
+	Recv   []Obj
+	Args   [][]Obj
+	// FieldObjs reads the current points-to set of an object's field —
+	// e.g. resolving an Intent's target activity at startActivity sites.
+	FieldObjs func(Obj, string) []Obj
+}
+
+// Config parameterizes Analyze.
+type Config struct {
+	Prog   *ir.Program
+	Policy Policy
+	// Entries are the initial roots (typically the harness mains).
+	Entries []Entry
+	// Seeds are cross-context copy constraints.
+	Seeds []Seed
+	// Views maps layout view ids to view classes for findViewById.
+	Views map[int]string
+	// OnEvent, when set, is consulted for every recognized framework API
+	// call each pass. It must be idempotent: the engine re-fires events
+	// as points-to sets grow.
+	OnEvent func(Event) []Entry
+	// ActionAt maps a call site to the action id entered when the callee
+	// runs (harness lifecycle/GUI sites). Under action-sensitive
+	// policies the callee context's Action is set accordingly.
+	ActionAt func(ir.Pos) (int, bool)
+	// MaxPasses bounds the global fixpoint (safety valve; 0 = default).
+	MaxPasses int
+}
+
+// Analyze runs the points-to analysis to fixpoint and returns the result
+// (points-to sets plus the context-sensitive call graph).
+func Analyze(cfg Config) *Result {
+	if cfg.Policy == nil {
+		cfg.Policy = ActionSensitivePolicy{K: 2}
+	}
+	if cfg.MaxPasses == 0 {
+		cfg.MaxPasses = 200
+	}
+	a := &analyzer{
+		cfg: cfg,
+		res: &Result{
+			Policy:    cfg.Policy,
+			pts:       make(map[VarKey]ObjSet),
+			fpts:      make(map[FieldKey]ObjSet),
+			spts:      make(map[string]ObjSet),
+			instances: make(map[MKey]bool),
+			callees:   make(map[siteKey][]MKey),
+		},
+		copies: make(map[VarKey]map[VarKey]bool),
+	}
+	for _, e := range cfg.Entries {
+		a.install(e, true)
+	}
+	for pass := 0; pass < cfg.MaxPasses; pass++ {
+		a.res.passes = pass + 1
+		changed := false
+		// Statements of every discovered instance (order-stable: the
+		// slice only grows, and growth order is deterministic).
+		for i := 0; i < len(a.order); i++ {
+			if a.processInstance(a.order[i]) {
+				changed = true
+			}
+		}
+		if a.applyCopies() {
+			changed = true
+		}
+		if a.applySeeds() {
+			changed = true
+		}
+		if a.fireEvents() {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return a.res
+}
+
+// siteKey identifies a call site instance.
+type siteKey struct {
+	Caller MKey
+	Pos    ir.Pos
+}
+
+type analyzer struct {
+	cfg    Config
+	res    *Result
+	order  []MKey // instance worklist in discovery order
+	copies map[VarKey]map[VarKey]bool
+}
+
+// install registers an entry's method instance and seeds, reporting
+// whether anything new was learned.
+func (a *analyzer) install(e Entry, isRoot bool) bool {
+	if e.Method == nil {
+		return false
+	}
+	changed := false
+	mk := MKey{M: e.Method, Ctx: e.Ctx}
+	if !a.res.instances[mk] {
+		a.res.instances[mk] = true
+		a.order = append(a.order, mk)
+		if isRoot {
+			a.res.entryKeys = append(a.res.entryKeys, mk)
+		}
+		changed = true
+	}
+	thisKey := VarKey{M: e.Method, Ctx: e.Ctx, Var: "this"}
+	for _, o := range e.This {
+		if a.pts(thisKey).Add(o) {
+			changed = true
+		}
+	}
+	for v, objs := range e.ParamObjs {
+		k := VarKey{M: e.Method, Ctx: e.Ctx, Var: v}
+		for _, o := range objs {
+			if a.pts(k).Add(o) {
+				changed = true
+			}
+		}
+	}
+	for v, src := range e.ParamFrom {
+		dst := VarKey{M: e.Method, Ctx: e.Ctx, Var: v}
+		if !a.copies[dst][src] {
+			a.addCopy(dst, src)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (a *analyzer) pts(k VarKey) ObjSet {
+	s := a.res.pts[k]
+	if s == nil {
+		s = make(ObjSet)
+		a.res.pts[k] = s
+	}
+	return s
+}
+
+func (a *analyzer) fpts(k FieldKey) ObjSet {
+	s := a.res.fpts[k]
+	if s == nil {
+		s = make(ObjSet)
+		a.res.fpts[k] = s
+	}
+	return s
+}
+
+func (a *analyzer) spts(cls, field string) ObjSet {
+	key := cls + "." + field
+	s := a.res.spts[key]
+	if s == nil {
+		s = make(ObjSet)
+		a.res.spts[key] = s
+	}
+	return s
+}
+
+func (a *analyzer) addCopy(dst, src VarKey) {
+	m := a.copies[dst]
+	if m == nil {
+		m = make(map[VarKey]bool)
+		a.copies[dst] = m
+	}
+	m[src] = true
+}
+
+// processInstance applies all statement transfer functions of one method
+// instance, returning whether any points-to set grew.
+func (a *analyzer) processInstance(mk MKey) bool {
+	changed := false
+	for _, blk := range mk.M.Blocks {
+		for _, s := range blk.Stmts {
+			if a.transfer(mk, s) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (a *analyzer) transfer(mk MKey, s ir.Stmt) bool {
+	key := func(v string) VarKey { return VarKey{M: mk.M, Ctx: mk.Ctx, Var: v} }
+	switch st := s.(type) {
+	case *ir.New:
+		o := Obj{Site: st.Site, Ctx: a.cfg.Policy.HeapCtx(mk.Ctx), Class: st.Class}
+		return a.pts(key(st.Dst)).Add(o)
+	case *ir.Move:
+		return a.pts(key(st.Dst)).AddAll(a.pts(key(st.Src)))
+	case *ir.Load:
+		changed := false
+		for _, o := range a.pts(key(st.Obj)).Slice() {
+			if a.pts(key(st.Dst)).AddAll(a.fpts(FieldKey{Obj: o, Field: st.Field})) {
+				changed = true
+			}
+		}
+		return changed
+	case *ir.Store:
+		changed := false
+		src := a.pts(key(st.Src))
+		for _, o := range a.pts(key(st.Obj)).Slice() {
+			if a.fpts(FieldKey{Obj: o, Field: st.Field}).AddAll(src) {
+				changed = true
+			}
+		}
+		return changed
+	case *ir.StaticLoad:
+		return a.pts(key(st.Dst)).AddAll(a.spts(st.Class, st.Field))
+	case *ir.StaticStore:
+		return a.spts(st.Class, st.Field).AddAll(a.pts(key(st.Src)))
+	case *ir.Return:
+		if st.Src == "" {
+			return false
+		}
+		return a.pts(key(retVar)).AddAll(a.pts(key(st.Src)))
+	case *ir.Invoke:
+		return a.invoke(mk, st)
+	default:
+		return false
+	}
+}
+
+// invoke handles dispatch, special framework semantics, and call-edge
+// recording.
+func (a *analyzer) invoke(mk MKey, inv *ir.Invoke) bool {
+	key := func(v string) VarKey { return VarKey{M: mk.M, Ctx: mk.Ctx, Var: v} }
+	pos := inv.Pos()
+	changed := false
+
+	if api, ok := frontend.Recognize(a.cfg.Prog, inv); ok {
+		switch api.Kind {
+		case frontend.APIFindViewByID:
+			if inv.Dst != "" {
+				for _, o := range a.viewObjs(mk.M, inv.Args[0]) {
+					if a.pts(key(inv.Dst)).Add(o) {
+						changed = true
+					}
+				}
+			}
+			return changed
+		default:
+			// Spawning and registration APIs are framework stubs whose
+			// effects the OnEvent hook reifies; no body to dispatch into.
+			return false
+		}
+	}
+	// Looper accessors return the main looper singleton (background
+	// loopers are modelled per-thread by the actions layer).
+	if inv.Class == frontend.LooperClass &&
+		(inv.Method == frontend.GetMainLooper || inv.Method == frontend.MyLooper) {
+		if inv.Dst != "" {
+			return a.pts(key(inv.Dst)).Add(MainLooperObj(frontend.LooperClass))
+		}
+		return false
+	}
+
+	site := fmt.Sprintf("%s@%d.%d", mk.M.QualifiedName(), pos.Block, pos.Index)
+	bind := func(target *ir.Method, ctx Context, recv *Obj) {
+		if target == nil {
+			return
+		}
+		calleeKey := MKey{M: target, Ctx: ctx}
+		if !a.res.instances[calleeKey] {
+			a.res.instances[calleeKey] = true
+			a.order = append(a.order, calleeKey)
+			changed = true
+		}
+		a.recordEdge(siteKey{Caller: mk, Pos: pos}, calleeKey)
+		if recv != nil {
+			if a.pts(VarKey{M: target, Ctx: ctx, Var: "this"}).Add(*recv) {
+				changed = true
+			}
+		}
+		n := len(inv.Args)
+		if len(target.Params) < n {
+			n = len(target.Params)
+		}
+		for i := 0; i < n; i++ {
+			a.addCopy(VarKey{M: target, Ctx: ctx, Var: target.Params[i]}, key(inv.Args[i]))
+		}
+		if inv.Dst != "" {
+			a.addCopy(key(inv.Dst), VarKey{M: target, Ctx: ctx, Var: retVar})
+		}
+	}
+
+	switch inv.Kind {
+	case ir.InvokeStatic:
+		target := a.cfg.Prog.ResolveMethod(inv.Class, inv.Method)
+		ctx := a.cfg.Policy.CalleeContext(mk.Ctx, site, inv.Kind, Obj{}, false)
+		ctx = a.maybeEnterAction(ctx, pos)
+		bind(target, ctx, nil)
+	case ir.InvokeSpecial:
+		target := a.cfg.Prog.ResolveMethod(inv.Class, inv.Method)
+		for _, o := range a.pts(key(inv.Recv)).Slice() {
+			o := o
+			ctx := a.cfg.Policy.CalleeContext(mk.Ctx, site, inv.Kind, o, true)
+			ctx = a.maybeEnterAction(ctx, pos)
+			bind(target, ctx, &o)
+		}
+	default: // virtual
+		for _, o := range a.pts(key(inv.Recv)).Slice() {
+			o := o
+			target := a.cfg.Prog.ResolveMethod(o.Class, inv.Method)
+			ctx := a.cfg.Policy.CalleeContext(mk.Ctx, site, inv.Kind, o, true)
+			ctx = a.maybeEnterAction(ctx, pos)
+			bind(target, ctx, &o)
+		}
+	}
+	return changed
+}
+
+// maybeEnterAction switches the context's action at harness action-entry
+// sites (only meaningful under action-sensitive policies).
+func (a *analyzer) maybeEnterAction(ctx Context, pos ir.Pos) Context {
+	if a.cfg.ActionAt == nil {
+		return ctx
+	}
+	if aid, ok := a.cfg.ActionAt(pos); ok {
+		if a.cfg.Policy.ActionSensitive() {
+			ctx.Action = aid
+		} else {
+			ctx.Action = NoAction
+		}
+	}
+	return ctx
+}
+
+// viewObjs resolves findViewById's result objects: the views whose ids
+// the argument can hold, or every known view when the id is not a
+// constant (the sound fallback).
+func (a *analyzer) viewObjs(m *ir.Method, arg string) []Obj {
+	ids := ir.ConstIntDefs(m, arg)
+	var out []Obj
+	if len(ids) > 0 {
+		for _, id := range ids {
+			if cls, ok := a.cfg.Views[int(id)]; ok {
+				out = append(out, ViewObj(int(id), cls))
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+	keys := make([]int, 0, len(a.cfg.Views))
+	for id := range a.cfg.Views {
+		keys = append(keys, id)
+	}
+	sort.Ints(keys)
+	for _, id := range keys {
+		out = append(out, ViewObj(id, a.cfg.Views[id]))
+	}
+	return out
+}
+
+func (a *analyzer) recordEdge(sk siteKey, callee MKey) {
+	for _, have := range a.res.callees[sk] {
+		if have == callee {
+			return
+		}
+	}
+	a.res.callees[sk] = append(a.res.callees[sk], callee)
+}
+
+// applyCopies propagates all persistent copy constraints once.
+func (a *analyzer) applyCopies() bool {
+	changed := false
+	dsts := make([]VarKey, 0, len(a.copies))
+	for dst := range a.copies {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i].String() < dsts[j].String() })
+	for _, dst := range dsts {
+		srcs := make([]VarKey, 0, len(a.copies[dst]))
+		for src := range a.copies[dst] {
+			srcs = append(srcs, src)
+		}
+		sort.Slice(srcs, func(i, j int) bool { return srcs[i].String() < srcs[j].String() })
+		for _, src := range srcs {
+			if a.pts(dst).AddAll(a.pts(src)) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// applySeeds propagates the cross-context seeds once.
+func (a *analyzer) applySeeds() bool {
+	changed := false
+	for _, seed := range a.cfg.Seeds {
+		var union ObjSet
+		for _, mk := range a.order {
+			if mk.M != seed.SrcMethod {
+				continue
+			}
+			src := a.res.pts[VarKey{M: mk.M, Ctx: mk.Ctx, Var: seed.SrcVar}]
+			if len(src) == 0 {
+				continue
+			}
+			if union == nil {
+				union = make(ObjSet)
+			}
+			union.AddAll(src)
+		}
+		if union == nil {
+			continue
+		}
+		for _, mk := range a.order {
+			if mk.M != seed.DstMethod {
+				continue
+			}
+			if a.pts(VarKey{M: mk.M, Ctx: mk.Ctx, Var: seed.DstVar}).AddAll(union) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// fireEvents re-runs the OnEvent hook over every recognized API call
+// site with current points-to information and installs returned entries.
+func (a *analyzer) fireEvents() bool {
+	if a.cfg.OnEvent == nil {
+		return false
+	}
+	changed := false
+	for i := 0; i < len(a.order); i++ {
+		mk := a.order[i]
+		for _, blk := range mk.M.Blocks {
+			for _, s := range blk.Stmts {
+				inv, ok := s.(*ir.Invoke)
+				if !ok {
+					continue
+				}
+				api, ok := frontend.Recognize(a.cfg.Prog, inv)
+				if !ok || api.Kind == frontend.APIFindViewByID || api.Kind == frontend.APISetListener {
+					continue
+				}
+				ev := Event{
+					Caller: mk, Pos: inv.Pos(), Inv: inv, API: api,
+					FieldObjs: func(o Obj, field string) []Obj {
+						return a.fpts(FieldKey{Obj: o, Field: field}).Slice()
+					},
+				}
+				if inv.Recv != "" {
+					ev.Recv = a.pts(VarKey{M: mk.M, Ctx: mk.Ctx, Var: inv.Recv}).Slice()
+				}
+				for _, arg := range inv.Args {
+					ev.Args = append(ev.Args, a.pts(VarKey{M: mk.M, Ctx: mk.Ctx, Var: arg}).Slice())
+				}
+				for _, e := range a.cfg.OnEvent(ev) {
+					if a.install(e, true) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return changed
+}

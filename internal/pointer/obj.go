@@ -1,0 +1,220 @@
+// Package pointer implements a flow-insensitive, context-sensitive
+// inclusion-based (Andersen-style) points-to analysis over the IR, with
+// on-the-fly call-graph construction.
+//
+// It substitutes for WALA's pointer analysis in the paper's toolchain and
+// adds the paper's contribution on top: a pluggable context policy
+// including the novel action-sensitive abstraction (§3.3) and the
+// InflatedViewContext for findViewById-returned views.
+package pointer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sierra/internal/ir"
+)
+
+// Obj is an abstract heap object.
+type Obj struct {
+	// Site is the allocation-site id, or a negative tag for special
+	// objects: SiteView for inflated views, SiteMainLooper for the main
+	// thread's looper.
+	Site int
+	// Ctx is the heap context chosen by the policy at allocation.
+	Ctx string
+	// ViewID is the layout resource id for inflated views (Site ==
+	// SiteView). Two views with the same id are the same object no
+	// matter where findViewById was called — the InflatedViewContext.
+	ViewID int
+	// Class is the object's dynamic class.
+	Class string
+}
+
+// Special Site tags.
+const (
+	// SiteView marks inflated view objects keyed by ViewID.
+	SiteView = -1
+	// SiteMainLooper is the singleton main-thread looper.
+	SiteMainLooper = -2
+)
+
+// ViewObj constructs the abstract object for an inflated view.
+func ViewObj(id int, class string) Obj {
+	return Obj{Site: SiteView, ViewID: id, Class: class}
+}
+
+// MainLooperObj is the singleton abstract object for the main looper.
+func MainLooperObj(looperClass string) Obj {
+	return Obj{Site: SiteMainLooper, Class: looperClass}
+}
+
+// IsView reports whether the object is an inflated view.
+func (o Obj) IsView() bool { return o.Site == SiteView }
+
+func (o Obj) String() string {
+	switch o.Site {
+	case SiteView:
+		return fmt.Sprintf("view#%d(%s)", o.ViewID, o.Class)
+	case SiteMainLooper:
+		return "main-looper"
+	default:
+		if o.Ctx == "" {
+			return fmt.Sprintf("o%d(%s)", o.Site, o.Class)
+		}
+		return fmt.Sprintf("o%d[%s](%s)", o.Site, o.Ctx, o.Class)
+	}
+}
+
+// id returns the object-identity element used in k-obj context strings.
+func (o Obj) id() string {
+	if o.Site == SiteView {
+		return fmt.Sprintf("v%d", o.ViewID)
+	}
+	return fmt.Sprintf("%d", o.Site)
+}
+
+// Context is a method-analysis context: the action the code runs in (for
+// action-sensitive policies; NoAction otherwise), the k-obj receiver
+// chain, and the k-cfa call string.
+type Context struct {
+	Action int
+	Objs   string
+	Calls  string
+}
+
+// NoAction is the Action value of contexts outside any action (or under
+// non-action-sensitive policies).
+const NoAction = -1
+
+// EmptyContext is the root context.
+var EmptyContext = Context{Action: NoAction}
+
+func (c Context) String() string {
+	parts := []string{}
+	if c.Action != NoAction {
+		parts = append(parts, fmt.Sprintf("A%d", c.Action))
+	}
+	if c.Objs != "" {
+		parts = append(parts, "o:"+c.Objs)
+	}
+	if c.Calls != "" {
+		parts = append(parts, "c:"+c.Calls)
+	}
+	if len(parts) == 0 {
+		return "ε"
+	}
+	return strings.Join(parts, "|")
+}
+
+// push prepends elem to a comma-joined bounded string, keeping at most k
+// elements — the k-limiting all context policies share.
+func push(chain, elem string, k int) string {
+	if k <= 0 {
+		return ""
+	}
+	if chain == "" {
+		return elem
+	}
+	parts := strings.SplitN(chain, ",", k)
+	if len(parts) >= k {
+		parts = parts[:k-1]
+	}
+	if len(parts) == 0 {
+		return elem
+	}
+	return elem + "," + strings.Join(parts, ",")
+}
+
+// ObjSet is a set of abstract objects.
+type ObjSet map[Obj]struct{}
+
+// Add inserts o, reporting whether it was new.
+func (s ObjSet) Add(o Obj) bool {
+	if _, ok := s[o]; ok {
+		return false
+	}
+	s[o] = struct{}{}
+	return true
+}
+
+// AddAll inserts all of other, reporting whether anything was new.
+func (s ObjSet) AddAll(other ObjSet) bool {
+	changed := false
+	for o := range other {
+		if s.Add(o) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Contains reports membership.
+func (s ObjSet) Contains(o Obj) bool { _, ok := s[o]; return ok }
+
+// Intersects reports whether the sets share an element.
+func (s ObjSet) Intersects(other ObjSet) bool {
+	a, b := s, other
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for o := range a {
+		if _, ok := b[o]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Slice returns the objects in deterministic order.
+func (s ObjSet) Slice() []Obj {
+	out := make([]Obj, 0, len(s))
+	for o := range s {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		if a.ViewID != b.ViewID {
+			return a.ViewID < b.ViewID
+		}
+		if a.Ctx != b.Ctx {
+			return a.Ctx < b.Ctx
+		}
+		return a.Class < b.Class
+	})
+	return out
+}
+
+// VarKey identifies a context-sensitive variable.
+type VarKey struct {
+	M   *ir.Method
+	Ctx Context
+	Var string
+}
+
+func (k VarKey) String() string {
+	return fmt.Sprintf("%s<%s>:%s", k.M.QualifiedName(), k.Ctx, k.Var)
+}
+
+// MKey identifies a method instance (a call-graph node).
+type MKey struct {
+	M   *ir.Method
+	Ctx Context
+}
+
+func (k MKey) String() string {
+	return fmt.Sprintf("%s<%s>", k.M.QualifiedName(), k.Ctx)
+}
+
+// FieldKey identifies an abstract object's field.
+type FieldKey struct {
+	Obj   Obj
+	Field string
+}
+
+// retVar is the synthetic local holding a method's return value.
+const retVar = "$ret"

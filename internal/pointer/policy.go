@@ -1,0 +1,149 @@
+package pointer
+
+import (
+	"fmt"
+
+	"sierra/internal/ir"
+)
+
+// Policy is a context-sensitivity policy (the paper's §3.3 knob). It
+// decides the context a callee is analyzed under and the heap context of
+// allocations.
+type Policy interface {
+	// Name identifies the policy in reports and benchmarks.
+	Name() string
+	// ActionSensitive reports whether action ids participate in contexts;
+	// when false the engine keeps Action = NoAction everywhere.
+	ActionSensitive() bool
+	// CalleeContext returns the analysis context for a callee invoked at
+	// call site `site` from `caller`. For virtual/special dispatch recv
+	// is the receiver object (hasRecv true); static calls have none.
+	CalleeContext(caller Context, site string, kind ir.InvokeKind, recv Obj, hasRecv bool) Context
+	// HeapCtx returns the heap context for an allocation under ctx.
+	HeapCtx(ctx Context) string
+}
+
+// Insensitive is the context-insensitive baseline.
+type Insensitive struct{}
+
+// Name implements Policy.
+func (Insensitive) Name() string { return "insensitive" }
+
+// ActionSensitive implements Policy.
+func (Insensitive) ActionSensitive() bool { return false }
+
+// CalleeContext implements Policy.
+func (Insensitive) CalleeContext(Context, string, ir.InvokeKind, Obj, bool) Context {
+	return EmptyContext
+}
+
+// HeapCtx implements Policy.
+func (Insensitive) HeapCtx(Context) string { return "" }
+
+// KCFA is k-call-site sensitivity (Sharir–Pnueli style call strings).
+type KCFA struct{ K int }
+
+// Name implements Policy.
+func (p KCFA) Name() string { return fmt.Sprintf("%d-cfa", p.K) }
+
+// ActionSensitive implements Policy.
+func (KCFA) ActionSensitive() bool { return false }
+
+// CalleeContext implements Policy.
+func (p KCFA) CalleeContext(caller Context, site string, _ ir.InvokeKind, _ Obj, _ bool) Context {
+	return Context{Action: NoAction, Calls: push(caller.Calls, site, p.K)}
+}
+
+// HeapCtx implements Policy.
+func (p KCFA) HeapCtx(ctx Context) string { return ctx.Calls }
+
+// KObj is k-object sensitivity (Milanova et al.): virtual callees are
+// analyzed per receiver-object chain; static calls inherit the caller's
+// object context.
+type KObj struct{ K int }
+
+// Name implements Policy.
+func (p KObj) Name() string { return fmt.Sprintf("%d-obj", p.K) }
+
+// ActionSensitive implements Policy.
+func (KObj) ActionSensitive() bool { return false }
+
+// CalleeContext implements Policy.
+func (p KObj) CalleeContext(caller Context, _ string, _ ir.InvokeKind, recv Obj, hasRecv bool) Context {
+	if !hasRecv {
+		return Context{Action: NoAction, Objs: caller.Objs}
+	}
+	return Context{Action: NoAction, Objs: push(recv.Ctx, recv.id(), p.K)}
+}
+
+// HeapCtx implements Policy.
+func (p KObj) HeapCtx(ctx Context) string { return ctx.Objs }
+
+// Hybrid is the paper's hybrid context sensitivity: k-obj for dispatch
+// calls, k-cfa for static invocations.
+type Hybrid struct{ K int }
+
+// Name implements Policy.
+func (p Hybrid) Name() string { return fmt.Sprintf("hybrid-%d", p.K) }
+
+// ActionSensitive implements Policy.
+func (Hybrid) ActionSensitive() bool { return false }
+
+// CalleeContext implements Policy.
+func (p Hybrid) CalleeContext(caller Context, site string, kind ir.InvokeKind, recv Obj, hasRecv bool) Context {
+	if kind == ir.InvokeStatic || !hasRecv {
+		return Context{Action: NoAction, Objs: caller.Objs, Calls: push(caller.Calls, site, p.K)}
+	}
+	return Context{Action: NoAction, Objs: push(recv.Ctx, recv.id(), p.K)}
+}
+
+// HeapCtx implements Policy.
+func (p Hybrid) HeapCtx(ctx Context) string {
+	if ctx.Calls == "" {
+		return ctx.Objs
+	}
+	return ctx.Objs + "/" + ctx.Calls
+}
+
+// ActionSensitivePolicy is the paper's contribution: hybrid context
+// sensitivity with the current action id as an additional context
+// element, so objects allocated in different actions never conflate even
+// when the k-bounded suffixes coincide.
+type ActionSensitivePolicy struct{ K int }
+
+// Name implements Policy.
+func (p ActionSensitivePolicy) Name() string { return fmt.Sprintf("action+hybrid-%d", p.K) }
+
+// ActionSensitive implements Policy.
+func (ActionSensitivePolicy) ActionSensitive() bool { return true }
+
+// CalleeContext implements Policy: hybrid, with the caller's action
+// propagated (the engine overrides Action at action-entry sites).
+func (p ActionSensitivePolicy) CalleeContext(caller Context, site string, kind ir.InvokeKind, recv Obj, hasRecv bool) Context {
+	ctx := Hybrid{p.K}.CalleeContext(caller, site, kind, recv, hasRecv)
+	ctx.Action = caller.Action
+	return ctx
+}
+
+// HeapCtx implements Policy: the action id prefixes the hybrid heap
+// context, keeping per-action heaps apart.
+func (p ActionSensitivePolicy) HeapCtx(ctx Context) string {
+	inner := Hybrid{p.K}.HeapCtx(ctx)
+	if ctx.Action == NoAction {
+		return inner
+	}
+	return fmt.Sprintf("A%d|%s", ctx.Action, inner)
+}
+
+// EntryContext builds the analysis context for an action root: the
+// policy's callee context for a synthetic entry dispatch, with the
+// action id installed when the policy is action-sensitive.
+func EntryContext(pol Policy, actionID int, recv Obj, hasRecv bool) Context {
+	ctx := pol.CalleeContext(EmptyContext, "$entry", ir.InvokeVirtual, recv, hasRecv)
+	if pol.ActionSensitive() {
+		ctx.Action = actionID
+	} else {
+		ctx.Action = NoAction
+	}
+	return ctx
+}

@@ -1,0 +1,231 @@
+package pointer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sierra/internal/frontend"
+	"sierra/internal/ir"
+)
+
+// randObj builds an arbitrary abstract object from fuzz inputs.
+func randObj(site int, ctx string, view uint8) Obj {
+	if site%5 == 0 {
+		return ViewObj(int(view), frontend.ButtonClass)
+	}
+	if site < 0 {
+		site = -site
+	}
+	return Obj{Site: site % 97, Ctx: ctx, Class: "C"}
+}
+
+func TestObjSetProperties(t *testing.T) {
+	add := func(sites []int16, ctx string) bool {
+		s := make(ObjSet)
+		for _, raw := range sites {
+			o := randObj(int(raw), ctx, uint8(raw))
+			first := s.Add(o)
+			second := s.Add(o)
+			// Add is idempotent: the second insert never reports new.
+			if second {
+				return false
+			}
+			if !s.Contains(o) {
+				return false
+			}
+			_ = first
+		}
+		// Slice is duplicate-free and matches the set size.
+		sl := s.Slice()
+		if len(sl) != len(s) {
+			return false
+		}
+		seen := map[Obj]bool{}
+		for _, o := range sl {
+			if seen[o] {
+				return false
+			}
+			seen[o] = true
+		}
+		return true
+	}
+	if err := quick.Check(add, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectsSymmetric(t *testing.T) {
+	f := func(a, b []int16) bool {
+		sa, sb := make(ObjSet), make(ObjSet)
+		for _, x := range a {
+			sa.Add(randObj(int(x), "", uint8(x)))
+		}
+		for _, x := range b {
+			sb.Add(randObj(int(x), "", uint8(x)))
+		}
+		return sa.Intersects(sb) == sb.Intersects(sa)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddAllIsUnion(t *testing.T) {
+	f := func(a, b []int16) bool {
+		sa, sb := make(ObjSet), make(ObjSet)
+		for _, x := range a {
+			sa.Add(randObj(int(x), "x", uint8(x)))
+		}
+		for _, x := range b {
+			sb.Add(randObj(int(x), "x", uint8(x)))
+		}
+		union := make(ObjSet)
+		union.AddAll(sa)
+		union.AddAll(sb)
+		// Every element of both sides is in the union, nothing else.
+		if len(union) > len(sa)+len(sb) {
+			return false
+		}
+		for o := range sa {
+			if !union.Contains(o) {
+				return false
+			}
+		}
+		for o := range sb {
+			if !union.Contains(o) {
+				return false
+			}
+		}
+		// AddAll on a superset reports no change.
+		return !union.AddAll(sa) && !union.AddAll(sb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushBoundsProperty(t *testing.T) {
+	f := func(elems []uint8, k8 uint8) bool {
+		k := int(k8%5) + 1
+		chain := ""
+		for _, e := range elems {
+			chain = push(chain, string('a'+rune(e%26)), k)
+			// The chain never exceeds k comma-separated elements.
+			n := 1
+			for _, c := range chain {
+				if c == ',' {
+					n++
+				}
+			}
+			if chain == "" {
+				n = 0
+			}
+			if n > k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomLinearProgram builds a straight-line program with random moves,
+// stores, and loads over a bounded variable set — enough to exercise the
+// fixpoint's termination and monotonicity.
+func randomLinearProgram(r *rand.Rand) (*ir.Program, *ir.Method) {
+	p := ir.NewProgram()
+	frontend.InstallFramework(p)
+	c := ir.NewClass("R", frontend.Object)
+	c.Fields = []string{"f", "g"}
+	vars := []string{"a", "b", "c", "d"}
+	b := ir.NewMethodBuilder("m")
+	b.NewObj("a", "R")
+	n := 4 + r.Intn(20)
+	for i := 0; i < n; i++ {
+		dst := vars[r.Intn(len(vars))]
+		src := vars[r.Intn(len(vars))]
+		switch r.Intn(4) {
+		case 0:
+			b.NewObj(dst, "R")
+		case 1:
+			b.Move(dst, src)
+		case 2:
+			b.Store(src, "f", dst)
+		default:
+			b.Load(dst, src, "f")
+		}
+	}
+	b.Ret("")
+	c.AddMethod(b.Build())
+	p.AddClass(c)
+	p.Finalize()
+	return p, c.Methods["m"]
+}
+
+func TestAnalysisTerminatesAndIsDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, m := randomLinearProgram(r)
+		run := func() map[string]int {
+			res := Analyze(Config{Prog: p, Policy: ActionSensitivePolicy{K: 2},
+				Entries: []Entry{{Method: m, Ctx: EmptyContext}}})
+			out := map[string]int{}
+			for _, v := range []string{"a", "b", "c", "d"} {
+				out[v] = len(res.PointsToAll(m, v))
+			}
+			return out
+		}
+		r1, r2 := run(), run()
+		for k := range r1 {
+			if r1[k] != r2[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextPoliciesProduceBoundedContexts(t *testing.T) {
+	// Policies must respect their own k bounds: the Objs/Calls strings
+	// never grow beyond k elements no matter the call chain.
+	pols := []Policy{KCFA{K: 2}, KObj{K: 2}, Hybrid{K: 2}, ActionSensitivePolicy{K: 2}}
+	f := func(sites []uint8) bool {
+		for _, pol := range pols {
+			ctx := EmptyContext
+			for i, s := range sites {
+				recv := Obj{Site: int(s), Ctx: ctx.Objs, Class: "C"}
+				kind := ir.InvokeVirtual
+				if i%3 == 0 {
+					kind = ir.InvokeStatic
+				}
+				ctx = pol.CalleeContext(ctx, string('a'+rune(s%26)), kind, recv, kind != ir.InvokeStatic)
+				if countElems(ctx.Objs) > 2 || countElems(ctx.Calls) > 2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func countElems(chain string) int {
+	if chain == "" {
+		return 0
+	}
+	n := 1
+	for _, c := range chain {
+		if c == ',' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,234 @@
+// Package race generates candidate event races: it collects the memory
+// accesses ⟨x, τ, A⟩ of every action (§4.1) and pairs accesses from
+// different, HB-unordered actions that touch overlapping memory with at
+// least one write — the paper's "racy pairs", which the symbolic
+// refuter then prunes.
+package race
+
+import (
+	"fmt"
+	"sort"
+
+	"sierra/internal/actions"
+	"sierra/internal/harness"
+	"sierra/internal/ir"
+	"sierra/internal/pointer"
+	"sierra/internal/shbg"
+)
+
+// AccessKind is read or write.
+type AccessKind int
+
+const (
+	// Read is a heap load.
+	Read AccessKind = iota
+	// Write is a heap store.
+	Write
+)
+
+func (k AccessKind) String() string {
+	if k == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Access is one memory access attributed to an action.
+type Access struct {
+	// Action is the owning action's id.
+	Action int
+	// Pos locates the access statement.
+	Pos ir.Pos
+	// Kind is read or write.
+	Kind AccessKind
+	// Field is the accessed field name.
+	Field string
+	// Static marks static-field accesses; Class qualifies them.
+	Static bool
+	Class  string
+	// BaseVar is the base variable of instance accesses (for the
+	// refuter's queries).
+	BaseVar string
+	// Objs is the points-to set of the base (nil for statics).
+	Objs pointer.ObjSet
+	// InFramework marks accesses inside framework model code.
+	InFramework bool
+	// InLibrary marks accesses inside bundled library code.
+	InLibrary bool
+	// IsRef marks accesses to reference-typed state (the field holds
+	// objects) — racy reference updates can yield NullPointerException,
+	// which the prioritizer ranks highest.
+	IsRef bool
+}
+
+// Location renders the field identity.
+func (a Access) Location() string {
+	if a.Static {
+		return a.Class + "." + a.Field
+	}
+	return "." + a.Field
+}
+
+func (a Access) String() string {
+	return fmt.Sprintf("A%d %s %s @%v", a.Action, a.Kind, a.Location(), a.Pos)
+}
+
+// Pair is a candidate race: two unordered accesses to overlapping
+// memory, at least one a write.
+type Pair struct {
+	A, B Access
+}
+
+// Key canonically identifies the pair (for dedup and stable output).
+func (p Pair) Key() string {
+	return fmt.Sprintf("%d@%v/%d@%v:%s", p.A.Action, p.A.Pos, p.B.Action, p.B.Pos, p.A.Field)
+}
+
+// CollectAccesses gathers every heap access of every action from the
+// analysis result, merging duplicate (action, site) entries across
+// contexts.
+func CollectAccesses(reg *actions.Registry, res *pointer.Result) []Access {
+	type key struct {
+		action int
+		pos    ir.Pos
+		kind   AccessKind
+	}
+	merged := map[key]*Access{}
+	insts := reg.ActionInstances(res)
+
+	aids := make([]int, 0, len(insts))
+	for aid := range insts {
+		aids = append(aids, aid)
+	}
+	sort.Ints(aids)
+
+	record := func(aid int, mk pointer.MKey, pos ir.Pos, kind AccessKind, field, baseVar string, static bool, cls string) {
+		k := key{action: aid, pos: pos, kind: kind}
+		acc := merged[k]
+		if acc == nil {
+			acc = &Access{
+				Action: aid, Pos: pos, Kind: kind, Field: field,
+				Static: static, Class: cls, BaseVar: baseVar,
+				InFramework: mk.M.Class != nil && mk.M.Class.Framework,
+				InLibrary:   mk.M.Class != nil && mk.M.Class.Library,
+			}
+			if !static {
+				acc.Objs = make(pointer.ObjSet)
+			}
+			merged[k] = acc
+		}
+		if !static {
+			acc.Objs.AddAll(res.PointsTo(mk.M, mk.Ctx, baseVar))
+		}
+	}
+
+	for _, aid := range aids {
+		for _, mk := range insts[aid] {
+			if mk.M.Class != nil && harness.IsSynthetic(mk.M.Class.Name) {
+				continue
+			}
+			for _, blk := range mk.M.Blocks {
+				for _, s := range blk.Stmts {
+					switch st := s.(type) {
+					case *ir.Load:
+						record(aid, mk, st.Pos(), Read, st.Field, st.Obj, false, "")
+					case *ir.Store:
+						record(aid, mk, st.Pos(), Write, st.Field, st.Obj, false, "")
+					case *ir.StaticLoad:
+						record(aid, mk, st.Pos(), Read, st.Field, "", true, st.Class)
+					case *ir.StaticStore:
+						record(aid, mk, st.Pos(), Write, st.Field, "", true, st.Class)
+					}
+				}
+			}
+		}
+	}
+
+	out := make([]Access, 0, len(merged))
+	for _, acc := range merged {
+		// Reference-typed state: some pointee of the base holds objects
+		// under this field, or the static slot holds objects.
+		if acc.Static {
+			acc.IsRef = len(res.StaticPointsTo(acc.Class, acc.Field)) > 0
+		} else {
+			for o := range acc.Objs {
+				if len(res.FieldPointsTo(o, acc.Field)) > 0 {
+					acc.IsRef = true
+					break
+				}
+			}
+		}
+		out = append(out, *acc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Action != b.Action {
+			return a.Action < b.Action
+		}
+		if a.Pos.String() != b.Pos.String() {
+			return a.Pos.String() < b.Pos.String()
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+// RacyPairs intersects accesses across HB-unordered actions: same field,
+// overlapping points-to sets (or the same static slot), at least one
+// write, actions in compatible scopes.
+func RacyPairs(reg *actions.Registry, g *shbg.Graph, accesses []Access) []Pair {
+	// Bucket by field name first — only same-named fields can overlap.
+	byField := map[string][]int{}
+	for i, a := range accesses {
+		byField[a.Field] = append(byField[a.Field], i)
+	}
+	fields := make([]string, 0, len(byField))
+	for f := range byField {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+
+	var out []Pair
+	seen := map[string]bool{}
+	for _, f := range fields {
+		idxs := byField[f]
+		for i := 0; i < len(idxs); i++ {
+			for j := i + 1; j < len(idxs); j++ {
+				a, b := accesses[idxs[i]], accesses[idxs[j]]
+				if a.Action == b.Action {
+					continue
+				}
+				if a.Kind != Write && b.Kind != Write {
+					continue
+				}
+				if a.Static != b.Static {
+					continue
+				}
+				if a.Static {
+					if a.Class != b.Class {
+						continue
+					}
+				} else if !a.Objs.Intersects(b.Objs) {
+					continue
+				}
+				actA, actB := reg.Get(a.Action), reg.Get(b.Action)
+				if !actions.SameScope(actA, actB) {
+					continue
+				}
+				if g.Ordered(a.Action, b.Action) {
+					continue
+				}
+				p := Pair{A: a, B: b}
+				if a.Action > b.Action {
+					p = Pair{A: b, B: a}
+				}
+				if !seen[p.Key()] {
+					seen[p.Key()] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}

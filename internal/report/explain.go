@@ -1,0 +1,114 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"sierra/internal/actions"
+	"sierra/internal/race"
+	"sierra/internal/shbg"
+)
+
+// Explain renders a multi-line, developer-facing explanation of a race
+// report: both accesses with their actions' provenance (spawn chains
+// back to the harness), and the happens-before facts showing why the
+// pair is unordered — the narrative the paper walks through for its
+// examples.
+func (r *Report) Explain(reg *actions.Registry, g *shbg.Graph) string {
+	var b strings.Builder
+	tags := []string{r.Category.String()}
+	if r.RefRace {
+		tags = append(tags, "reference race: possible NullPointerException")
+	}
+	if r.Benign {
+		tags = append(tags, "guard-variable pattern: real but usually benign (§6.5)")
+	}
+	if r.Verdict.BudgetExhausted {
+		tags = append(tags, "refutation budget exhausted: reported conservatively")
+	}
+	fmt.Fprintf(&b, "race on %s  [%s]\n", r.Pair.A.Location(), strings.Join(tags, "; "))
+	explainSide(&b, reg, "first ", r.Pair.A)
+	explainSide(&b, reg, "second", r.Pair.B)
+
+	a, bb := r.Pair.A.Action, r.Pair.B.Action
+	fmt.Fprintf(&b, "  unordered: no happens-before path %s → %s or back\n",
+		reg.Get(a).Name(), reg.Get(bb).Name())
+	if anc := nearestCommonAncestors(reg, g, a, bb); len(anc) > 0 {
+		names := make([]string, 0, len(anc))
+		for _, id := range anc {
+			names = append(names, reg.Get(id).Name())
+		}
+		fmt.Fprintf(&b, "  latest common HB ancestors: %s\n", strings.Join(names, ", "))
+	}
+	return b.String()
+}
+
+// explainSide prints one access with its action's spawn provenance.
+func explainSide(b *strings.Builder, reg *actions.Registry, label string, acc race.Access) {
+	a := reg.Get(acc.Action)
+	where := "main looper"
+	switch {
+	case a.Looper == actions.LooperNone:
+		where = "background thread"
+	case a.Looper > actions.LooperMain:
+		where = fmt.Sprintf("background looper #%d", a.Looper)
+	}
+	fmt.Fprintf(b, "  %s: %-6s in %s (%s, %s) at %v\n",
+		label, acc.Kind, a.Name(), a.Kind, where, acc.Pos)
+	if chain := spawnChain(reg, acc.Action, 6); len(chain) > 1 {
+		names := make([]string, 0, len(chain))
+		for _, id := range chain {
+			names = append(names, reg.Get(id).Name())
+		}
+		fmt.Fprintf(b, "          spawned via: %s\n", strings.Join(names, " → "))
+	}
+}
+
+// spawnChain follows the first spawn record of each action back toward
+// its root, bounded by depth (cycle-guarded).
+func spawnChain(reg *actions.Registry, id, depth int) []int {
+	var chain []int
+	seen := map[int]bool{}
+	for id >= 0 && depth > 0 && !seen[id] {
+		seen[id] = true
+		chain = append([]int{id}, chain...)
+		a := reg.Get(id)
+		if len(a.Spawns) == 0 {
+			break
+		}
+		id = a.Spawns[0].From
+		depth--
+	}
+	return chain
+}
+
+// nearestCommonAncestors returns the maximal actions that happen-before
+// both a and b: common HB ancestors not themselves ordered before
+// another common ancestor. These are "the last things both sides agree
+// on" — useful anchors when reading a report.
+func nearestCommonAncestors(reg *actions.Registry, g *shbg.Graph, a, b int) []int {
+	var common []int
+	for _, x := range reg.Actions() {
+		if g.HB(x.ID, a) && g.HB(x.ID, b) {
+			common = append(common, x.ID)
+		}
+	}
+	var maximal []int
+	for _, x := range common {
+		dominated := false
+		for _, y := range common {
+			if x != y && g.HB(x, y) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			maximal = append(maximal, x)
+		}
+	}
+	const cap = 4
+	if len(maximal) > cap {
+		maximal = maximal[:cap]
+	}
+	return maximal
+}

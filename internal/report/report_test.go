@@ -1,0 +1,103 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"sierra/internal/core"
+	"sierra/internal/corpus"
+	"sierra/internal/report"
+)
+
+func TestExplainNarrative(t *testing.T) {
+	res := core.Analyze(corpus.NewsApp(), core.Options{})
+	if len(res.Reports) == 0 {
+		t.Fatal("no reports")
+	}
+	for i := range res.Reports {
+		out := res.Reports[i].Explain(res.Registry, res.Graph)
+		for _, want := range []string{"race on", "first", "second", "unordered"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("explanation missing %q:\n%s", want, out)
+			}
+		}
+	}
+	// The Fig 1 mData report should name the spawn chain through onClick.
+	var fig1 string
+	for i := range res.Reports {
+		if res.Reports[i].Pair.A.Field == "mData" {
+			fig1 = res.Reports[i].Explain(res.Registry, res.Graph)
+		}
+	}
+	if fig1 == "" {
+		t.Fatal("mData report missing")
+	}
+	for _, want := range []string{"doInBackground", "onClick", "spawned via", "background thread"} {
+		if !strings.Contains(fig1, want) {
+			t.Errorf("Fig 1 explanation missing %q:\n%s", want, fig1)
+		}
+	}
+}
+
+func TestExplainBenignTag(t *testing.T) {
+	res := core.Analyze(corpus.SudokuTimerApp(), core.Options{})
+	found := false
+	for i := range res.Reports {
+		if !res.Reports[i].Benign {
+			continue
+		}
+		found = true
+		out := res.Reports[i].Explain(res.Registry, res.Graph)
+		if !strings.Contains(out, "benign") {
+			t.Errorf("benign report not tagged:\n%s", out)
+		}
+	}
+	if !found {
+		t.Fatal("no benign reports on the sudoku fixture")
+	}
+}
+
+func TestCommonAncestorsMentioned(t *testing.T) {
+	res := core.Analyze(corpus.NewsApp(), core.Options{})
+	anyAncestors := false
+	for i := range res.Reports {
+		out := res.Reports[i].Explain(res.Registry, res.Graph)
+		if strings.Contains(out, "common HB ancestors") {
+			anyAncestors = true
+			// onCreate precedes both sides of every news app race.
+			if !strings.Contains(out, "onC") && !strings.Contains(out, "harness") {
+				t.Errorf("ancestor line lacks plausible anchors:\n%s", out)
+			}
+		}
+	}
+	if !anyAncestors {
+		t.Error("no explanation mentioned common ancestors")
+	}
+}
+
+func TestSummarizeCategories(t *testing.T) {
+	res := core.Analyze(corpus.DatabaseApp(), core.Options{})
+	s := report.Summarize(res.Reports)
+	if s.Total != len(res.Reports) {
+		t.Fatalf("total %d != %d", s.Total, len(res.Reports))
+	}
+	if s.App+s.Framework+s.Library != s.Total {
+		t.Error("category counts don't sum")
+	}
+	if s.BenignPct < 0 || s.BenignPct > 100 {
+		t.Errorf("benign%% out of range: %f", s.BenignPct)
+	}
+}
+
+func TestDescribeFormatsRank(t *testing.T) {
+	res := core.Analyze(corpus.NewsApp(), core.Options{})
+	for i := range res.Reports {
+		d := res.Reports[i].Describe(res.Registry)
+		if !strings.HasPrefix(d, "#") {
+			t.Errorf("describe missing rank prefix: %s", d)
+		}
+		if !strings.Contains(d, "vs") {
+			t.Errorf("describe missing pair: %s", d)
+		}
+	}
+}

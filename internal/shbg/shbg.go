@@ -1,0 +1,449 @@
+// Package shbg builds the Static Happens-Before Graph (§4 of the paper):
+// nodes are actions, edges are statically-proven "A completes before B
+// starts" relations derived from seven rules — action invocation,
+// lifecycle dominance, GUI-model dominance, intra-procedural domination,
+// inter-procedural intra-action domination, inter-action transitivity,
+// and transitive closure.
+package shbg
+
+import (
+	"sierra/internal/actions"
+	"sierra/internal/cfg"
+	"sierra/internal/frontend"
+	"sierra/internal/ir"
+	"sierra/internal/pointer"
+)
+
+// Rule identifies an HB rule for bookkeeping and ablation.
+type Rule int
+
+const (
+	// RuleInvocation: spawner ≺ spawnee (threads, posts, messages,
+	// system registrations, AsyncTask-internal order).
+	RuleInvocation Rule = iota
+	// RuleLifecycle: harness-CFG dominance between lifecycle sites
+	// (Fig 5, including the duplicated onStart/onResume instances).
+	RuleLifecycle
+	// RuleGUI: harness-CFG dominance involving GUI sites (Fig 6), plus
+	// the GUI-before-stop ordering (a stopped activity receives no UI
+	// events — the reason SIERRA filters EventRacer's onClick-vs-onStop
+	// false positives, §6.4).
+	RuleGUI
+	// RuleIntraProc: two posts in one method, the first dominating the
+	// second, same target looper (rule 4).
+	RuleIntraProc
+	// RuleInterProc: posts in different methods of one action ordered by
+	// de-facto ICFG dominance (rule 5).
+	RuleInterProc
+	// RuleInterAction: A1≺A2 ∧ A1 posts A3 ∧ A2 posts A4 ⇒ A3≺A4 under
+	// looper atomicity (rule 6, Fig 7).
+	RuleInterAction
+	// RuleTransitive marks edges added by transitive closure (rule 7).
+	RuleTransitive
+
+	numRules
+)
+
+func (r Rule) String() string {
+	return [...]string{
+		"invocation", "lifecycle", "gui", "intra-proc",
+		"inter-proc", "inter-action", "transitive",
+	}[r]
+}
+
+// Options tunes graph construction (rule ablation for benchmarks).
+type Options struct {
+	// Disable turns individual rules off.
+	Disable map[Rule]bool
+	// DisableGUITeardownOrder drops only the §6.4 GUI-before-stop
+	// post-dominance edges while keeping the rest of the GUI rule. Those
+	// edges deliberately conflate action instances (a click after a
+	// restart follows an earlier onStop), trading per-instance soundness
+	// for the false-positive filtering the paper describes; disabling
+	// them yields the instance-sound core HB relation.
+	DisableGUITeardownOrder bool
+}
+
+// Graph is the SHBG.
+type Graph struct {
+	Reg *actions.Registry
+	n   int
+	// hb[a][b]: a ≺ b after transitive closure.
+	hb [][]bool
+	// ruleCounts tallies direct (pre-closure) edges per rule.
+	ruleCounts [numRules]int
+}
+
+// Build constructs the SHBG from the action registry and the (action-
+// sensitive) analysis result.
+func Build(reg *actions.Registry, res *pointer.Result, opts Options) *Graph {
+	g := &Graph{Reg: reg, n: reg.NumActions()}
+	g.hb = make([][]bool, g.n)
+	for i := range g.hb {
+		g.hb[i] = make([]bool, g.n)
+	}
+	disabled := func(r Rule) bool { return opts.Disable != nil && opts.Disable[r] }
+
+	if !disabled(RuleInvocation) {
+		g.ruleInvocation()
+	}
+	if !disabled(RuleLifecycle) || !disabled(RuleGUI) {
+		g.ruleHarnessDominance(disabled(RuleLifecycle), disabled(RuleGUI), opts.DisableGUITeardownOrder)
+	}
+	if !disabled(RuleIntraProc) {
+		g.ruleIntraProc()
+	}
+	if !disabled(RuleInterProc) {
+		g.ruleInterProc(res)
+	}
+	// Rules 6+7 iterate together: inter-action transitivity can reveal
+	// edges that further closure propagates, and vice versa (§4.3 ¶7).
+	for {
+		changed := g.close()
+		if !disabled(RuleInvocation) && g.ruleMultiSpawnInvocation() {
+			changed = true
+		}
+		if !disabled(RuleInterAction) && g.ruleInterAction() {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return g
+}
+
+// addEdge inserts a direct edge (no self-edges), tagging the rule.
+func (g *Graph) addEdge(a, b int, r Rule) bool {
+	if a == b || a < 0 || b < 0 || g.hb[a][b] {
+		return false
+	}
+	g.hb[a][b] = true
+	g.ruleCounts[r]++
+	return true
+}
+
+// HB reports whether a ≺ b.
+func (g *Graph) HB(a, b int) bool { return g.hb[a][b] }
+
+// Ordered reports whether the pair is ordered either way.
+func (g *Graph) Ordered(a, b int) bool { return g.hb[a][b] || g.hb[b][a] }
+
+// NumActions returns the node count.
+func (g *Graph) NumActions() int { return g.n }
+
+// NumEdges counts ordered pairs after closure.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for a := 0; a < g.n; a++ {
+		for b := 0; b < g.n; b++ {
+			if g.hb[a][b] {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// OrderedFraction is NumEdges over the theoretical maximum N(N-1)/2 —
+// the "Ordered (%)" column of Table 3.
+func (g *Graph) OrderedFraction() float64 {
+	if g.n < 2 {
+		return 0
+	}
+	max := g.n * (g.n - 1) / 2
+	return float64(g.NumEdges()) / float64(max)
+}
+
+// RuleCount reports how many direct edges a rule contributed.
+func (g *Graph) RuleCount(r Rule) int { return g.ruleCounts[r] }
+
+// ruleInvocation adds spawner ≺ spawnee edges plus AsyncTask-internal
+// order (rule 1 and Table 1's HB-introduction column).
+//
+// Soundness with multiple spawners: an action node conflates every
+// occurrence it stands for, so "X ≺ B" must hold no matter which site
+// posted B. A direct edge is only added when B has a single distinct
+// external spawner; multi-spawner actions are ordered by the
+// intersection rule in ruleMultiSpawnInvocation, re-run under closure.
+// Self-spawns (a runnable re-posting itself) are excluded from the
+// spawner set: by induction, anything preceding the first post precedes
+// every re-post.
+func (g *Graph) ruleInvocation() {
+	for _, a := range g.Reg.Actions() {
+		spawners := externalSpawners(a)
+		if len(spawners) == 1 {
+			g.addEdge(spawners[0], a.ID, RuleInvocation)
+		}
+	}
+	for _, e := range g.Reg.TaskEdges() {
+		g.addEdge(e[0], e[1], RuleInvocation)
+	}
+}
+
+// externalSpawners returns the distinct non-self spawner ids of a.
+func externalSpawners(a *actions.Action) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, sp := range a.Spawns {
+		if sp.From < 0 || sp.From == a.ID || seen[sp.From] {
+			continue
+		}
+		seen[sp.From] = true
+		out = append(out, sp.From)
+	}
+	return out
+}
+
+// ruleMultiSpawnInvocation orders X ≺ B for multi-spawner actions B when
+// X is (or precedes) every distinct external spawner of B. Monotone in
+// the growing HB relation, so it iterates with closure.
+func (g *Graph) ruleMultiSpawnInvocation() bool {
+	changed := false
+	for _, b := range g.Reg.Actions() {
+		spawners := externalSpawners(b)
+		if len(spawners) < 2 {
+			continue
+		}
+		for x := 0; x < g.n; x++ {
+			if x == b.ID || g.hb[x][b.ID] {
+				continue
+			}
+			all := true
+			for _, f := range spawners {
+				if x != f && !g.hb[x][f] {
+					all = false
+					break
+				}
+			}
+			if all && g.addEdge(x, b.ID, RuleInvocation) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// ruleHarnessDominance adds dominance-derived edges among harness-sited
+// actions (rules 2 and 3): site dominance in the harness CFG orders
+// lifecycle and GUI actions; post-dominance of pause/stop/destroy over
+// GUI sites orders UI events before the activity becomes invisible.
+func (g *Graph) ruleHarnessDominance(skipLifecycle, skipGUI, skipTeardown bool) {
+	for hi, h := range g.Reg.Harnesses {
+		dom := cfg.MethodDominators(h.Method)
+		graph := cfg.MethodGraph{M: h.Method}
+
+		// Post-dominators need the single return block as exit.
+		exits := []int{}
+		for bi, blk := range h.Method.Blocks {
+			if len(blk.Stmts) > 0 {
+				if _, isRet := blk.Stmts[len(blk.Stmts)-1].(*ir.Return); isRet {
+					exits = append(exits, bi)
+				}
+			}
+		}
+		gx, exit := cfg.WithVirtualExit(graph, exits)
+		pdom := cfg.PostDominators(gx, exit)
+
+		var sited []*actions.Action
+		for _, a := range g.Reg.Actions() {
+			if a.Scope == hi && a.HarnessSite.Valid() {
+				sited = append(sited, a)
+			}
+		}
+		for _, a := range sited {
+			for _, b := range sited {
+				if a == b {
+					continue
+				}
+				bothLC := a.Kind == actions.KindLifecycle && b.Kind == actions.KindLifecycle
+				rule := RuleGUI
+				if bothLC {
+					rule = RuleLifecycle
+				}
+				if (bothLC && skipLifecycle) || (!bothLC && skipGUI) {
+					continue
+				}
+				if cfg.StmtDominates(dom, a.HarnessSite, b.HarnessSite) {
+					g.addEdge(a.ID, b.ID, rule)
+				}
+			}
+		}
+		if skipGUI || skipTeardown {
+			continue
+		}
+		// GUI ≺ pause/stop/destroy via post-dominance: a stopped
+		// activity receives no UI events, so every UI action instance
+		// precedes the teardown callbacks (cycle-guarded: only when the
+		// reverse edge is absent).
+		for _, a := range sited {
+			if a.Kind != actions.KindGUI {
+				continue
+			}
+			for _, b := range sited {
+				if b.Kind != actions.KindLifecycle {
+					continue
+				}
+				// Only stopped/destroyed activities are guaranteed to
+				// receive no UI events (§6.4); paused ones may still be
+				// visible, so onPause stays unordered with GUI actions.
+				switch b.Callback {
+				case frontend.OnStop, frontend.OnDestroy:
+				default:
+					continue
+				}
+				if g.hb[b.ID][a.ID] {
+					continue
+				}
+				if pdom.Dominates(b.HarnessSite.Block, a.HarnessSite.Block) {
+					g.addEdge(a.ID, b.ID, RuleGUI)
+				}
+			}
+		}
+	}
+}
+
+// singleSpawn returns an action's sole spawn when it has exactly one —
+// the sound precondition for the domination rules 4/5 (an action posted
+// from several sites has no unique posting point to order).
+func singleSpawn(a *actions.Action) (actions.Spawn, bool) {
+	if len(a.Spawns) != 1 {
+		return actions.Spawn{}, false
+	}
+	return a.Spawns[0], true
+}
+
+// posteable reports whether rules 4/5/6's looper-FIFO reasoning applies
+// to a pair of spawned actions: both actually posted to the same real
+// looper queue (not synthetic harness invocations, thread starts, or
+// system registrations) and neither delayed.
+func posteable(a, b *actions.Action, sa, sb actions.Spawn) bool {
+	return sa.Posted && sb.Posted &&
+		a.Looper == b.Looper && a.Looper != actions.LooperNone &&
+		!sa.Delayed && !sb.Delayed
+}
+
+// ruleIntraProc orders actions posted at two sites of the same method
+// when the first site dominates the second (rule 4).
+func (g *Graph) ruleIntraProc() {
+	domCache := map[*ir.Method]*cfg.DomTree{}
+	for _, a := range g.Reg.Actions() {
+		sa, ok := singleSpawn(a)
+		if !ok || !sa.Site.Valid() {
+			continue
+		}
+		for _, b := range g.Reg.Actions() {
+			if a.ID == b.ID {
+				continue
+			}
+			sb, ok := singleSpawn(b)
+			if !ok || !sb.Site.Valid() || sa.Site.Method != sb.Site.Method {
+				continue
+			}
+			if !posteable(a, b, sa, sb) {
+				continue
+			}
+			dom := domCache[sa.Site.Method]
+			if dom == nil {
+				dom = cfg.MethodDominators(sa.Site.Method)
+				domCache[sa.Site.Method] = dom
+			}
+			if cfg.StmtDominates(dom, sa.Site, sb.Site) {
+				g.addEdge(a.ID, b.ID, RuleIntraProc)
+			}
+		}
+	}
+}
+
+// ruleInterProc orders actions posted from different methods of the same
+// spawning action via de-facto ICFG dominance: removing e1 must make e2
+// unreachable from the spawner's roots (rule 5).
+func (g *Graph) ruleInterProc(res *pointer.Result) {
+	icfg := cfg.NewICFG(res.CalleeMethods())
+	for _, a := range g.Reg.Actions() {
+		sa, ok := singleSpawn(a)
+		if !ok || !sa.Site.Valid() || sa.From < 0 {
+			continue
+		}
+		for _, b := range g.Reg.Actions() {
+			if a.ID == b.ID || g.hb[a.ID][b.ID] {
+				continue
+			}
+			sb, ok := singleSpawn(b)
+			if !ok || !sb.Site.Valid() || sb.From != sa.From {
+				continue
+			}
+			if sa.Site.Method == sb.Site.Method || !posteable(a, b, sa, sb) {
+				continue
+			}
+			spawner := g.Reg.Get(sa.From)
+			dominated := len(spawner.Roots) > 0
+			for _, root := range spawner.Roots {
+				if icfg.ReachesWithoutStrict(root, sa.Site, sb.Site) {
+					dominated = false
+					break
+				}
+				// e2 must be reachable at all for the claim to mean
+				// anything.
+				if !icfg.Reaches(root, sb.Site) {
+					dominated = false
+					break
+				}
+			}
+			if dominated {
+				g.addEdge(a.ID, b.ID, RuleInterProc)
+			}
+		}
+	}
+}
+
+// ruleInterAction applies Fig 7: A1 ≺ A2, A1 posts A3, A2 posts A4,
+// same-looper non-delayed posts ⇒ A3 ≺ A4.
+func (g *Graph) ruleInterAction() bool {
+	changed := false
+	for _, a3 := range g.Reg.Actions() {
+		s3, ok := singleSpawn(a3)
+		if !ok || s3.From < 0 {
+			continue
+		}
+		for _, a4 := range g.Reg.Actions() {
+			if a3.ID == a4.ID || g.hb[a3.ID][a4.ID] {
+				continue
+			}
+			s4, ok := singleSpawn(a4)
+			if !ok || s4.From < 0 || s4.From == s3.From {
+				continue
+			}
+			if !posteable(a3, a4, s3, s4) {
+				continue
+			}
+			if g.hb[s3.From][s4.From] {
+				if g.addEdge(a3.ID, a4.ID, RuleInterAction) {
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// close computes the transitive closure (rule 7), reporting change.
+func (g *Graph) close() bool {
+	changed := false
+	for k := 0; k < g.n; k++ {
+		for i := 0; i < g.n; i++ {
+			if !g.hb[i][k] {
+				continue
+			}
+			row, krow := g.hb[i], g.hb[k]
+			for j := 0; j < g.n; j++ {
+				if krow[j] && !row[j] && i != j {
+					row[j] = true
+					g.ruleCounts[RuleTransitive]++
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,278 @@
+package symexec
+
+import (
+	"sierra/internal/ir"
+)
+
+// branch labels on backward edges: walking backward across an If learns
+// which way the branch went.
+type branch int
+
+const (
+	branchNone branch = iota
+	branchTrue
+	branchFalse
+)
+
+// frame is one inline instance of a method.
+type frame struct {
+	id    int
+	m     *ir.Method
+	depth int
+}
+
+// qvar frame-qualifies a variable name.
+func (f *frame) qvar(v string) string {
+	if v == "" {
+		return ""
+	}
+	return itoa(f.id) + ":" + v
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var buf [20]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		p--
+		buf[p] = '-'
+	}
+	return string(buf[p:])
+}
+
+// inode is a node of the inlined action graph: either a real statement
+// in a frame, or a synthetic move (parameter/return plumbing).
+type inode struct {
+	frame *frame
+	pos   ir.Pos // valid for real statements
+	// synthetic move: dst := src (frame-qualified); nil otherwise.
+	synthDst, synthSrc string
+	isSynth            bool
+	isEntry            bool
+}
+
+// pred is a backward edge with its branch label.
+type pred struct {
+	node int
+	br   branch
+}
+
+// igraph is the inlined control-flow graph of one action root.
+type igraph struct {
+	nodes []inode
+	preds [][]pred
+	// entry is the root frame's entry node.
+	entry int
+	// exits are Return nodes of the root frame.
+	exits []int
+	// byPos maps a statement position to every node instantiating it.
+	byPos map[ir.Pos][]int
+}
+
+// igraphLimits bounds construction.
+type igraphLimits struct {
+	maxDepth int
+	maxNodes int
+}
+
+// buildIGraph inlines root (and transitively its callees, as resolved by
+// callees) into a flat graph. Recursion and depth overruns fall back to
+// call fall-through edges, which over-approximates feasibility — the
+// sound direction for refutation.
+func buildIGraph(root *ir.Method, callees func(ir.Pos) []*ir.Method, lim igraphLimits) *igraph {
+	if lim.maxDepth == 0 {
+		lim.maxDepth = 6
+	}
+	if lim.maxNodes == 0 {
+		lim.maxNodes = 20000
+	}
+	b := &igBuilder{
+		g:       &igraph{byPos: map[ir.Pos][]int{}},
+		callees: callees,
+		lim:     lim,
+	}
+	entry, exits := b.inline(root, 0, map[*ir.Method]bool{root: true})
+	b.g.entry = entry
+	b.g.exits = exits
+	return b.g
+}
+
+type igBuilder struct {
+	g       *igraph
+	callees func(ir.Pos) []*ir.Method
+	lim     igraphLimits
+	nframes int
+}
+
+func (b *igBuilder) newNode(n inode) int {
+	id := len(b.g.nodes)
+	b.g.nodes = append(b.g.nodes, n)
+	b.g.preds = append(b.g.preds, nil)
+	if n.pos.Method != nil {
+		b.g.byPos[n.pos] = append(b.g.byPos[n.pos], id)
+	}
+	return id
+}
+
+func (b *igBuilder) addEdge(from, to int, br branch) {
+	b.g.preds[to] = append(b.g.preds[to], pred{node: from, br: br})
+}
+
+// inline instantiates m as a new frame, returning its entry node and the
+// frame's Return nodes.
+func (b *igBuilder) inline(m *ir.Method, depth int, onStack map[*ir.Method]bool) (entry int, exits []int) {
+	f := &frame{id: b.nframes, m: m, depth: depth}
+	b.nframes++
+
+	// One node per statement; blocks may be empty.
+	nodeOf := map[ir.Pos]int{}
+	for bi, blk := range m.Blocks {
+		for si := range blk.Stmts {
+			pos := ir.Pos{Method: m, Block: bi, Index: si}
+			nodeOf[pos] = b.newNode(inode{frame: f, pos: pos})
+		}
+	}
+	// entry marker node preceding the first statement.
+	entry = b.newNode(inode{frame: f, isEntry: true})
+
+	// firstOf resolves the first statement node at/after a block.
+	var firstOf func(bi int, seen map[int]bool) []int
+	firstOf = func(bi int, seen map[int]bool) []int {
+		if seen[bi] {
+			return nil
+		}
+		seen[bi] = true
+		blk := m.Blocks[bi]
+		if len(blk.Stmts) > 0 {
+			return []int{nodeOf[ir.Pos{Method: m, Block: bi, Index: 0}]}
+		}
+		var out []int
+		for _, s := range blk.Succs {
+			out = append(out, firstOf(s, seen)...)
+		}
+		return out
+	}
+
+	if len(m.Blocks) > 0 {
+		for _, first := range firstOf(0, map[int]bool{}) {
+			b.addEdge(entry, first, branchNone)
+		}
+	}
+
+	// Wire statements.
+	for bi, blk := range m.Blocks {
+		for si, s := range blk.Stmts {
+			pos := ir.Pos{Method: m, Block: bi, Index: si}
+			id := nodeOf[pos]
+			switch st := s.(type) {
+			case *ir.Return:
+				exits = append(exits, id)
+				continue
+			case *ir.If:
+				// Two successor blocks with branch labels.
+				if len(blk.Succs) == 2 {
+					for _, t := range firstOf(blk.Succs[0], map[int]bool{}) {
+						b.addEdge(id, t, branchTrue)
+					}
+					for _, t := range firstOf(blk.Succs[1], map[int]bool{}) {
+						b.addEdge(id, t, branchFalse)
+					}
+				}
+				continue
+			case *ir.Invoke:
+				nexts := b.stmtSuccs(m, blk, bi, si, nodeOf, firstOf)
+				inlined := b.inlineCall(f, id, st, pos, depth, onStack, nexts)
+				if !inlined {
+					for _, nx := range nexts {
+						b.addEdge(id, nx, branchNone)
+					}
+				}
+				continue
+			}
+			for _, nx := range b.stmtSuccs(m, blk, bi, si, nodeOf, firstOf) {
+				b.addEdge(id, nx, branchNone)
+			}
+		}
+	}
+	return entry, exits
+}
+
+// stmtSuccs returns the forward successor nodes of statement (bi, si).
+func (b *igBuilder) stmtSuccs(m *ir.Method, blk *ir.Block, bi, si int, nodeOf map[ir.Pos]int, firstOf func(int, map[int]bool) []int) []int {
+	if si+1 < len(blk.Stmts) {
+		return []int{nodeOf[ir.Pos{Method: m, Block: bi, Index: si + 1}]}
+	}
+	var out []int
+	for _, s := range blk.Succs {
+		out = append(out, firstOf(s, map[int]bool{})...)
+	}
+	return out
+}
+
+// inlineCall expands a call: param moves → callee entry, callee returns
+// → return move → the call's successors. Returns false when nothing was
+// inlined (no bodies, recursion, or depth exhausted) so the caller adds
+// a fall-through edge instead.
+func (b *igBuilder) inlineCall(f *frame, callNode int, inv *ir.Invoke, pos ir.Pos, depth int, onStack map[*ir.Method]bool, nexts []int) bool {
+	if depth >= b.lim.maxDepth || len(b.g.nodes) >= b.lim.maxNodes || b.callees == nil {
+		return false
+	}
+	targets := b.callees(pos)
+	inlinedAny := false
+	for _, callee := range targets {
+		if callee == nil || len(callee.Blocks) == 0 || onStack[callee] {
+			continue
+		}
+		onStack[callee] = true
+		calleeEntry, calleeExits := b.inline(callee, depth+1, onStack)
+		delete(onStack, callee)
+		cf := b.g.nodes[calleeEntry].frame
+
+		// Chain of synthetic moves: receiver then parameters.
+		cur := callNode
+		link := func(dst, src string) {
+			n := b.newNode(inode{frame: cf, isSynth: true, synthDst: dst, synthSrc: src})
+			b.addEdge(cur, n, branchNone)
+			cur = n
+		}
+		if inv.Recv != "" && !callee.Static {
+			link(cf.qvar("this"), f.qvar(inv.Recv))
+		}
+		nargs := len(inv.Args)
+		if len(callee.Params) < nargs {
+			nargs = len(callee.Params)
+		}
+		for i := 0; i < nargs; i++ {
+			link(cf.qvar(callee.Params[i]), f.qvar(inv.Args[i]))
+		}
+		b.addEdge(cur, calleeEntry, branchNone)
+
+		// Returns: move the returned var into the call's destination.
+		for _, ret := range calleeExits {
+			retStmt := b.g.nodes[ret].pos.Stmt().(*ir.Return)
+			after := ret
+			if inv.Dst != "" && retStmt.Src != "" {
+				mv := b.newNode(inode{frame: cf, isSynth: true,
+					synthDst: f.qvar(inv.Dst), synthSrc: cf.qvar(retStmt.Src)})
+				b.addEdge(ret, mv, branchNone)
+				after = mv
+			}
+			for _, nx := range nexts {
+				b.addEdge(after, nx, branchNone)
+			}
+		}
+		inlinedAny = true
+	}
+	return inlinedAny
+}

@@ -1,0 +1,212 @@
+package symexec
+
+import (
+	"testing"
+
+	"sierra/internal/frontend"
+	"sierra/internal/ir"
+)
+
+// inlineProgram: root calls mid(arg); mid calls leaf(); leaf returns a
+// value that flows back up — exercising param/return plumbing.
+func inlineProgram() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram()
+	frontend.InstallFramework(p)
+	c := ir.NewClass("C", frontend.Object)
+
+	leaf := ir.NewMethodBuilder("leaf")
+	leaf.Int("v", 7)
+	leaf.Ret("v")
+	c.AddMethod(leaf.Build())
+
+	mid := ir.NewMethodBuilder("mid", "x")
+	mid.Call("r", "this", "C", "leaf")
+	mid.Ret("r")
+	c.AddMethod(mid.Build())
+
+	root := ir.NewMethodBuilder("root")
+	root.Int("arg", 3)
+	root.Call("out", "this", "C", "mid", "arg")
+	root.Ret("")
+	c.AddMethod(root.Build())
+
+	// rec: direct recursion — must fall back to a fall-through edge.
+	rec := ir.NewMethodBuilder("rec")
+	then, els := rec.IfStar()
+	rec.SetBlock(then)
+	rec.Call("", "this", "C", "rec")
+	rec.Ret("")
+	rec.SetBlock(els)
+	rec.Ret("")
+	c.AddMethod(rec.Build())
+
+	p.AddClass(c)
+	p.Finalize()
+	return p, c.Methods["root"]
+}
+
+func resolver(p *ir.Program) func(ir.Pos) []*ir.Method {
+	return func(pos ir.Pos) []*ir.Method {
+		inv, ok := pos.Stmt().(*ir.Invoke)
+		if !ok {
+			return nil
+		}
+		if m := p.ResolveMethod(inv.Class, inv.Method); m != nil {
+			return []*ir.Method{m}
+		}
+		return nil
+	}
+}
+
+func TestIGraphInlinesTransitively(t *testing.T) {
+	p, root := inlineProgram()
+	g := buildIGraph(root, resolver(p), igraphLimits{})
+
+	// Nodes must include leaf's statements (depth-2 inline) plus
+	// synthetic param/return moves.
+	var sawLeafConst, sawSynth int
+	for _, n := range g.nodes {
+		if n.isSynth {
+			sawSynth++
+		}
+		if n.pos.Method != nil && n.pos.Method.Name == "leaf" {
+			sawLeafConst++
+		}
+	}
+	if sawLeafConst == 0 {
+		t.Error("leaf body not inlined")
+	}
+	if sawSynth == 0 {
+		t.Error("no synthetic param/return moves")
+	}
+	if len(g.exits) != 1 {
+		t.Errorf("root exits = %d, want 1", len(g.exits))
+	}
+	if !g.nodes[g.entry].isEntry {
+		t.Error("entry marker wrong")
+	}
+}
+
+func TestIGraphRecursionFallsBack(t *testing.T) {
+	p, _ := inlineProgram()
+	rec := p.Class("C").Methods["rec"]
+	g := buildIGraph(rec, resolver(p), igraphLimits{})
+	// The recursive call cannot inline itself; only one frame of rec.
+	frames := map[int]bool{}
+	for _, n := range g.nodes {
+		if n.pos.Method == rec {
+			frames[n.frame.id] = true
+		}
+	}
+	if len(frames) != 1 {
+		t.Errorf("rec inlined into %d frames, want 1", len(frames))
+	}
+	// The call node must have a fall-through edge: the statement after
+	// the recursive call (Return) is reachable backward from an exit.
+	if len(g.exits) == 0 {
+		t.Fatal("no exits")
+	}
+}
+
+func TestIGraphDepthLimit(t *testing.T) {
+	// A chain deeper than maxDepth falls back to fall-through edges
+	// instead of exploding.
+	p := ir.NewProgram()
+	frontend.InstallFramework(p)
+	c := ir.NewClass("Deep", frontend.Object)
+	const depth = 12
+	for i := 0; i < depth; i++ {
+		b := ir.NewMethodBuilder(lvl(i))
+		if i+1 < depth {
+			b.Call("", "this", "Deep", lvl(i+1))
+		}
+		b.Ret("")
+		c.AddMethod(b.Build())
+	}
+	p.AddClass(c)
+	p.Finalize()
+
+	g := buildIGraph(c.Methods[lvl(0)], resolver(p), igraphLimits{maxDepth: 3})
+	deepest := 0
+	for _, n := range g.nodes {
+		if n.frame != nil && n.frame.depth > deepest {
+			deepest = n.frame.depth
+		}
+	}
+	if deepest > 3 {
+		t.Errorf("inlined to depth %d despite limit 3", deepest)
+	}
+}
+
+func lvl(i int) string { return "l" + string(rune('a'+i)) }
+
+func TestIGraphBranchLabels(t *testing.T) {
+	p := ir.NewProgram()
+	frontend.InstallFramework(p)
+	c := ir.NewClass("B", frontend.Object)
+	b := ir.NewMethodBuilder("m")
+	b.Int("x", 1)
+	then, els := b.If("x", ir.CmpEQ, ir.IntOperand(1))
+	b.SetBlock(then)
+	b.Int("t", 2)
+	b.Ret("")
+	b.SetBlock(els)
+	b.Int("e", 3)
+	b.Ret("")
+	c.AddMethod(b.Build())
+	p.AddClass(c)
+	p.Finalize()
+
+	g := buildIGraph(c.Methods["m"], resolver(p), igraphLimits{})
+	// Find the then/else first statements and check their backward edge
+	// labels point at the If with the right polarity.
+	var sawTrue, sawFalse bool
+	for id, n := range g.nodes {
+		if n.pos.Method == nil {
+			continue
+		}
+		for _, pr := range g.preds[id] {
+			if _, isIf := stmtAt(g, pr.node); isIf {
+				switch pr.br {
+				case branchTrue:
+					sawTrue = true
+				case branchFalse:
+					sawFalse = true
+				}
+			}
+		}
+	}
+	if !sawTrue || !sawFalse {
+		t.Errorf("branch labels missing: true=%t false=%t", sawTrue, sawFalse)
+	}
+}
+
+func stmtAt(g *igraph, id int) (ir.Stmt, bool) {
+	n := g.nodes[id]
+	if n.pos.Method == nil {
+		return nil, false
+	}
+	s := n.pos.Stmt()
+	_, isIf := s.(*ir.If)
+	return s, isIf
+}
+
+func TestIGraphByPosIndexing(t *testing.T) {
+	p, root := inlineProgram()
+	g := buildIGraph(root, resolver(p), igraphLimits{})
+	// Every real statement node is indexed under its position.
+	for id, n := range g.nodes {
+		if n.pos.Method == nil {
+			continue
+		}
+		found := false
+		for _, have := range g.byPos[n.pos] {
+			if have == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d missing from byPos[%v]", id, n.pos)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package symexec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// randValue maps fuzz inputs onto the constraint value domain.
+func randValue(tag uint8, i int64, b bool) value {
+	switch tag % 4 {
+	case 0:
+		return intVal(i % 7) // small domain to force collisions
+	case 1:
+		return boolVal(b)
+	case 2:
+		return nullVal()
+	default:
+		return nonNullVal()
+	}
+}
+
+func TestConflictsSymmetric(t *testing.T) {
+	f := func(t1, t2 uint8, i1, i2 int64, b1, b2 bool) bool {
+		a, b := randValue(t1, i1, b1), randValue(t2, i2, b2)
+		return conflicts(a, b) == conflicts(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueNeverConflictsWithItself(t *testing.T) {
+	f := func(tag uint8, i int64, b bool) bool {
+		v := randValue(tag, i, b)
+		return !conflicts(v, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithEqConsistency(t *testing.T) {
+	// If strengthening succeeds, the asserted value satisfies the result.
+	f := func(t1, t2 uint8, i1, i2 int64, b1, b2 bool) bool {
+		base, ok := constraint{}.withEq(randValue(t1, i1, b1))
+		if !ok {
+			return false // empty constraint always accepts
+		}
+		v := randValue(t2, i2, b2)
+		c2, ok := base.withEq(v)
+		if !ok {
+			return true // rejection is always safe
+		}
+		return c2.satisfiedBy(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithNeExcludesValue(t *testing.T) {
+	f := func(tag uint8, i int64, b bool) bool {
+		v := randValue(tag, i, b)
+		c, ok := constraint{}.withNe(v)
+		if !ok {
+			return false // empty constraint accepts any disequality
+		}
+		return !c.satisfiedBy(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreKeyCanonical(t *testing.T) {
+	// Insertion order must not affect the memoization key.
+	f := func(names []uint8, i int64) bool {
+		if len(names) < 2 {
+			return true
+		}
+		mk := func(order []uint8) string {
+			s := newStore()
+			for _, n := range order {
+				s.constrainVarEq(string('a'+rune(n%6)), intVal(i%5))
+			}
+			return s.key()
+		}
+		fwd := append([]uint8(nil), names...)
+		rev := make([]uint8, len(names))
+		for i, n := range names {
+			rev[len(names)-1-i] = n
+		}
+		return mk(fwd) == mk(rev)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstrainVarMonotoneUnsat(t *testing.T) {
+	// Once a variable is pinned to a value, pinning it to a conflicting
+	// value must fail — and the store must be unchanged observably (the
+	// original constraint still holds).
+	f := func(i1, i2 int64) bool {
+		a, b := intVal(i1%5), intVal(i2%5)
+		s := newStore()
+		if !s.constrainVarEq("x", a) {
+			return false
+		}
+		ok := s.constrainVarEq("x", b)
+		if a.equal(b) {
+			return ok
+		}
+		if ok {
+			return false
+		}
+		// Original pin intact.
+		return s.vars["x"].eq != nil && s.vars["x"].eq.equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

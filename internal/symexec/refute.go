@@ -1,0 +1,318 @@
+package symexec
+
+import (
+	"fmt"
+
+	"sierra/internal/actions"
+	"sierra/internal/ir"
+	"sierra/internal/pointer"
+	"sierra/internal/race"
+)
+
+// Verdict is the refutation outcome for one candidate pair.
+type Verdict struct {
+	// TruePositive: both orderings admit a feasible witness path, so the
+	// pair is reported as a race.
+	TruePositive bool
+	// RefutedOrders names infeasible orderings ("A<B", "B<A").
+	RefutedOrders []string
+	// Paths is the number of backward paths explored.
+	Paths int
+	// BudgetExhausted marks that the path budget ran out; per the paper
+	// the pair is then reported anyway (possible false positive).
+	BudgetExhausted bool
+}
+
+// Config tunes the refuter.
+type Config struct {
+	// MaxPaths bounds backward path exploration per query (the paper
+	// uses 5,000).
+	MaxPaths int
+	// MaxDepth bounds call inlining depth.
+	MaxDepth int
+	// DisableCache turns off cross-query memoization (for the ablation
+	// benchmark).
+	DisableCache bool
+}
+
+// Refuter performs backward symbolic execution over actions.
+type Refuter struct {
+	Reg *actions.Registry
+	Res *pointer.Result
+	Cfg Config
+
+	callees func(ir.Pos) []*ir.Method
+	insts   map[int][]pointer.MKey
+	graphs  map[int][]*igraph
+	// entryMemo caches A-walk results: the constraint stores required at
+	// the later action's entry to reach the access.
+	entryMemo map[string]*entryResult
+	// witnessMemo caches E-walk results per (action, access, store).
+	witnessMemo map[string]bool
+}
+
+type entryResult struct {
+	stores   []*store
+	budget   bool
+	explored int
+}
+
+// NewRefuter builds a refuter for one analyzed app.
+func NewRefuter(reg *actions.Registry, res *pointer.Result, cfg Config) *Refuter {
+	if cfg.MaxPaths == 0 {
+		cfg.MaxPaths = 5000
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 6
+	}
+	return &Refuter{
+		Reg:         reg,
+		Res:         res,
+		Cfg:         cfg,
+		callees:     res.CalleeMethods(),
+		insts:       reg.ActionInstances(res),
+		graphs:      map[int][]*igraph{},
+		entryMemo:   map[string]*entryResult{},
+		witnessMemo: map[string]bool{},
+	}
+}
+
+// Check decides whether the candidate pair survives refutation: a pair
+// is a true positive iff a feasible path witnesses it in both orderings
+// of the two actions (§5).
+func (r *Refuter) Check(p race.Pair) Verdict {
+	v := Verdict{}
+	budget := r.Cfg.MaxPaths
+
+	abFeasible, used1, b1 := r.feasible(p.A, p.B, budget)
+	v.Paths += used1
+	budget -= used1
+	if budget < 0 {
+		budget = 0
+	}
+	baFeasible, used2, b2 := r.feasible(p.B, p.A, budget)
+	v.Paths += used2
+	v.BudgetExhausted = b1 || b2
+
+	if !abFeasible {
+		v.RefutedOrders = append(v.RefutedOrders, "A<B")
+	}
+	if !baFeasible {
+		v.RefutedOrders = append(v.RefutedOrders, "B<A")
+	}
+	v.TruePositive = abFeasible && baFeasible
+	return v
+}
+
+// feasible checks the ordering "first's action completes, then second's
+// action runs": backward from the second access to its action entry
+// (collecting path constraints), then backward through the first action
+// from its exits — passing the first access — to its entry. Message
+// actions with constant codes get their what-field pre-seeded — the
+// paper's on-demand constant propagation (§5). Returns (feasible,
+// pathsUsed, budgetExhausted). Budget exhaustion counts as feasible
+// (over-approximate races, per the paper).
+func (r *Refuter) feasible(first, second race.Access, budget int) (bool, int, bool) {
+	if budget <= 0 {
+		return true, 0, true
+	}
+	used := 0
+	// Disjunction over the second action's possible message codes.
+	for wi, wseed := range r.whatSeeds(second.Action) {
+		er := r.entryConstraints(second, wi, wseed, budget-used)
+		used += er.explored
+		if er.budget {
+			return true, used, true
+		}
+		if len(er.stores) == 0 {
+			continue // this code makes the access unreachable
+		}
+		remaining := budget - used
+		if remaining <= 0 {
+			return true, used, true
+		}
+		for _, st := range er.stores {
+			// Disjunction over the first action's codes too.
+			for _, fseed := range r.whatSeeds(first.Action) {
+				init := st.clone()
+				if !mergeStores(init, fseed) {
+					continue
+				}
+				ok, u, bhit := r.witness(first, init, remaining)
+				used += u
+				remaining -= u
+				if bhit {
+					return true, used, true
+				}
+				if ok {
+					return true, used, false
+				}
+				if remaining <= 0 {
+					return true, used, true
+				}
+			}
+		}
+	}
+	return false, used, false
+}
+
+// whatSeeds returns the initial constraint stores for an action: one per
+// constant message code observed at its send sites (constraining the
+// message objects' what field), or a single empty store when the action
+// is not a constant-coded message.
+func (r *Refuter) whatSeeds(aid int) []*store {
+	a := r.Reg.Get(aid)
+	if a.Kind != actions.KindMessage || len(a.MsgWhats) == 0 {
+		return []*store{newStore()}
+	}
+	var out []*store
+	for _, w := range a.MsgWhats {
+		st := newStore()
+		consistent := true
+		for _, root := range a.Roots {
+			if len(root.Params) == 0 {
+				continue
+			}
+			msgObjs := r.ptsResolver(aid)(&frame{id: 0, m: root}, root.Params[0])
+			for _, o := range msgObjs.Slice() {
+				if !mergeLoc(st, locKey{obj: o, field: "what"}, mustEq(intVal(w))) {
+					consistent = false
+				}
+			}
+		}
+		if consistent {
+			out = append(out, st)
+		}
+	}
+	if len(out) == 0 {
+		return []*store{newStore()}
+	}
+	return out
+}
+
+// mustEq wraps a value as a must-equal constraint.
+func mustEq(v value) constraint { return constraint{eq: &v} }
+
+// mergeStores conjoins src's constraints into dst, reporting
+// satisfiability.
+func mergeStores(dst, src *store) bool {
+	for name, c := range src.vars {
+		if !mergeVar(dst, name, c) {
+			return false
+		}
+	}
+	for lk, c := range src.locs {
+		if !mergeLoc(dst, lk, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// entryConstraints runs (and memoizes) the A-walk: backward from the
+// access to its action's entry under an initial seed store, yielding the
+// distinct constraint stores under which the access is reachable.
+func (r *Refuter) entryConstraints(acc race.Access, seedIdx int, seed *store, budget int) *entryResult {
+	key := fmt.Sprintf("%d@%v#%d", acc.Action, acc.Pos, seedIdx)
+	if !r.Cfg.DisableCache {
+		if have, ok := r.entryMemo[key]; ok {
+			return &entryResult{stores: have.stores, budget: have.budget}
+		}
+	}
+	res := &entryResult{}
+	seen := map[string]bool{}
+	for _, g := range r.actionGraphs(acc.Action) {
+		w := &walker{
+			g:      g,
+			pts:    r.ptsResolver(acc.Action),
+			budget: budget - res.explored,
+		}
+		for _, start := range g.byPos[acc.Pos] {
+			w.collectEntryFrom(start, seed, func(st *store) {
+				k := st.key()
+				if !seen[k] && len(res.stores) < 64 {
+					seen[k] = true
+					res.stores = append(res.stores, st.clone())
+				}
+			})
+		}
+		res.explored += w.paths
+		if w.budgetHit {
+			res.budget = true
+			break
+		}
+	}
+	if !r.Cfg.DisableCache {
+		r.entryMemo[key] = res
+	}
+	return res
+}
+
+// witness runs the E-walk: backward through the first action from its
+// exits to its entry, requiring the path to execute the access, under
+// the given initial constraints.
+func (r *Refuter) witness(acc race.Access, init *store, budget int) (ok bool, used int, budgetHit bool) {
+	key := fmt.Sprintf("%d@%v|%s", acc.Action, acc.Pos, init.key())
+	if !r.Cfg.DisableCache {
+		if have, cached := r.witnessMemo[key]; cached {
+			return have, 0, false
+		}
+	}
+	for _, g := range r.actionGraphs(acc.Action) {
+		w := &walker{
+			g:      g,
+			pts:    r.ptsResolver(acc.Action),
+			budget: budget - used,
+			target: acc.Pos,
+		}
+		hit := w.findWitness(init)
+		used += w.paths
+		if w.budgetHit {
+			return true, used, true
+		}
+		if hit {
+			if !r.Cfg.DisableCache {
+				r.witnessMemo[key] = true
+			}
+			return true, used, false
+		}
+		if used >= budget {
+			return true, used, true
+		}
+	}
+	if !r.Cfg.DisableCache {
+		r.witnessMemo[key] = false
+	}
+	return false, used, false
+}
+
+// actionGraphs returns (building on demand) the inlined graphs of the
+// action's roots.
+func (r *Refuter) actionGraphs(aid int) []*igraph {
+	if gs, ok := r.graphs[aid]; ok {
+		return gs
+	}
+	var gs []*igraph
+	for _, root := range r.Reg.Get(aid).Roots {
+		gs = append(gs, buildIGraph(root, r.callees, igraphLimits{
+			maxDepth: r.Cfg.MaxDepth,
+		}))
+	}
+	r.graphs[aid] = gs
+	return gs
+}
+
+// ptsResolver resolves a frame variable's points-to set within an
+// action: the union over the action's instances of that method.
+func (r *Refuter) ptsResolver(aid int) func(f *frame, v string) pointer.ObjSet {
+	keys := r.insts[aid]
+	return func(f *frame, v string) pointer.ObjSet {
+		out := make(pointer.ObjSet)
+		for _, mk := range keys {
+			if mk.M == f.m {
+				out.AddAll(r.Res.PointsTo(mk.M, mk.Ctx, v))
+			}
+		}
+		return out
+	}
+}

@@ -1,0 +1,335 @@
+package symexec
+
+import (
+	"testing"
+
+	"sierra/internal/actions"
+	"sierra/internal/apk"
+	"sierra/internal/corpus"
+	"sierra/internal/frontend"
+	"sierra/internal/harness"
+	"sierra/internal/ir"
+	"sierra/internal/pointer"
+	"sierra/internal/race"
+	"sierra/internal/shbg"
+)
+
+// analyze runs the pipeline up to racy pairs and returns a refuter.
+func analyze(t *testing.T, app *apk.App) (*actions.Registry, []race.Pair, *Refuter) {
+	t.Helper()
+	hs := harness.Generate(app)
+	reg, res := actions.Analyze(app, hs, pointer.ActionSensitivePolicy{K: 2})
+	g := shbg.Build(reg, res, shbg.Options{})
+	accs := race.CollectAccesses(reg, res)
+	pairs := race.RacyPairs(reg, g, accs)
+	return reg, pairs, NewRefuter(reg, res, Config{})
+}
+
+// pairsOn selects pairs racing on a field between the two callbacks.
+func pairsOn(reg *actions.Registry, pairs []race.Pair, field, cb1, cb2 string) []race.Pair {
+	var out []race.Pair
+	for _, p := range pairs {
+		if p.A.Field != field {
+			continue
+		}
+		n1 := reg.Get(p.A.Action).Callback
+		n2 := reg.Get(p.B.Action).Callback
+		if (n1 == cb1 && n2 == cb2) || (n1 == cb2 && n2 == cb1) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestFigure8OpenSudokuRefutation(t *testing.T) {
+	reg, pairs, ref := analyze(t, corpus.SudokuTimerApp())
+
+	// The guarded mAccumTime pair must be refuted: running stop() before
+	// run() forces mIsRunning=false, contradicting run()'s guard.
+	guarded := pairsOn(reg, pairs, "mAccumTime", "run", "onPause")
+	if len(guarded) == 0 {
+		t.Fatal("no mAccumTime candidates to refute")
+	}
+	for _, p := range guarded {
+		v := ref.Check(p)
+		if v.TruePositive {
+			t.Errorf("mAccumTime pair %s should be refuted; verdict %+v", p.Key(), v)
+		}
+		if len(v.RefutedOrders) == 0 {
+			t.Errorf("no refuted order recorded for %s", p.Key())
+		}
+	}
+
+	// The guard variable itself is a true (benign) race: both orderings
+	// are feasible.
+	guard := pairsOn(reg, pairs, "mIsRunning", "run", "onPause")
+	if len(guard) == 0 {
+		t.Fatal("no mIsRunning candidates")
+	}
+	trueRace := false
+	for _, p := range guard {
+		if ref.Check(p).TruePositive {
+			trueRace = true
+		}
+	}
+	if !trueRace {
+		t.Error("the mIsRunning guard race must survive refutation (§6.5)")
+	}
+}
+
+func TestFigure1NewsRaceSurvives(t *testing.T) {
+	reg, pairs, ref := analyze(t, corpus.NewsApp())
+	cand := pairsOn(reg, pairs, "mData", "doInBackground", "onScroll")
+	if len(cand) == 0 {
+		t.Fatal("Fig 1 candidate missing")
+	}
+	survived := false
+	for _, p := range cand {
+		if ref.Check(p).TruePositive {
+			survived = true
+		}
+	}
+	if !survived {
+		t.Error("the unguarded Fig 1 race must survive refutation")
+	}
+}
+
+func TestFigure2DBRaceSurvives(t *testing.T) {
+	reg, pairs, ref := analyze(t, corpus.DatabaseApp())
+	cand := pairsOn(reg, pairs, "mOpen", "onReceive", "onStop")
+	if len(cand) == 0 {
+		t.Fatal("Fig 2 candidate missing")
+	}
+	survived := false
+	for _, p := range cand {
+		if ref.Check(p).TruePositive {
+			survived = true
+		}
+	}
+	if !survived {
+		t.Error("the unguarded Fig 2 race must survive refutation")
+	}
+}
+
+func TestNullCheckGuardRefuted(t *testing.T) {
+	reg, pairs, ref := analyze(t, corpus.NullGuardApp())
+	// cache write in onClick is guarded by data != null; onReceive sets
+	// data = null before writing cache, so the receive-first order has
+	// no witness and the pair is refuted.
+	cand := pairsOn(reg, pairs, "cache", "onClick", "onReceive")
+	if len(cand) == 0 {
+		t.Fatal("cache candidate missing")
+	}
+	for _, p := range cand {
+		v := ref.Check(p)
+		if v.TruePositive {
+			t.Errorf("null-guarded cache pair %s should be refuted: %+v", p.Key(), v)
+		}
+	}
+	// The guard field itself (data) races for real.
+	dataPairs := pairsOn(reg, pairs, "data", "onClick", "onReceive")
+	if len(dataPairs) == 0 {
+		t.Fatal("data candidate missing")
+	}
+	survived := false
+	for _, p := range dataPairs {
+		if ref.Check(p).TruePositive {
+			survived = true
+		}
+	}
+	if !survived {
+		t.Error("data guard race must survive")
+	}
+}
+
+func TestBudgetExhaustionReportsRace(t *testing.T) {
+	_, pairs, _ := analyze(t, corpus.SudokuTimerApp())
+	if len(pairs) == 0 {
+		t.Skip("no pairs")
+	}
+	app := corpus.SudokuTimerApp()
+	hs := harness.Generate(app)
+	reg, res := actions.Analyze(app, hs, pointer.ActionSensitivePolicy{K: 2})
+	g := shbg.Build(reg, res, shbg.Options{})
+	accs := race.CollectAccesses(reg, res)
+	ps := race.RacyPairs(reg, g, accs)
+	tiny := NewRefuter(reg, res, Config{MaxPaths: 1})
+	for _, p := range ps {
+		v := tiny.Check(p)
+		if !v.TruePositive && v.BudgetExhausted {
+			t.Errorf("budget-exhausted pair must be reported as a race: %+v", v)
+		}
+	}
+}
+
+func TestCacheConsistency(t *testing.T) {
+	app1 := corpus.SudokuTimerApp()
+	hs1 := harness.Generate(app1)
+	reg1, res1 := actions.Analyze(app1, hs1, pointer.ActionSensitivePolicy{K: 2})
+	g1 := shbg.Build(reg1, res1, shbg.Options{})
+	ps1 := race.RacyPairs(reg1, g1, race.CollectAccesses(reg1, res1))
+
+	cached := NewRefuter(reg1, res1, Config{})
+	uncached := NewRefuter(reg1, res1, Config{DisableCache: true})
+	for _, p := range ps1 {
+		a := cached.Check(p)
+		b := uncached.Check(p)
+		if a.TruePositive != b.TruePositive {
+			t.Errorf("cache changes verdict for %s: %t vs %t", p.Key(), a.TruePositive, b.TruePositive)
+		}
+	}
+	// Re-checking with the warm cache must agree too.
+	for _, p := range ps1 {
+		a1 := cached.Check(p)
+		a2 := cached.Check(p)
+		if a1.TruePositive != a2.TruePositive {
+			t.Errorf("unstable cached verdict for %s", p.Key())
+		}
+	}
+}
+
+func TestConstraintPrimitives(t *testing.T) {
+	c := constraint{}
+	c2, ok := c.withEq(boolVal(true))
+	if !ok {
+		t.Fatal("first eq must succeed")
+	}
+	if _, ok := c2.withEq(boolVal(false)); ok {
+		t.Error("true==false must conflict")
+	}
+	if _, ok := c2.withEq(boolVal(true)); !ok {
+		t.Error("idempotent eq must succeed")
+	}
+	c3, ok := c.withNe(intVal(5))
+	if !ok {
+		t.Fatal("ne must succeed")
+	}
+	if _, ok := c3.withEq(intVal(5)); ok {
+		t.Error("eq 5 after ne 5 must conflict")
+	}
+	if !c3.satisfiedBy(intVal(6)) {
+		t.Error("6 satisfies !=5")
+	}
+	if c3.satisfiedBy(intVal(5)) {
+		t.Error("5 must not satisfy !=5")
+	}
+	// Null-ness.
+	cn, _ := constraint{}.withEq(nullVal())
+	if cn.satisfiedBy(nonNullVal()) {
+		t.Error("nonnull must not satisfy ==null")
+	}
+	if cn.satisfiedBy(intVal(0)) {
+		t.Error("int must not satisfy ==null")
+	}
+	cnn, _ := constraint{}.withEq(nonNullVal())
+	if !cnn.satisfiedBy(intVal(3)) {
+		t.Error("int satisfies nonnull")
+	}
+	if cnn.satisfiedBy(nullVal()) {
+		t.Error("null must not satisfy nonnull")
+	}
+}
+
+func TestStoreCloneIsolation(t *testing.T) {
+	s := newStore()
+	if !s.constrainVarEq("x", intVal(1)) {
+		t.Fatal("constrain failed")
+	}
+	c := s.clone()
+	if !c.constrainVarEq("y", intVal(2)) {
+		t.Fatal("constrain clone failed")
+	}
+	if _, ok := s.vars["y"]; ok {
+		t.Error("clone leaked into original")
+	}
+	if s.key() == c.key() {
+		t.Error("keys must differ")
+	}
+	if s.empty() {
+		t.Error("store not empty")
+	}
+}
+
+// messageGuardApp: a handler dispatches on the constant message code; a
+// sender posts what=1 only, so the what==2 branch's access is dead for
+// that action — exactly what on-demand constant propagation (§5) proves.
+func messageGuardApp() *apk.App {
+	p := ir.NewProgram()
+	frontend.InstallFramework(p)
+
+	hc := ir.NewClass("DispHandler", frontend.HandlerClass)
+	hb := ir.NewMethodBuilder(frontend.HandleMessage, "m")
+	hb.Load("w", "m", "what")
+	one, rest := hb.If("w", ir.CmpEQ, ir.IntOperand(1))
+	hb.SetBlock(one)
+	hb.SLoad("a", "G", "alpha")
+	hb.Ret("")
+	hb.SetBlock(rest)
+	two, els := hb.If("w", ir.CmpEQ, ir.IntOperand(2))
+	hb.SetBlock(two)
+	hb.SLoad("b", "G", "beta")
+	hb.Ret("")
+	hb.SetBlock(els)
+	hb.Ret("")
+	hc.AddMethod(hb.Build())
+	p.AddClass(hc)
+
+	p.AddClass(ir.NewClass("G", frontend.Object))
+
+	act := ir.NewClass("MsgActivity", frontend.ActivityClass)
+	b := ir.NewMethodBuilder(frontend.OnCreate)
+	b.CallStatic("looper", frontend.LooperClass, frontend.GetMainLooper)
+	b.NewObj("h", "DispHandler")
+	b.CallSpecial("", "h", frontend.HandlerClass, "<init>", "looper")
+	b.Int("code", 1)
+	b.Call("", "h", "DispHandler", frontend.SendEmptyMessage, "code")
+	b.Ret("")
+	act.AddMethod(b.Build())
+	// onDestroy writes both globals — candidates against handleMessage.
+	d := ir.NewMethodBuilder(frontend.OnDestroy)
+	d.NewObj("x", frontend.BundleClass)
+	d.SStore("G", "alpha", "x")
+	d.SStore("G", "beta", "x")
+	d.Ret("")
+	act.AddMethod(d.Build())
+	p.AddClass(act)
+	p.Finalize()
+	return &apk.App{
+		Name: "msgguard", Program: p,
+		Manifest: apk.Manifest{Activities: []apk.Component{{Class: "MsgActivity"}}},
+		Layouts:  map[string]*apk.Layout{},
+	}
+}
+
+func TestMessageCodeConstantPropagation(t *testing.T) {
+	reg, pairs, ref := analyze(t, messageGuardApp())
+	var alphaPair, betaPair *race.Pair
+	for i := range pairs {
+		p := &pairs[i]
+		cb1 := reg.Get(p.A.Action).Callback
+		cb2 := reg.Get(p.B.Action).Callback
+		isMsgVsDestroy := (cb1 == "handleMessage" && cb2 == "onDestroy") ||
+			(cb1 == "onDestroy" && cb2 == "handleMessage")
+		if !isMsgVsDestroy {
+			continue
+		}
+		switch p.A.Field {
+		case "alpha":
+			alphaPair = p
+		case "beta":
+			betaPair = p
+		}
+	}
+	if alphaPair == nil || betaPair == nil {
+		t.Fatalf("expected alpha and beta candidates; have %d pairs", len(pairs))
+	}
+	// The sender only posts what=1: the alpha branch is live (true
+	// race), the beta branch is dead for this message action (refuted by
+	// constant propagation).
+	if !ref.Check(*alphaPair).TruePositive {
+		t.Error("alpha (what==1 branch) must survive — the sender posts what=1")
+	}
+	if v := ref.Check(*betaPair); v.TruePositive {
+		t.Errorf("beta (what==2 branch) must be refuted via message-code propagation: %+v", v)
+	}
+}

@@ -1,0 +1,232 @@
+// Package symexec implements goal-directed backward symbolic execution
+// for race refutation (§5 of the paper). For a candidate racy pair
+// ⟨αA, αB⟩ it checks whether a feasible program path witnesses each
+// ordering of the two actions; ad-hoc synchronization (guard variables,
+// null checks, constant message codes) shows up as contradictory path
+// constraints, refuting the pair.
+//
+// It substitutes for the Thresher/Z3 stack in the paper's toolchain: the
+// constraint language covers what the paper's refutations need —
+// equality/disequality over booleans, integers, and null-ness, with
+// strong updates on singleton points-to sets.
+package symexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sierra/internal/pointer"
+)
+
+// valKind discriminates symbolic values.
+type valKind int
+
+const (
+	vInt valKind = iota
+	vBool
+	vNull
+	vNonNull
+)
+
+// value is a concrete constraint operand.
+type value struct {
+	kind valKind
+	i    int64
+	b    bool
+}
+
+func intVal(i int64) value { return value{kind: vInt, i: i} }
+func boolVal(b bool) value { return value{kind: vBool, b: b} }
+func nullVal() value       { return value{kind: vNull} }
+func nonNullVal() value    { return value{kind: vNonNull} }
+
+func (v value) String() string {
+	switch v.kind {
+	case vInt:
+		return fmt.Sprintf("%d", v.i)
+	case vBool:
+		return fmt.Sprintf("%t", v.b)
+	case vNull:
+		return "null"
+	default:
+		return "nonnull"
+	}
+}
+
+// equal reports definite equality of two values.
+func (a value) equal(b value) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case vInt:
+		return a.i == b.i
+	case vBool:
+		return a.b == b.b
+	default:
+		return true
+	}
+}
+
+// conflicts reports that asserting x == a and x == b together is
+// unsatisfiable.
+func conflicts(a, b value) bool {
+	// null vs nonnull conflict; null vs any concrete conflicts.
+	if a.kind == vNull && b.kind == vNonNull || a.kind == vNonNull && b.kind == vNull {
+		return true
+	}
+	if a.kind == vNull && (b.kind == vInt || b.kind == vBool) {
+		return true
+	}
+	if b.kind == vNull && (a.kind == vInt || a.kind == vBool) {
+		return true
+	}
+	if a.kind != b.kind {
+		return false // incomparable, assume satisfiable
+	}
+	return !a.equal(b)
+}
+
+// constraint is the requirement on one variable or location: an optional
+// must-equal value plus must-not-equal values.
+type constraint struct {
+	eq *value
+	ne []value
+}
+
+// withEq returns the constraint strengthened by x == v, and whether the
+// result is satisfiable.
+func (c constraint) withEq(v value) (constraint, bool) {
+	if c.eq != nil && conflicts(*c.eq, v) {
+		return c, false
+	}
+	for _, n := range c.ne {
+		if v.equal(n) {
+			return c, false
+		}
+		// x != null together with x == nonnull is fine; x != nonnull is
+		// not expressible, so only definite equality kills.
+	}
+	out := c
+	if out.eq == nil {
+		out.eq = &v
+	}
+	return out, true
+}
+
+// withNe returns the constraint strengthened by x != v.
+func (c constraint) withNe(v value) (constraint, bool) {
+	if c.eq != nil && c.eq.equal(v) {
+		return c, false
+	}
+	out := c
+	out.ne = append(append([]value(nil), c.ne...), v)
+	return out, true
+}
+
+// satisfiedBy checks whether assigning val satisfies the constraint.
+func (c constraint) satisfiedBy(val value) bool {
+	if c.eq != nil && conflicts(*c.eq, val) {
+		return false
+	}
+	if c.eq != nil && c.eq.kind != val.kind {
+		// e.g. required nonnull, assigned int: int is non-null — allow
+		// kind-crossing satisfaction for null-ness.
+		if c.eq.kind == vNonNull && (val.kind == vInt || val.kind == vBool) {
+			// fallthrough: satisfied
+		} else if c.eq.kind == vNull {
+			return false
+		}
+	}
+	for _, n := range c.ne {
+		if val.equal(n) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c constraint) String() string {
+	parts := []string{}
+	if c.eq != nil {
+		parts = append(parts, "=="+c.eq.String())
+	}
+	for _, n := range c.ne {
+		parts = append(parts, "!="+n.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// locKey identifies a heap location: an abstract object's field or a
+// static field.
+type locKey struct {
+	obj    pointer.Obj
+	field  string
+	static bool
+	class  string
+}
+
+func (l locKey) String() string {
+	if l.static {
+		return l.class + "." + l.field
+	}
+	return l.obj.String() + "." + l.field
+}
+
+// store is a path-constraint store over variables (frame-qualified) and
+// heap locations. Stores are copied on branch.
+type store struct {
+	vars map[string]constraint
+	locs map[locKey]constraint
+}
+
+func newStore() *store {
+	return &store{vars: map[string]constraint{}, locs: map[locKey]constraint{}}
+}
+
+func (s *store) clone() *store {
+	out := newStore()
+	for k, v := range s.vars {
+		out.vars[k] = v
+	}
+	for k, v := range s.locs {
+		out.locs[k] = v
+	}
+	return out
+}
+
+// key renders a canonical fingerprint for memoization.
+func (s *store) key() string {
+	parts := make([]string, 0, len(s.vars)+len(s.locs))
+	for k, v := range s.vars {
+		parts = append(parts, "v:"+k+":"+v.String())
+	}
+	for k, v := range s.locs {
+		parts = append(parts, "l:"+k.String()+":"+v.String())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+func (s *store) empty() bool { return len(s.vars) == 0 && len(s.locs) == 0 }
+
+// constrainVarEq asserts var == v, reporting satisfiability.
+func (s *store) constrainVarEq(name string, v value) bool {
+	c, ok := s.vars[name].withEq(v)
+	if !ok {
+		return false
+	}
+	s.vars[name] = c
+	return true
+}
+
+// constrainVarNe asserts var != v.
+func (s *store) constrainVarNe(name string, v value) bool {
+	c, ok := s.vars[name].withNe(v)
+	if !ok {
+		return false
+	}
+	s.vars[name] = c
+	return true
+}

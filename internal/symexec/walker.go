@@ -1,0 +1,306 @@
+package symexec
+
+import (
+	"sierra/internal/ir"
+	"sierra/internal/pointer"
+)
+
+// walker enumerates backward paths over an inlined action graph,
+// applying reverse transfer functions to a constraint store and pruning
+// contradictions.
+type walker struct {
+	g   *igraph
+	pts func(f *frame, v string) pointer.ObjSet
+	// budget is the remaining path allowance; each completed or pruned
+	// path consumes one.
+	budget    int
+	paths     int
+	budgetHit bool
+	// target, when set, is the access the path must execute (E-walk).
+	target ir.Pos
+	// visits tracks per-path node occurrences (loop unrolling bound).
+	visits map[int]int
+}
+
+// maxVisitsPerNode allows one loop unrolling per path.
+const maxVisitsPerNode = 2
+
+// collectEntry runs the A-walk: backward from the access node (its own
+// transfer skipped — the access is the query's sink) to the root entry,
+// reporting each consistent store via sink.
+func (w *walker) collectEntry(accessNode int, sink func(*store)) {
+	w.collectEntryFrom(accessNode, newStore(), sink)
+}
+
+// collectEntryFrom is collectEntry with an initial constraint store
+// (e.g. the on-demand constant propagation's message-code seed).
+func (w *walker) collectEntryFrom(accessNode int, init *store, sink func(*store)) {
+	w.visits = map[int]int{}
+	w.walkPreds(accessNode, init.clone(), false, func(st *store, _ bool) {
+		sink(st)
+	})
+}
+
+// findWitness runs the E-walk: backward from every root exit to the root
+// entry under init; a witness path must execute the target access.
+func (w *walker) findWitness(init *store) bool {
+	found := false
+	for _, exit := range w.g.exits {
+		if found || w.budgetHit {
+			break
+		}
+		w.visits = map[int]int{}
+		// Process the exit node itself (a Return; no-op transfer) then
+		// walk its predecessors.
+		w.walk(exit, init.clone(), false, func(_ *store, saw bool) {
+			if saw {
+				found = true
+			}
+		})
+	}
+	return found
+}
+
+// walk processes node's reverse transfer then recurses into its
+// predecessors; atEntry is invoked when the root entry is reached.
+func (w *walker) walk(node int, st *store, saw bool, atEntry func(*store, bool)) {
+	if w.budgetHit {
+		return
+	}
+	n := &w.g.nodes[node]
+	if n.isEntry && n.frame.id == 0 {
+		w.endPath()
+		atEntry(st, saw)
+		return
+	}
+	if w.target.Method != nil && n.pos == w.target {
+		saw = true
+	}
+	ok := w.transfer(n, st)
+	if !ok {
+		w.endPath()
+		return
+	}
+	w.walkPreds(node, st, saw, atEntry)
+}
+
+// walkPreds recurses into the predecessors of node (without processing
+// node itself).
+func (w *walker) walkPreds(node int, st *store, saw bool, atEntry func(*store, bool)) {
+	if w.budgetHit {
+		return
+	}
+	preds := w.g.preds[node]
+	if len(preds) == 0 {
+		// Dangling (unreachable) node: path dies.
+		w.endPath()
+		return
+	}
+	for _, p := range preds {
+		if w.budgetHit {
+			return
+		}
+		if w.visits[p.node] >= maxVisitsPerNode {
+			w.endPath()
+			continue
+		}
+		branchSt := st.clone()
+		if p.br != branchNone {
+			iff, okIf := w.g.nodes[p.node].pos.Stmt().(*ir.If)
+			if okIf && !w.applyBranch(w.g.nodes[p.node].frame, iff, p.br == branchTrue, branchSt) {
+				w.endPath()
+				continue
+			}
+		}
+		w.visits[p.node]++
+		w.walk(p.node, branchSt, saw, atEntry)
+		w.visits[p.node]--
+	}
+}
+
+func (w *walker) endPath() {
+	w.paths++
+	if w.paths >= w.budget {
+		w.budgetHit = true
+	}
+}
+
+// applyBranch strengthens the store with an If condition taken in the
+// given polarity; false means the path is infeasible.
+func (w *walker) applyBranch(f *frame, iff *ir.If, taken bool, st *store) bool {
+	op := iff.Op
+	if !taken {
+		op = op.Negate()
+	}
+	if iff.B.IsVar {
+		return true // relational var-var constraints are not tracked
+	}
+	var v value
+	switch iff.B.Kind {
+	case ir.ConstInt:
+		v = intVal(iff.B.Int)
+	case ir.ConstBool:
+		v = boolVal(iff.B.Bool)
+	case ir.ConstNull:
+		v = nullVal()
+	default:
+		return true
+	}
+	name := f.qvar(iff.A)
+	switch op {
+	case ir.CmpEQ:
+		return st.constrainVarEq(name, v)
+	case ir.CmpNE:
+		if v.kind == vNull {
+			return st.constrainVarEq(name, nonNullVal())
+		}
+		return st.constrainVarNe(name, v)
+	default:
+		return true // <, <=, >, >= — untracked, assume satisfiable
+	}
+}
+
+// transfer applies the reverse transfer function of one node. Returns
+// false when the store becomes unsatisfiable.
+func (w *walker) transfer(n *inode, st *store) bool {
+	if n.isEntry {
+		return true // non-root frame entry: no effect
+	}
+	if n.isSynth {
+		return w.moveVar(st, n.synthDst, n.synthSrc)
+	}
+	f := n.frame
+	switch s := n.pos.Stmt().(type) {
+	case *ir.Const:
+		q := f.qvar(s.Dst)
+		c, ok := st.vars[q]
+		if !ok {
+			return true
+		}
+		delete(st.vars, q)
+		var v value
+		switch s.Kind {
+		case ir.ConstInt:
+			v = intVal(s.Int)
+		case ir.ConstBool:
+			v = boolVal(s.Bool)
+		case ir.ConstNull:
+			v = nullVal()
+		default:
+			v = nonNullVal()
+		}
+		return c.satisfiedBy(v)
+	case *ir.Move:
+		return w.moveVar(st, f.qvar(s.Dst), f.qvar(s.Src))
+	case *ir.New:
+		q := f.qvar(s.Dst)
+		c, ok := st.vars[q]
+		if !ok {
+			return true
+		}
+		delete(st.vars, q)
+		return c.satisfiedBy(nonNullVal())
+	case *ir.Load:
+		q := f.qvar(s.Dst)
+		c, ok := st.vars[q]
+		if !ok {
+			return true
+		}
+		delete(st.vars, q)
+		objs := w.pts(f, s.Obj)
+		if len(objs) == 1 {
+			for o := range objs {
+				return mergeLoc(st, locKey{obj: o, field: s.Field}, c)
+			}
+		}
+		return true // ambiguous base: drop the constraint (sound)
+	case *ir.Store:
+		objs := w.pts(f, s.Obj)
+		if len(objs) != 1 {
+			return true // weak update: the store may not hit our location
+		}
+		for o := range objs {
+			lk := locKey{obj: o, field: s.Field}
+			c, ok := st.locs[lk]
+			if !ok {
+				return true
+			}
+			delete(st.locs, lk)
+			// Strong update: the stored value must satisfy the
+			// requirement — move the constraint onto the source var.
+			return mergeVar(st, f.qvar(s.Src), c)
+		}
+		return true
+	case *ir.StaticLoad:
+		q := f.qvar(s.Dst)
+		c, ok := st.vars[q]
+		if !ok {
+			return true
+		}
+		delete(st.vars, q)
+		return mergeLoc(st, locKey{static: true, class: s.Class, field: s.Field}, c)
+	case *ir.StaticStore:
+		lk := locKey{static: true, class: s.Class, field: s.Field}
+		c, ok := st.locs[lk]
+		if !ok {
+			return true
+		}
+		delete(st.locs, lk)
+		return mergeVar(st, f.qvar(s.Src), c)
+	case *ir.Invoke:
+		if s.Dst != "" {
+			// Un-inlined call: result unknown, drop the constraint.
+			delete(st.vars, f.qvar(s.Dst))
+		}
+		return true
+	case *ir.BinOp:
+		delete(st.vars, f.qvar(s.Dst))
+		return true
+	default:
+		return true
+	}
+}
+
+// moveVar transfers the constraint on dst (if any) onto src.
+func (w *walker) moveVar(st *store, dst, src string) bool {
+	c, ok := st.vars[dst]
+	if !ok {
+		return true
+	}
+	delete(st.vars, dst)
+	return mergeVar(st, src, c)
+}
+
+// mergeVar conjoins a constraint onto a variable.
+func mergeVar(st *store, name string, c constraint) bool {
+	if c.eq != nil && !st.constrainVarEq(name, *c.eq) {
+		return false
+	}
+	for _, n := range c.ne {
+		if !st.constrainVarNe(name, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeLoc conjoins a constraint onto a heap location.
+func mergeLoc(st *store, lk locKey, c constraint) bool {
+	have := st.locs[lk]
+	if c.eq != nil {
+		merged, ok := have.withEq(*c.eq)
+		if !ok {
+			return false
+		}
+		have = merged
+	}
+	for _, n := range c.ne {
+		merged, ok := have.withNe(n)
+		if !ok {
+			return false
+		}
+		have = merged
+	}
+	st.locs[lk] = have
+	return true
+}
