@@ -21,6 +21,7 @@ import (
 	"sierra/internal/harness"
 	"sierra/internal/interp"
 	"sierra/internal/metrics"
+	"sierra/internal/obs"
 	"sierra/internal/pointer"
 	"sierra/internal/race"
 	"sierra/internal/shbg"
@@ -96,6 +97,29 @@ func BenchmarkTable4Stages(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAnalyze is the nil-Obs baseline for the observability layer:
+// the full pipeline with tracing disabled. BenchmarkAnalyzeObs runs the
+// identical workload with a live trace; the two must stay within noise
+// of each other (the hot paths only pay a nil check when Obs is off,
+// and stage-local accumulators when it is on).
+func BenchmarkAnalyze(b *testing.B) {
+	row, _ := corpus.RowByName("OpenSudoku")
+	for i := 0; i < b.N; i++ {
+		app, _ := corpus.NamedApp(row)
+		core.Analyze(app, core.Options{CompareContexts: true})
+	}
+}
+
+// BenchmarkAnalyzeObs is BenchmarkAnalyze with tracing enabled — the
+// delta between the two is the observability overhead.
+func BenchmarkAnalyzeObs(b *testing.B) {
+	row, _ := corpus.RowByName("OpenSudoku")
+	for i := 0; i < b.N; i++ {
+		app, _ := corpus.NamedApp(row)
+		core.Analyze(app, core.Options{CompareContexts: true, Obs: obs.New("bench")})
+	}
 }
 
 // BenchmarkTable5LargeCorpus runs the pipeline over a slice of the

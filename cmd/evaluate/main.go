@@ -11,9 +11,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"sierra/internal/corpus"
 	"sierra/internal/metrics"
@@ -27,8 +29,46 @@ func main() {
 		events    = flag.Int("events", 40, "events per dynamic schedule")
 		nFDroid   = flag.Int("fdroid-count", corpus.FDroidCount, "how many generated apps for Table 5")
 		quiet     = flag.Bool("q", false, "suppress progress output")
+		benchJSON = flag.String("bench-json", "", "write per-stage timings + effort counters for the 20-app dataset as JSON to this file and exit (e.g. BENCH_sierra.json)")
+		pprofCPU  = flag.String("pprof-cpu", "", "write a CPU profile of the evaluation to this file")
+		pprofMem  = flag.String("pprof-mem", "", "write a heap profile after the evaluation to this file")
 	)
 	flag.Parse()
+
+	if *pprofCPU != "" {
+		f, err := os.Create(*pprofCPU)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *pprofMem != "" {
+		defer func() {
+			f, err := os.Create(*pprofMem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "evaluate:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "evaluate:", err)
+			}
+		}()
+	}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := metrics.Options{
 		WithDynamic:       *dynamic,
@@ -76,4 +116,34 @@ func main() {
 		}
 		fmt.Println(metrics.FormatTable5(rows, sizes))
 	}
+}
+
+// benchReport is the -bench-json schema: one static-pipeline measurement
+// per 20-app-dataset member plus the per-column median. Rows carry the
+// Table 3/4 columns and the observability effort counters, so CI can
+// track the perf trajectory from one artifact.
+type benchReport struct {
+	Schema string        `json:"schema"`
+	Apps   []metrics.Row `json:"apps"`
+	Median metrics.Row   `json:"median"`
+}
+
+// writeBenchJSON measures the 20-app dataset (static pipeline only — no
+// dynamic baseline, so the artifact is deterministic and fast) and
+// writes the benchReport.
+func writeBenchJSON(path string, quiet bool) error {
+	rows := corpus.PaperRows()
+	report := benchReport{Schema: "sierra-bench/v1"}
+	for i, pr := range rows {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "[%2d/%d] %s\n", i+1, len(rows), pr.Name)
+		}
+		report.Apps = append(report.Apps, metrics.EvaluateNamed(pr, metrics.Options{}))
+	}
+	report.Median = metrics.MedianRow(report.Apps)
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
 }

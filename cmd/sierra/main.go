@@ -8,17 +8,21 @@
 //	sierra -fdroid 17                 # a generated 174-app-dataset member
 //	sierra -file path/to/app.app      # a textual app model
 //	sierra -app K-9Mail -policy hybrid -compare -v
+//	sierra -app OpenSudoku -stats out.json      # machine-readable effort snapshot
+//	sierra -app OpenSudoku -pprof-cpu cpu.out   # CPU profile of the run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"sierra/internal/apk"
 	"sierra/internal/appfile"
 	"sierra/internal/core"
 	"sierra/internal/corpus"
+	"sierra/internal/obs"
 	"sierra/internal/pointer"
 	"sierra/internal/report"
 	"sierra/internal/symexec"
@@ -35,8 +39,11 @@ func main() {
 		noRefute = flag.Bool("no-refute", false, "skip symbolic refutation")
 		maxPaths = flag.Int("max-paths", 5000, "refutation path budget per query")
 		list     = flag.Bool("list", false, "list named dataset apps and exit")
-		verbose  = flag.Bool("v", false, "print every report, not just the summary")
+		verbose  = flag.Bool("v", false, "print every report plus the observability breakdown")
 		verifyN  = flag.Int("verify", 0, "dynamically confirm the top N reports via schedule search (§6.4)")
+		stats    = flag.String("stats", "", "write the observability snapshot (spans + counters) as JSON to this file")
+		pprofCPU = flag.String("pprof-cpu", "", "write a CPU profile of the analysis to this file")
+		pprofMem = flag.String("pprof-mem", "", "write a heap profile after the analysis to this file")
 	)
 	flag.Parse()
 
@@ -59,12 +66,57 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *pprofCPU != "" {
+		f, err := os.Create(*pprofCPU)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sierra:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sierra:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Observability is on whenever someone will look at it (-stats or
+	// -v); otherwise the pipeline runs with a nil trace at zero cost.
+	var tr *obs.Trace
+	if *stats != "" || *verbose {
+		tr = obs.New("sierra:" + app.Name)
+	}
+
 	res := core.Analyze(app, core.Options{
 		Policy:          pol,
 		CompareContexts: *compare,
 		SkipRefutation:  *noRefute,
 		Refuter:         symexec.Config{MaxPaths: *maxPaths},
+		Obs:             tr,
 	})
+
+	if *stats != "" {
+		raw, err := tr.Snapshot().JSON()
+		if err == nil {
+			err = os.WriteFile(*stats, raw, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sierra: writing -stats:", err)
+			os.Exit(1)
+		}
+	}
+	if *pprofMem != "" {
+		f, err := os.Create(*pprofMem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sierra:", err)
+			os.Exit(1)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sierra:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 
 	fmt.Printf("app            %s\n", app.Name)
 	fmt.Printf("policy         %s\n", pol.Name())
@@ -83,9 +135,10 @@ func main() {
 		fmt.Printf("categories     app=%d framework=%d library=%d; ref-races=%d; benign-guard=%.1f%%\n",
 			s.App, s.Framework, s.Library, s.RefRaces, s.BenignPct)
 	}
-	fmt.Printf("time           total %.3fs (CG+PA %.3fs, HBG %.3fs, refutation %.3fs)\n",
+	fmt.Printf("time           total %.3fs (CG+PA %.3fs, HBG %.3fs, pairs %.3fs, compare %.3fs, refutation %.3fs)\n",
 		res.Timing.Total.Seconds(), res.Timing.CGPA.Seconds(),
-		res.Timing.HBG.Seconds(), res.Timing.Refutation.Seconds())
+		res.Timing.HBG.Seconds(), res.Timing.Pairs.Seconds(),
+		res.Timing.Compare.Seconds(), res.Timing.Refutation.Seconds())
 
 	if *verbose {
 		fmt.Println()
@@ -96,15 +149,13 @@ func main() {
 			fmt.Println("\ntop report in detail:")
 			fmt.Print(res.Reports[0].Explain(res.Registry, res.Graph))
 		}
+		fmt.Println("\nobservability breakdown:")
+		fmt.Print(obs.Format(tr.Snapshot()))
 	}
 
 	if *verifyN > 0 {
-		factory := func() *apk.App {
-			a, err := loadApp(*appName, *fdroid, *file)
-			if err != nil {
-				panic(err)
-			}
-			return a
+		factory := func() (*apk.App, error) {
+			return loadApp(*appName, *fdroid, *file)
 		}
 		n := *verifyN
 		if n > len(res.Reports) {
@@ -113,7 +164,11 @@ func main() {
 		fmt.Printf("\ndynamic confirmation of the top %d reports:\n", n)
 		for i := 0; i < n; i++ {
 			p := res.Reports[i].Pair
-			out := verify.Witness(factory, p, verify.Options{Schedules: 120, EventsPerSchedule: 80, Seed: 1})
+			out, err := verify.WitnessErr(factory, p, verify.Options{Schedules: 120, EventsPerSchedule: 80, Seed: 1})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sierra: -verify reload:", err)
+				os.Exit(1)
+			}
 			status := "NOT WITNESSED"
 			switch {
 			case out.Confirmed():

@@ -3,6 +3,7 @@ package actions
 import (
 	"sierra/internal/apk"
 	"sierra/internal/harness"
+	"sierra/internal/obs"
 	"sierra/internal/pointer"
 )
 
@@ -16,6 +17,13 @@ import (
 // reproduce the paper's with/without-action-sensitivity comparison; the
 // harnesses are shared.
 func Analyze(app *apk.App, hs []*harness.Harness, pol pointer.Policy) (*Registry, *pointer.Result) {
+	return AnalyzeTraced(app, hs, pol, nil)
+}
+
+// AnalyzeTraced is Analyze with observability: the trace is handed to
+// the pointer analysis (pointer.* counters) and receives the discovered
+// action count (actions.discovered). Nil Trace = no-op.
+func AnalyzeTraced(app *apk.App, hs []*harness.Harness, pol pointer.Policy, tr *obs.Trace) (*Registry, *pointer.Result) {
 	reg := NewRegistry(app, hs, pol)
 
 	var seeds []pointer.Seed
@@ -49,6 +57,8 @@ func Analyze(app *apk.App, hs []*harness.Harness, pol pointer.Policy) (*Registry
 		Views:    views,
 		OnEvent:  reg.OnEvent,
 		ActionAt: reg.ActionAt,
+		Obs:      tr,
 	})
+	tr.Count("actions.discovered", int64(reg.NumActions()))
 	return reg, res
 }

@@ -11,6 +11,7 @@ import (
 	"sierra/internal/actions"
 	"sierra/internal/apk"
 	"sierra/internal/harness"
+	"sierra/internal/obs"
 	"sierra/internal/pointer"
 	"sierra/internal/race"
 	"sierra/internal/report"
@@ -33,15 +34,25 @@ type Options struct {
 	Refuter symexec.Config
 	// SHBG tunes happens-before construction (rule ablation).
 	SHBG shbg.Options
+	// Obs, when non-nil, collects hierarchical spans and per-stage
+	// effort counters for the whole pipeline (see README.md
+	// "Observability"). Nil disables observability at zero cost.
+	Obs *obs.Trace
 }
 
 // Timing records per-stage wall-clock durations (Table 4's columns).
+// The components partition Total: CGPA + HBG + Pairs + Compare +
+// Refutation accounts for the whole pipeline.
 type Timing struct {
 	// CGPA covers harness generation, call graph and pointer analysis.
 	CGPA time.Duration
 	// HBG covers SHBG construction.
 	HBG time.Duration
-	// Refutation covers backward symbolic execution.
+	// Pairs covers access collection and racy-pair generation.
+	Pairs time.Duration
+	// Compare covers the optional plain-hybrid rerun (CompareContexts).
+	Compare time.Duration
+	// Refutation covers backward symbolic execution and ranking.
 	Refutation time.Duration
 	// Total is the whole pipeline.
 	Total time.Duration
@@ -60,7 +71,10 @@ type Result struct {
 	// RacyPairsNoAS is the candidate count under plain hybrid contexts
 	// (only when CompareContexts is set).
 	RacyPairsNoAS int
-	// Verdicts align with RacyPairs.
+	// AllVerdicts align with RacyPairs (every candidate's refutation
+	// outcome; nil when refutation is skipped).
+	AllVerdicts []symexec.Verdict
+	// Verdicts align with the surviving pairs (the Reports' order input).
 	Verdicts []symexec.Verdict
 	// Reports are the surviving races, ranked.
 	Reports []report.Report
@@ -89,49 +103,81 @@ func Analyze(app *apk.App, opts Options) *Result {
 	if opts.Policy == nil {
 		opts.Policy = pointer.ActionSensitivePolicy{K: 2}
 	}
+	tr := opts.Obs
 	res := &Result{App: app}
 	start := time.Now()
+	span := tr.Start("analyze")
 
 	// Stage 1: harness + call graph + pointer analysis (+ actions).
 	t0 := time.Now()
-	res.Harnesses = harness.Generate(app)
-	reg, pta := actions.Analyze(app, res.Harnesses, opts.Policy)
+	sHarness := tr.Start("harness")
+	res.Harnesses = harness.GenerateTraced(app, tr)
+	sHarness.End()
+	sCGPA := tr.Start("cgpa")
+	reg, pta := actions.AnalyzeTraced(app, res.Harnesses, opts.Policy, tr)
+	sCGPA.End()
 	res.Registry, res.PTA = reg, pta
 	res.Timing.CGPA = time.Since(t0)
 
 	// Stage 2: Static Happens-Before Graph.
 	t1 := time.Now()
-	res.Graph = shbg.Build(reg, pta, opts.SHBG)
+	sSHBG := tr.Start("shbg")
+	shbgOpts := opts.SHBG
+	shbgOpts.Obs = tr
+	res.Graph = shbg.Build(reg, pta, shbgOpts)
+	sSHBG.End()
 	res.Timing.HBG = time.Since(t1)
 
 	// Stage 3: racy pairs (the action-sensitive run is authoritative;
 	// the hybrid rerun only contributes its candidate count).
-	res.Accesses = race.CollectAccesses(reg, pta)
-	res.RacyPairs = race.RacyPairs(reg, res.Graph, res.Accesses)
+	t2 := time.Now()
+	sPairs := tr.Start("pairs")
+	res.Accesses = race.CollectAccessesTraced(reg, pta, tr)
+	res.RacyPairs = race.RacyPairsTraced(reg, res.Graph, res.Accesses, tr)
+	sPairs.End()
+	res.Timing.Pairs = time.Since(t2)
 	if opts.CompareContexts {
+		t3 := time.Now()
+		sCompare := tr.Start("compare")
+		// The rerun is deliberately untraced so the counters describe
+		// the authoritative (action-sensitive) run only.
+		plainSHBG := opts.SHBG
+		plainSHBG.Obs = nil
 		regH, ptaH := actions.Analyze(app, res.Harnesses, pointer.Hybrid{K: 2})
-		gH := shbg.Build(regH, ptaH, opts.SHBG)
+		gH := shbg.Build(regH, ptaH, plainSHBG)
 		pairsH := race.RacyPairs(regH, gH, race.CollectAccesses(regH, ptaH))
 		res.RacyPairsNoAS = len(pairsH)
+		sCompare.End()
+		res.Timing.Compare = time.Since(t3)
 	}
 
 	// Stage 4: refutation + ranking.
-	t2 := time.Now()
+	t4 := time.Now()
 	if !opts.SkipRefutation {
-		ref := symexec.NewRefuter(reg, pta, opts.Refuter)
+		sRefute := tr.Start("refute")
+		refCfg := opts.Refuter
+		refCfg.Obs = tr
+		ref := symexec.NewRefuter(reg, pta, refCfg)
 		var survivors []race.Pair
 		var verdicts []symexec.Verdict
+		res.AllVerdicts = make([]symexec.Verdict, 0, len(res.RacyPairs))
 		for _, p := range res.RacyPairs {
 			v := ref.Check(p)
+			res.AllVerdicts = append(res.AllVerdicts, v)
 			if v.TruePositive {
 				survivors = append(survivors, p)
 				verdicts = append(verdicts, v)
 			}
 		}
+		sRefute.End()
 		res.Verdicts = verdicts
+		sRank := tr.Start("rank")
 		res.Reports = report.Rank(app.Program, survivors, verdicts)
+		sRank.End()
 	}
-	res.Timing.Refutation = time.Since(t2)
+	res.Timing.Refutation = time.Since(t4)
 	res.Timing.Total = time.Since(start)
+	tr.Count("core.reports", int64(len(res.Reports)))
+	span.End()
 	return res
 }

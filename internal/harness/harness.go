@@ -19,6 +19,7 @@ import (
 	"sierra/internal/callgraph"
 	"sierra/internal/frontend"
 	"sierra/internal/ir"
+	"sierra/internal/obs"
 )
 
 // ClassPrefix marks synthetic harness classes in the program.
@@ -89,6 +90,13 @@ type Binding struct {
 // Generate builds one harness per manifest activity and registers the
 // synthetic classes in the app's program (finalizing it again).
 func Generate(app *apk.App) []*Harness {
+	return GenerateTraced(app, nil)
+}
+
+// GenerateTraced is Generate with observability: it publishes the
+// harness.* counters (emitted harnesses, lifecycle sites, GUI slots,
+// synthetic statements) into the trace (nil Trace = no-op).
+func GenerateTraced(app *apk.App, tr *obs.Trace) []*Harness {
 	var out []*Harness
 	for _, comp := range app.Manifest.Activities {
 		out = append(out, generateOne(app, comp))
@@ -98,7 +106,27 @@ func Generate(app *apk.App) []*Harness {
 	for _, h := range out {
 		h.locateSites()
 	}
+	if tr != nil {
+		lifecycle, gui, stmts := Stats(out)
+		tr.Count("harness.emitted", int64(len(out)))
+		tr.Count("harness.lifecycle_sites", int64(lifecycle))
+		tr.Count("harness.gui_slots", int64(gui))
+		tr.Count("harness.synthetic_stmts", int64(stmts))
+	}
 	return out
+}
+
+// Stats sums the generated harnesses' lifecycle sites, GUI slots, and
+// synthetic statements (the harness methods' statement count).
+func Stats(hs []*Harness) (lifecycleSites, guiSlots, syntheticStmts int) {
+	for _, h := range hs {
+		lifecycleSites += len(h.Lifecycle)
+		guiSlots += len(h.GUI)
+		for _, blk := range h.Method.Blocks {
+			syntheticStmts += len(blk.Stmts)
+		}
+	}
+	return lifecycleSites, guiSlots, syntheticStmts
 }
 
 // generateOne builds the harness for a single activity.

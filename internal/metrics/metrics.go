@@ -13,6 +13,7 @@ import (
 	"sierra/internal/core"
 	"sierra/internal/corpus"
 	"sierra/internal/eventracer"
+	"sierra/internal/obs"
 )
 
 // Row is one measured app: Table 3's columns plus Table 4's timings and
@@ -30,8 +31,16 @@ type Row struct {
 	FP         int
 	// EventRacer is the dynamic baseline's report count (-1 = not run).
 	EventRacer int
-	// Timings in seconds (Table 4 stages).
-	CGPA, HBG, Refutation, Total float64
+	// Timings in seconds (Table 4 stages). Pairs is racy-pair
+	// generation, Compare the optional plain-hybrid rerun; together with
+	// CGPA, HBG, and Refutation they partition Total.
+	CGPA, HBG, Pairs, Compare, Refutation, Total float64
+	// Effort counters from the observability layer (Table 4's effort
+	// columns; one source of truth with `sierra -stats`).
+	PAPasses  int // pointer-analysis fixpoint passes
+	PAIters   int // pointer worklist iterations (instances × passes)
+	RefPaths  int // refutation paths explored
+	RefPruned int // refutation paths pruned on contradictions/bounds
 }
 
 // Options tunes an evaluation run.
@@ -48,7 +57,8 @@ type Options struct {
 // the ground truth.
 func EvaluateApp(name string, factory func() (*apk.App, *corpus.GroundTruth), opts Options) Row {
 	app, gt := factory()
-	res := core.Analyze(app, core.Options{CompareContexts: true})
+	tr := obs.New(name)
+	res := core.Analyze(app, core.Options{CompareContexts: true, Obs: tr})
 
 	row := Row{
 		Name:       name,
@@ -62,8 +72,14 @@ func EvaluateApp(name string, factory func() (*apk.App, *corpus.GroundTruth), op
 		EventRacer: -1,
 		CGPA:       res.Timing.CGPA.Seconds(),
 		HBG:        res.Timing.HBG.Seconds(),
+		Pairs:      res.Timing.Pairs.Seconds(),
+		Compare:    res.Timing.Compare.Seconds(),
 		Refutation: res.Timing.Refutation.Seconds(),
 		Total:      res.Timing.Total.Seconds(),
+		PAPasses:   int(tr.Counter("pointer.passes")),
+		PAIters:    int(tr.Counter("pointer.worklist_iterations")),
+		RefPaths:   int(tr.Counter("refute.paths")),
+		RefPruned:  int(tr.Counter("refute.paths_pruned")),
 	}
 	for _, r := range res.Reports {
 		if gt.Classify(r.Pair.A.Field) == "true" {
@@ -157,8 +173,14 @@ func MedianRow(rows []Row) Row {
 		EventRacer: pickER(),
 		CGPA:       pick(func(r Row) float64 { return r.CGPA }),
 		HBG:        pick(func(r Row) float64 { return r.HBG }),
+		Pairs:      pick(func(r Row) float64 { return r.Pairs }),
+		Compare:    pick(func(r Row) float64 { return r.Compare }),
 		Refutation: pick(func(r Row) float64 { return r.Refutation }),
 		Total:      pick(func(r Row) float64 { return r.Total }),
+		PAPasses:   int(pick(func(r Row) float64 { return float64(r.PAPasses) })),
+		PAIters:    int(pick(func(r Row) float64 { return float64(r.PAIters) })),
+		RefPaths:   int(pick(func(r Row) float64 { return float64(r.RefPaths) })),
+		RefPruned:  int(pick(func(r Row) float64 { return float64(r.RefPruned) })),
 	}
 }
 
@@ -224,16 +246,23 @@ func FormatTable3(rows []Row) string {
 	return b.String()
 }
 
-// FormatTable4 renders per-stage timings.
+// FormatTable4 renders per-stage timings plus the effort columns the
+// observability layer measures (pointer passes/iterations, refutation
+// paths explored/pruned).
 func FormatTable4(rows []Row) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Table 4: SIERRA efficiency (seconds per stage; paper medians: CG+PA 1310, HBG 28.5, Refutation 560.5, Total 1899 on 2017 APKs)")
-	fmt.Fprintf(&b, "%-16s %10s %10s %12s %10s\n", "App", "CG+PA", "HBG", "Refutation", "Total")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%-16s %10.3f %10.3f %12.3f %10.3f\n", r.Name, r.CGPA, r.HBG, r.Refutation, r.Total)
+	fmt.Fprintf(&b, "%-16s %9s %8s %8s %8s %11s %9s %9s %10s %10s %10s\n",
+		"App", "CG+PA", "HBG", "Pairs", "Compare", "Refutation", "Total", "PApasses", "PAiters", "refPaths", "refPruned")
+	line := func(name string, r Row) {
+		fmt.Fprintf(&b, "%-16s %9.3f %8.3f %8.3f %8.3f %11.3f %9.3f %9d %10d %10d %10d\n",
+			name, r.CGPA, r.HBG, r.Pairs, r.Compare, r.Refutation, r.Total,
+			r.PAPasses, r.PAIters, r.RefPaths, r.RefPruned)
 	}
-	m := MedianRow(rows)
-	fmt.Fprintf(&b, "%-16s %10.3f %10.3f %12.3f %10.3f\n", "Median", m.CGPA, m.HBG, m.Refutation, m.Total)
+	for _, r := range rows {
+		line(r.Name, r)
+	}
+	line("Median", MedianRow(rows))
 	return b.String()
 }
 

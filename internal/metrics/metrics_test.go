@@ -73,6 +73,70 @@ func TestMedianRowAggregation(t *testing.T) {
 	}
 }
 
+// TestMedianRowCarriesAllFields is the regression test for MedianRow
+// forgetting newly-added columns: every timing/effort field must
+// aggregate, for both odd- and even-length inputs, and the EventRacer
+// median must skip (not zero-fill) the -1 "not run" entries.
+func TestMedianRowCarriesAllFields(t *testing.T) {
+	mk := func(scale int) Row {
+		s := float64(scale)
+		return Row{
+			Harnesses: scale, Actions: 10 * scale, HBEdges: 100 * scale,
+			OrderedPct: s, RacyNoAS: 4 * scale, RacyAS: 2 * scale,
+			AfterRefut: scale, TrueRaces: scale, FP: scale,
+			EventRacer: -1,
+			CGPA:       s, HBG: 2 * s, Pairs: 3 * s, Compare: 4 * s,
+			Refutation: 5 * s, Total: 15 * s,
+			PAPasses: scale, PAIters: 10 * scale,
+			RefPaths: 100 * scale, RefPruned: 50 * scale,
+		}
+	}
+
+	odd := MedianRow([]Row{mk(1), mk(3), mk(10)})
+	wantOdd := mk(3)
+	wantOdd.Name = "Median"
+	if odd != wantOdd {
+		t.Errorf("odd-length median dropped a field:\ngot  %+v\nwant %+v", odd, wantOdd)
+	}
+	if odd.EventRacer != -1 {
+		t.Errorf("all-not-run EventRacer median = %d, want -1", odd.EventRacer)
+	}
+
+	even := MedianRow([]Row{mk(1), mk(3)})
+	if even.Pairs != 2*3 || even.Compare != 2*4 || even.Refutation != 2*5 {
+		t.Errorf("even-length timing medians wrong: %+v", even)
+	}
+	if even.PAPasses != 2 || even.PAIters != 20 || even.RefPaths != 200 || even.RefPruned != 100 {
+		t.Errorf("even-length effort medians wrong: %+v", even)
+	}
+
+	// Mixed EventRacer: -1 rows are filtered before the median.
+	mixed := []Row{
+		{EventRacer: -1}, {EventRacer: 2}, {EventRacer: -1}, {EventRacer: 8},
+	}
+	if m := MedianRow(mixed); m.EventRacer != 5 {
+		t.Errorf("mixed EventRacer median = %d, want 5 (median of 2,8)", m.EventRacer)
+	}
+}
+
+func TestEvaluateRowEffortColumns(t *testing.T) {
+	pr, _ := corpus.RowByName("SuperGenPass")
+	row := EvaluateNamed(pr, Options{})
+	if row.PAPasses <= 0 || row.PAIters <= 0 {
+		t.Errorf("pointer effort columns empty: %+v", row)
+	}
+	if row.RacyAS > 0 && row.RefPaths <= 0 {
+		t.Errorf("refutation ran on %d pairs but RefPaths = %d", row.RacyAS, row.RefPaths)
+	}
+	if row.Pairs <= 0 || row.Compare <= 0 {
+		t.Errorf("Pairs/Compare stages not timed: %+v", row)
+	}
+	sum := row.CGPA + row.HBG + row.Pairs + row.Compare + row.Refutation
+	if sum > row.Total {
+		t.Errorf("stage sum %f exceeds total %f", sum, row.Total)
+	}
+}
+
 func TestFormatTables(t *testing.T) {
 	pr, _ := corpus.RowByName("VuDroid")
 	row := EvaluateNamed(pr, Options{})

@@ -1,0 +1,106 @@
+package obs
+
+import "sync"
+
+// Counters is a concurrency-safe set of named monotonic counters,
+// gauges, and labelled series. The zero value is ready to use; all
+// methods are no-ops on a nil receiver.
+type Counters struct {
+	mu     sync.Mutex
+	counts map[string]int64
+	gauges map[string]float64
+	series map[string][]SeriesPoint
+}
+
+// SeriesPoint is one labelled sample of a series.
+type SeriesPoint struct {
+	Label string `json:"label"`
+	Value int64  `json:"value"`
+}
+
+// Add increments the named counter by delta.
+func (c *Counters) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
+	c.counts[name] += delta
+	c.mu.Unlock()
+}
+
+// Gauge sets the named gauge (last write wins).
+func (c *Counters) Gauge(name string, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.gauges == nil {
+		c.gauges = make(map[string]float64)
+	}
+	c.gauges[name] = v
+	c.mu.Unlock()
+}
+
+// Append adds a labelled sample to the named series.
+func (c *Counters) Append(series, label string, v int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.series == nil {
+		c.series = make(map[string][]SeriesPoint)
+	}
+	c.series[series] = append(c.series[series], SeriesPoint{Label: label, Value: v})
+	c.mu.Unlock()
+}
+
+// Get reads a counter (0 if absent).
+func (c *Counters) Get(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
+
+// GaugeValue reads a gauge (0 if absent).
+func (c *Counters) GaugeValue(name string) float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gauges[name]
+}
+
+// snapshot deep-copies the current state.
+func (c *Counters) snapshot() (counts map[string]int64, gauges map[string]float64, series map[string][]SeriesPoint) {
+	if c == nil {
+		return nil, nil, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.counts) > 0 {
+		counts = make(map[string]int64, len(c.counts))
+		for k, v := range c.counts {
+			counts[k] = v
+		}
+	}
+	if len(c.gauges) > 0 {
+		gauges = make(map[string]float64, len(c.gauges))
+		for k, v := range c.gauges {
+			gauges[k] = v
+		}
+	}
+	if len(c.series) > 0 {
+		series = make(map[string][]SeriesPoint, len(c.series))
+		for k, v := range c.series {
+			series[k] = append([]SeriesPoint(nil), v...)
+		}
+	}
+	return counts, gauges, series
+}

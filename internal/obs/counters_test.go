@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCountersConcurrency hammers one Counters value from many
+// goroutines; run under -race this is the concurrency-safety contract.
+func TestCountersConcurrency(t *testing.T) {
+	var c Counters
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add("hits", 1)
+				c.Gauge("last", float64(i))
+				c.Append("samples", fmt.Sprintf("w%d", w), int64(i))
+				_ = c.Get("hits")
+				_ = c.GaugeValue("last")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("hits"); got != workers*perWorker {
+		t.Fatalf("hits = %d, want %d", got, workers*perWorker)
+	}
+	counts, gauges, series := c.snapshot()
+	if counts["hits"] != workers*perWorker {
+		t.Fatalf("snapshot counts = %v", counts)
+	}
+	if _, ok := gauges["last"]; !ok {
+		t.Fatalf("snapshot gauges = %v", gauges)
+	}
+	if len(series["samples"]) != workers*perWorker {
+		t.Fatalf("snapshot series len = %d", len(series["samples"]))
+	}
+}
+
+// TestTraceConcurrency exercises concurrent counter writes through a
+// Trace alongside span starts/ends on separate goroutines.
+func TestTraceConcurrency(t *testing.T) {
+	tr := New("root")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Count("n", 1)
+				s := tr.Start("work")
+				s.End()
+				_ = tr.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Counter("n") != 2000 {
+		t.Fatalf("n = %d, want 2000", tr.Counter("n"))
+	}
+}
+
+func TestNilCounters(t *testing.T) {
+	var c *Counters
+	c.Add("x", 1)
+	c.Gauge("x", 1)
+	c.Append("x", "l", 1)
+	if c.Get("x") != 0 || c.GaugeValue("x") != 0 {
+		t.Fatal("nil Counters must read zeros")
+	}
+}

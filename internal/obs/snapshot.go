@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is a trace frozen for serialization: the span tree plus all
+// counters, gauges, and series. Its JSON form is the `-stats` contract.
+type Snapshot struct {
+	Trace    *SpanSnapshot            `json:"trace,omitempty"`
+	Counters map[string]int64         `json:"counters,omitempty"`
+	Gauges   map[string]float64       `json:"gauges,omitempty"`
+	Series   map[string][]SeriesPoint `json:"series,omitempty"`
+}
+
+// SpanSnapshot is one node of the frozen span tree.
+type SpanSnapshot struct {
+	Name       string          `json:"name"`
+	DurationNS int64           `json:"duration_ns"`
+	AllocBytes int64           `json:"alloc_bytes"`
+	Children   []*SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot freezes the trace. Open spans (including the root) report
+// their elapsed-so-far duration without being closed.
+func (t *Trace) Snapshot() *Snapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	root := freezeSpan(t.root)
+	t.mu.Unlock()
+	counts, gauges, series := t.c.snapshot()
+	return &Snapshot{Trace: root, Counters: counts, Gauges: gauges, Series: series}
+}
+
+func freezeSpan(s *Span) *SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	out := &SpanSnapshot{Name: s.name, DurationNS: int64(s.dur), AllocBytes: s.alloc}
+	if !s.ended {
+		out.DurationNS = int64(time.Since(s.start))
+		out.AllocBytes = int64(readAlloc() - s.startAlloc)
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, freezeSpan(c))
+	}
+	return out
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Format renders a human-readable breakdown: the span tree with
+// durations and allocation deltas, then counters, gauges, and series
+// totals in sorted order.
+func Format(s *Snapshot) string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	if s.Trace != nil {
+		formatSpan(&b, s.Trace, 0)
+	}
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(&b, "counters\n")
+		for _, k := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-36s %12d\n", k, s.Counters[k])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(&b, "gauges\n")
+		for _, k := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-36s %12.2f\n", k, s.Gauges[k])
+		}
+	}
+	if len(s.Series) > 0 {
+		fmt.Fprintf(&b, "series\n")
+		for _, k := range sortedKeys(s.Series) {
+			pts := s.Series[k]
+			var total int64
+			for _, p := range pts {
+				total += p.Value
+			}
+			fmt.Fprintf(&b, "  %-36s %6d samples, total %d\n", k, len(pts), total)
+		}
+	}
+	return b.String()
+}
+
+func formatSpan(b *strings.Builder, s *SpanSnapshot, depth int) {
+	fmt.Fprintf(b, "%-*s%-*s %10.3fms %10s\n",
+		2*depth, "", 36-2*depth, s.Name,
+		float64(s.DurationNS)/1e6, formatBytes(s.AllocBytes))
+	for _, c := range s.Children {
+		formatSpan(b, c, depth+1)
+	}
+}
+
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

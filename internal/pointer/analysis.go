@@ -6,6 +6,7 @@ import (
 
 	"sierra/internal/frontend"
 	"sierra/internal/ir"
+	"sierra/internal/obs"
 )
 
 // Entry is an analysis entrypoint: a method instance with seeded
@@ -70,6 +71,9 @@ type Config struct {
 	ActionAt func(ir.Pos) (int, bool)
 	// MaxPasses bounds the global fixpoint (safety valve; 0 = default).
 	MaxPasses int
+	// Obs, when non-nil, receives the analysis effort counters
+	// (pointer.* — see README.md "Observability"). Nil costs nothing.
+	Obs *obs.Trace
 }
 
 // Analyze runs the points-to analysis to fixpoint and returns the result
@@ -102,6 +106,7 @@ func Analyze(cfg Config) *Result {
 		// Statements of every discovered instance (order-stable: the
 		// slice only grows, and growth order is deterministic).
 		for i := 0; i < len(a.order); i++ {
+			a.stats.iterations++
 			if a.processInstance(a.order[i]) {
 				changed = true
 			}
@@ -119,7 +124,42 @@ func Analyze(cfg Config) *Result {
 			break
 		}
 	}
+	a.reportObs()
 	return a.res
+}
+
+// reportObs publishes the fixpoint's effort counters (no-op on nil Obs).
+func (a *analyzer) reportObs() {
+	tr := a.cfg.Obs
+	if tr == nil {
+		return
+	}
+	tr.Count("pointer.passes", int64(a.res.passes))
+	tr.Count("pointer.worklist_iterations", a.stats.iterations)
+	tr.Count("pointer.instances", int64(len(a.res.instances)))
+	tr.Count("pointer.entries", int64(len(a.res.entryKeys)))
+	tr.Count("pointer.cha_targets", a.stats.chaTargets)
+	tr.Count("pointer.events_fired", a.stats.eventsFired)
+	edges := 0
+	for _, callees := range a.res.callees {
+		edges += len(callees)
+	}
+	tr.Count("pointer.call_edges", int64(edges))
+	copies := 0
+	for _, srcs := range a.copies {
+		copies += len(srcs)
+	}
+	tr.Count("pointer.copy_constraints", int64(copies))
+	var totalObjs, maxSet int
+	for _, set := range a.res.pts {
+		totalObjs += len(set)
+		if len(set) > maxSet {
+			maxSet = len(set)
+		}
+	}
+	tr.Gauge("pointer.pts_vars", float64(len(a.res.pts)))
+	tr.Gauge("pointer.pts_objs", float64(totalObjs))
+	tr.Gauge("pointer.pts_max", float64(maxSet))
 }
 
 // siteKey identifies a call site instance.
@@ -133,6 +173,12 @@ type analyzer struct {
 	res    *Result
 	order  []MKey // instance worklist in discovery order
 	copies map[VarKey]map[VarKey]bool
+	// stats feeds the pointer.* observability counters.
+	stats struct {
+		iterations  int64 // instances processed, summed over passes
+		chaTargets  int64 // dispatch targets resolved at call sites
+		eventsFired int64 // OnEvent hook invocations
+	}
 }
 
 // install registers an entry's method instance and seeds, reporting
@@ -306,6 +352,7 @@ func (a *analyzer) invoke(mk MKey, inv *ir.Invoke) bool {
 		if target == nil {
 			return
 		}
+		a.stats.chaTargets++
 		calleeKey := MKey{M: target, Ctx: ctx}
 		if !a.res.instances[calleeKey] {
 			a.res.instances[calleeKey] = true
@@ -495,6 +542,7 @@ func (a *analyzer) fireEvents() bool {
 				for _, arg := range inv.Args {
 					ev.Args = append(ev.Args, a.pts(VarKey{M: mk.M, Ctx: mk.Ctx, Var: arg}).Slice())
 				}
+				a.stats.eventsFired++
 				for _, e := range a.cfg.OnEvent(ev) {
 					if a.install(e, true) {
 						changed = true

@@ -12,6 +12,7 @@ import (
 	"sierra/internal/actions"
 	"sierra/internal/harness"
 	"sierra/internal/ir"
+	"sierra/internal/obs"
 	"sierra/internal/pointer"
 	"sierra/internal/shbg"
 )
@@ -88,6 +89,12 @@ func (p Pair) Key() string {
 // analysis result, merging duplicate (action, site) entries across
 // contexts.
 func CollectAccesses(reg *actions.Registry, res *pointer.Result) []Access {
+	return CollectAccessesTraced(reg, res, nil)
+}
+
+// CollectAccessesTraced is CollectAccesses with observability: it counts
+// the merged accesses into race.accesses (nil Trace = no-op).
+func CollectAccessesTraced(reg *actions.Registry, res *pointer.Result, tr *obs.Trace) []Access {
 	type key struct {
 		action int
 		pos    ir.Pos
@@ -170,6 +177,7 @@ func CollectAccesses(reg *actions.Registry, res *pointer.Result) []Access {
 		}
 		return a.Kind < b.Kind
 	})
+	tr.Count("race.accesses", int64(len(out)))
 	return out
 }
 
@@ -177,6 +185,16 @@ func CollectAccesses(reg *actions.Registry, res *pointer.Result) []Access {
 // overlapping points-to sets (or the same static slot), at least one
 // write, actions in compatible scopes.
 func RacyPairs(reg *actions.Registry, g *shbg.Graph, accesses []Access) []Pair {
+	return RacyPairsTraced(reg, g, accesses, nil)
+}
+
+// RacyPairsTraced is RacyPairs with observability: it counts the
+// candidate funnel into race.pairs_considered (same-field combinations
+// examined), race.alias_hits (pairs whose memory overlaps),
+// race.hb_filtered (overlapping pairs dropped because HB orders them),
+// and race.pairs_emitted (nil Trace = no-op).
+func RacyPairsTraced(reg *actions.Registry, g *shbg.Graph, accesses []Access, tr *obs.Trace) []Pair {
+	var considered, aliasHits, hbFiltered int64
 	// Bucket by field name first — only same-named fields can overlap.
 	byField := map[string][]int{}
 	for i, a := range accesses {
@@ -194,6 +212,7 @@ func RacyPairs(reg *actions.Registry, g *shbg.Graph, accesses []Access) []Pair {
 		idxs := byField[f]
 		for i := 0; i < len(idxs); i++ {
 			for j := i + 1; j < len(idxs); j++ {
+				considered++
 				a, b := accesses[idxs[i]], accesses[idxs[j]]
 				if a.Action == b.Action {
 					continue
@@ -211,11 +230,13 @@ func RacyPairs(reg *actions.Registry, g *shbg.Graph, accesses []Access) []Pair {
 				} else if !a.Objs.Intersects(b.Objs) {
 					continue
 				}
+				aliasHits++
 				actA, actB := reg.Get(a.Action), reg.Get(b.Action)
 				if !actions.SameScope(actA, actB) {
 					continue
 				}
 				if g.Ordered(a.Action, b.Action) {
+					hbFiltered++
 					continue
 				}
 				p := Pair{A: a, B: b}
@@ -230,5 +251,9 @@ func RacyPairs(reg *actions.Registry, g *shbg.Graph, accesses []Access) []Pair {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	tr.Count("race.pairs_considered", considered)
+	tr.Count("race.alias_hits", aliasHits)
+	tr.Count("race.hb_filtered", hbFiltered)
+	tr.Count("race.pairs_emitted", int64(len(out)))
 	return out
 }

@@ -11,6 +11,7 @@ import (
 	"sierra/internal/cfg"
 	"sierra/internal/frontend"
 	"sierra/internal/ir"
+	"sierra/internal/obs"
 	"sierra/internal/pointer"
 )
 
@@ -62,6 +63,9 @@ type Options struct {
 	// for the false-positive filtering the paper describes; disabling
 	// them yields the instance-sound core HB relation.
 	DisableGUITeardownOrder bool
+	// Obs, when non-nil, receives the construction effort counters
+	// (shbg.* — see README.md "Observability"). Nil costs nothing.
+	Obs *obs.Trace
 }
 
 // Graph is the SHBG.
@@ -72,6 +76,8 @@ type Graph struct {
 	hb [][]bool
 	// ruleCounts tallies direct (pre-closure) edges per rule.
 	ruleCounts [numRules]int
+	// reachQueries counts rule 5's ICFG reachability queries.
+	reachQueries int
 }
 
 // Build constructs the SHBG from the action registry and the (action-
@@ -98,7 +104,9 @@ func Build(reg *actions.Registry, res *pointer.Result, opts Options) *Graph {
 	}
 	// Rules 6+7 iterate together: inter-action transitivity can reveal
 	// edges that further closure propagates, and vice versa (§4.3 ¶7).
+	rounds := 0
 	for {
+		rounds++
 		changed := g.close()
 		if !disabled(RuleInvocation) && g.ruleMultiSpawnInvocation() {
 			changed = true
@@ -109,6 +117,14 @@ func Build(reg *actions.Registry, res *pointer.Result, opts Options) *Graph {
 		if !changed {
 			break
 		}
+	}
+	if tr := opts.Obs; tr != nil {
+		for r := Rule(0); r < numRules; r++ {
+			tr.Count("shbg.edges."+r.String(), int64(g.ruleCounts[r]))
+		}
+		tr.Count("shbg.edges_closed", int64(g.NumEdges()))
+		tr.Count("shbg.closure_rounds", int64(rounds))
+		tr.Count("shbg.reach_queries", int64(g.reachQueries))
 	}
 	return g
 }
@@ -379,12 +395,14 @@ func (g *Graph) ruleInterProc(res *pointer.Result) {
 			spawner := g.Reg.Get(sa.From)
 			dominated := len(spawner.Roots) > 0
 			for _, root := range spawner.Roots {
+				g.reachQueries++
 				if icfg.ReachesWithoutStrict(root, sa.Site, sb.Site) {
 					dominated = false
 					break
 				}
 				// e2 must be reachable at all for the claim to mean
 				// anything.
+				g.reachQueries++
 				if !icfg.Reaches(root, sb.Site) {
 					dominated = false
 					break

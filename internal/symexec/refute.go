@@ -5,6 +5,7 @@ import (
 
 	"sierra/internal/actions"
 	"sierra/internal/ir"
+	"sierra/internal/obs"
 	"sierra/internal/pointer"
 	"sierra/internal/race"
 )
@@ -33,6 +34,10 @@ type Config struct {
 	// DisableCache turns off cross-query memoization (for the ablation
 	// benchmark).
 	DisableCache bool
+	// Obs, when non-nil, receives the refutation effort counters and the
+	// per-pair refute.pair_paths series (see README.md "Observability").
+	// Nil costs nothing.
+	Obs *obs.Trace
 }
 
 // Refuter performs backward symbolic execution over actions.
@@ -49,6 +54,8 @@ type Refuter struct {
 	entryMemo map[string]*entryResult
 	// witnessMemo caches E-walk results per (action, access, store).
 	witnessMemo map[string]bool
+	// pruned accumulates dead (contradiction/bound) paths across walks.
+	pruned int64
 }
 
 type entryResult struct {
@@ -83,6 +90,7 @@ func NewRefuter(reg *actions.Registry, res *pointer.Result, cfg Config) *Refuter
 func (r *Refuter) Check(p race.Pair) Verdict {
 	v := Verdict{}
 	budget := r.Cfg.MaxPaths
+	prunedBefore := r.pruned
 
 	abFeasible, used1, b1 := r.feasible(p.A, p.B, budget)
 	v.Paths += used1
@@ -101,6 +109,26 @@ func (r *Refuter) Check(p race.Pair) Verdict {
 		v.RefutedOrders = append(v.RefutedOrders, "B<A")
 	}
 	v.TruePositive = abFeasible && baFeasible
+
+	if tr := r.Cfg.Obs; tr != nil {
+		tr.Count("refute.pairs", 1)
+		tr.Count("refute.paths", int64(v.Paths))
+		tr.Count("refute.paths_pruned", r.pruned-prunedBefore)
+		if v.BudgetExhausted {
+			tr.Count("refute.budget_exhausted", 1)
+		}
+		switch {
+		case v.TruePositive:
+			tr.Count("refute.verdict.race", 1)
+		case !abFeasible && !baFeasible:
+			tr.Count("refute.verdict.refuted_both", 1)
+		case !abFeasible:
+			tr.Count("refute.verdict.refuted_ab", 1)
+		default:
+			tr.Count("refute.verdict.refuted_ba", 1)
+		}
+		tr.Series("refute.pair_paths", p.Key(), int64(v.Paths))
+	}
 	return v
 }
 
@@ -237,6 +265,7 @@ func (r *Refuter) entryConstraints(acc race.Access, seedIdx int, seed *store, bu
 			})
 		}
 		res.explored += w.paths
+		r.pruned += int64(w.pruned)
 		if w.budgetHit {
 			res.budget = true
 			break
@@ -267,6 +296,7 @@ func (r *Refuter) witness(acc race.Access, init *store, budget int) (ok bool, us
 		}
 		hit := w.findWitness(init)
 		used += w.paths
+		r.pruned += int64(w.pruned)
 		if w.budgetHit {
 			return true, used, true
 		}

@@ -16,6 +16,10 @@ type walker struct {
 	budget    int
 	paths     int
 	budgetHit bool
+	// pruned counts paths that died on a contradiction or bound
+	// (branch/transfer unsat, loop bound, dangling node) rather than
+	// reaching the entry.
+	pruned int
 	// target, when set, is the access the path must execute (E-walk).
 	target ir.Pos
 	// visits tracks per-path node occurrences (loop unrolling bound).
@@ -78,7 +82,7 @@ func (w *walker) walk(node int, st *store, saw bool, atEntry func(*store, bool))
 	}
 	ok := w.transfer(n, st)
 	if !ok {
-		w.endPath()
+		w.prunePath()
 		return
 	}
 	w.walkPreds(node, st, saw, atEntry)
@@ -93,7 +97,7 @@ func (w *walker) walkPreds(node int, st *store, saw bool, atEntry func(*store, b
 	preds := w.g.preds[node]
 	if len(preds) == 0 {
 		// Dangling (unreachable) node: path dies.
-		w.endPath()
+		w.prunePath()
 		return
 	}
 	for _, p := range preds {
@@ -101,14 +105,14 @@ func (w *walker) walkPreds(node int, st *store, saw bool, atEntry func(*store, b
 			return
 		}
 		if w.visits[p.node] >= maxVisitsPerNode {
-			w.endPath()
+			w.prunePath()
 			continue
 		}
 		branchSt := st.clone()
 		if p.br != branchNone {
 			iff, okIf := w.g.nodes[p.node].pos.Stmt().(*ir.If)
 			if okIf && !w.applyBranch(w.g.nodes[p.node].frame, iff, p.br == branchTrue, branchSt) {
-				w.endPath()
+				w.prunePath()
 				continue
 			}
 		}
@@ -123,6 +127,12 @@ func (w *walker) endPath() {
 	if w.paths >= w.budget {
 		w.budgetHit = true
 	}
+}
+
+// prunePath ends a path that died before reaching the entry.
+func (w *walker) prunePath() {
+	w.pruned++
+	w.endPath()
 }
 
 // applyBranch strengthens the store with an If condition taken in the

@@ -45,6 +45,15 @@ func (o Outcome) Confirmed() bool { return o.ObservedAB && o.ObservedBA }
 // both orders. factory must produce a fresh app per run (the simulator
 // mutates heap state).
 func Witness(factory func() *apk.App, pair race.Pair, opts Options) Outcome {
+	out, _ := WitnessErr(func() (*apk.App, error) { return factory(), nil }, pair, opts)
+	return out
+}
+
+// WitnessErr is Witness with a fallible factory: the first factory
+// error aborts the schedule search and is returned alongside whatever
+// was observed up to that point (callers exit cleanly instead of
+// panicking inside the factory).
+func WitnessErr(factory func() (*apk.App, error), pair race.Pair, opts Options) (Outcome, error) {
 	if opts.Schedules == 0 {
 		opts.Schedules = 50
 	}
@@ -56,8 +65,12 @@ func Witness(factory func() *apk.App, pair race.Pair, opts Options) Outcome {
 		if out.Confirmed() {
 			break
 		}
+		app, err := factory()
+		if err != nil {
+			return out, err
+		}
 		seed := opts.Seed + int64(s)*104729
-		m := interp.NewMachine(factory(), seed)
+		m := interp.NewMachine(app, seed)
 		m.RegisterManifestReceivers()
 		tr := m.Run(opts.EventsPerSchedule)
 		out.Schedules++
@@ -71,7 +84,7 @@ func Witness(factory func() *apk.App, pair race.Pair, opts Options) Outcome {
 			out.WitnessSeedBA = seed
 		}
 	}
-	return out
+	return out, nil
 }
 
 // observation is one executed access: its event index and the concrete
