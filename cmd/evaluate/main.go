@@ -8,30 +8,44 @@
 //
 // Table 3's EventRacer column needs the dynamic baseline; pass -dynamic
 // to run it (a few schedules per app).
+//
+// Per-app measurements fan out across a bounded worker pool (-jobs,
+// default GOMAXPROCS); results are emitted in input order, so tables
+// are byte-identical to a sequential run for any worker count. With
+// -cache-dir, results are cached by app digest + options fingerprint
+// and a re-run of an unchanged corpus is near-free.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
+	"time"
 
+	"sierra/internal/batch"
 	"sierra/internal/corpus"
 	"sierra/internal/metrics"
+	"sierra/internal/obs"
 )
 
 func main() {
 	var (
-		table     = flag.String("table", "all", "which table to regenerate: 2 | 3 | 4 | 5 | all")
-		dynamic   = flag.Bool("dynamic", true, "run the EventRacer baseline for Table 3")
-		schedules = flag.Int("schedules", 5, "dynamic schedules per app")
-		events    = flag.Int("events", 40, "events per dynamic schedule")
-		nFDroid   = flag.Int("fdroid-count", corpus.FDroidCount, "how many generated apps for Table 5")
-		quiet     = flag.Bool("q", false, "suppress progress output")
-		benchJSON = flag.String("bench-json", "", "write per-stage timings + effort counters for the 20-app dataset as JSON to this file and exit (e.g. BENCH_sierra.json)")
-		pprofCPU  = flag.String("pprof-cpu", "", "write a CPU profile of the evaluation to this file")
-		pprofMem  = flag.String("pprof-mem", "", "write a heap profile after the evaluation to this file")
+		table      = flag.String("table", "all", "which table to regenerate: 2 | 3 | 4 | 5 | all")
+		dynamic    = flag.Bool("dynamic", true, "run the EventRacer baseline for Table 3")
+		schedules  = flag.Int("schedules", 5, "dynamic schedules per app")
+		events     = flag.Int("events", 40, "events per dynamic schedule")
+		nFDroid    = flag.Int("fdroid-count", corpus.FDroidCount, "how many generated apps for Table 5")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent analysis workers")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-app analysis deadline (0 = none); a timed-out app yields a partial row")
+		cacheDir   = flag.String("cache-dir", "", "cache analysis results in this directory, keyed by app digest + options")
+		benchJSON  = flag.String("bench-json", "", "write per-stage timings + effort counters for the 20-app dataset as JSON to this file and exit (e.g. BENCH_sierra.json)")
+		pprofCPU   = flag.String("pprof-cpu", "", "write a CPU profile of the evaluation to this file")
+		pprofMem   = flag.String("pprof-mem", "", "write a heap profile after the evaluation to this file")
 	)
 	flag.Parse()
 
@@ -62,8 +76,18 @@ func main() {
 		}()
 	}
 
+	bopts := metrics.BatchOptions{Jobs: *jobs, JobTimeout: *jobTimeout}
+	if *cacheDir != "" {
+		c, err := batch.NewDirCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate: -cache-dir:", err)
+			os.Exit(1)
+		}
+		bopts.Cache = c
+	}
+
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *quiet); err != nil {
+		if err := writeBenchJSON(*benchJSON, *quiet, bopts); err != nil {
 			fmt.Fprintln(os.Stderr, "evaluate:", err)
 			os.Exit(1)
 		}
@@ -76,9 +100,12 @@ func main() {
 		EventsPerSchedule: *events,
 	}
 
-	progress := func(format string, args ...any) {
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, format, args...)
+	progress := func(total int) func(int, batch.Result) {
+		if *quiet {
+			return nil
+		}
+		return func(i int, r batch.Result) {
+			fmt.Fprintf(os.Stderr, "[%2d/%d] %s (%s)\n", i+1, total, r.Name, r.Status)
 		}
 	}
 
@@ -91,10 +118,9 @@ func main() {
 	var named []metrics.Row
 	if want("3") || want("4") {
 		rows := corpus.PaperRows()
-		for i, pr := range rows {
-			progress("[%2d/%d] %s\n", i+1, len(rows), pr.Name)
-			named = append(named, metrics.EvaluateNamed(pr, opts))
-		}
+		b := bopts
+		b.Progress = progress(len(rows))
+		named, _ = metrics.EvaluateNamedBatch(context.Background(), rows, opts, b)
 	}
 	if want("3") {
 		fmt.Println(metrics.FormatTable3(named))
@@ -104,43 +130,71 @@ func main() {
 	}
 
 	if want("5") {
-		var rows []metrics.Row
-		var sizes []int
-		for i := 0; i < *nFDroid; i++ {
-			if i%25 == 0 {
-				progress("[fdroid %d/%d]\n", i, *nFDroid)
+		b := bopts
+		if !*quiet {
+			b.Progress = func(i int, r batch.Result) {
+				if i%25 == 0 {
+					fmt.Fprintf(os.Stderr, "[fdroid %d/%d]\n", i, *nFDroid)
+				}
 			}
-			rows = append(rows, metrics.EvaluateFDroid(i, metrics.Options{}))
-			app, _ := corpus.FDroidApp(i)
-			sizes = append(sizes, app.BytecodeSize())
 		}
+		rows, sizes, _ := metrics.EvaluateFDroidBatch(context.Background(), *nFDroid, metrics.Options{}, b)
 		fmt.Println(metrics.FormatTable5(rows, sizes))
 	}
 }
 
-// benchReport is the -bench-json schema: one static-pipeline measurement
-// per 20-app-dataset member plus the per-column median. Rows carry the
-// Table 3/4 columns and the observability effort counters, so CI can
-// track the perf trajectory from one artifact.
+// benchReport is the -bench-json schema (sierra-bench/v1): one
+// static-pipeline measurement per 20-app-dataset member plus the
+// per-column median, batch wall-clock throughput, and cache
+// effectiveness. Rows carry the Table 3/4 columns and the observability
+// effort counters, so CI can track the perf trajectory from one
+// artifact.
 type benchReport struct {
 	Schema string        `json:"schema"`
 	Apps   []metrics.Row `json:"apps"`
 	Median metrics.Row   `json:"median"`
+	// Jobs is the worker count the batch ran with.
+	Jobs int `json:"jobs"`
+	// WallSeconds / AppsPerSecond measure end-to-end batch throughput
+	// (unlike the per-row timings, these shrink as -jobs grows).
+	WallSeconds   float64 `json:"wall_seconds"`
+	AppsPerSecond float64 `json:"apps_per_second"`
+	// Cache effectiveness for the run (hits + misses == apps when a
+	// cache is configured; all zero otherwise).
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
 // writeBenchJSON measures the 20-app dataset (static pipeline only — no
 // dynamic baseline, so the artifact is deterministic and fast) and
 // writes the benchReport.
-func writeBenchJSON(path string, quiet bool) error {
+func writeBenchJSON(path string, quiet bool, bopts metrics.BatchOptions) error {
 	rows := corpus.PaperRows()
-	report := benchReport{Schema: "sierra-bench/v1"}
-	for i, pr := range rows {
-		if !quiet {
-			fmt.Fprintf(os.Stderr, "[%2d/%d] %s\n", i+1, len(rows), pr.Name)
-		}
-		report.Apps = append(report.Apps, metrics.EvaluateNamed(pr, metrics.Options{}))
+	if bopts.Jobs <= 0 {
+		bopts.Jobs = runtime.GOMAXPROCS(0)
 	}
-	report.Median = metrics.MedianRow(report.Apps)
+	bopts.Obs = obs.New("bench")
+	if !quiet {
+		bopts.Progress = func(i int, r batch.Result) {
+			fmt.Fprintf(os.Stderr, "[%2d/%d] %s (%s)\n", i+1, len(rows), r.Name, r.Status)
+		}
+	}
+	start := time.Now()
+	measured, results := metrics.EvaluateNamedBatch(context.Background(), rows, metrics.Options{}, bopts)
+	sum := batch.Summarize(results, time.Since(start))
+
+	report := benchReport{
+		Schema:        "sierra-bench/v1",
+		Apps:          measured,
+		Median:        metrics.MedianRow(measured),
+		Jobs:          bopts.Jobs,
+		WallSeconds:   sum.WallSecs,
+		AppsPerSecond: sum.JobsPerSec,
+		CacheHits:     bopts.Obs.Counter("batch.cache_hits"),
+		CacheMisses:   bopts.Obs.Counter("batch.cache_misses"),
+		CacheHitRate:  sum.CacheHitRate,
+	}
 	raw, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"sierra/internal/appfile"
+	"sierra/internal/batch"
+	"sierra/internal/core"
+	"sierra/internal/obs"
+	"sierra/internal/pointer"
+	"sierra/internal/symexec"
+)
+
+// batchConfig carries the flag values that shape a -batch run.
+type batchConfig struct {
+	glob     string
+	jobs     int
+	timeout  time.Duration
+	cacheDir string
+	policy   pointer.Policy
+	policyID string
+	compare  bool
+	noRefute bool
+	maxPaths int
+	stats    string
+}
+
+// appSummary is the cached per-file verdict: the headline numbers a
+// corpus sweep wants, small enough to serialize per job.
+type appSummary struct {
+	App          string  `json:"app"`
+	Harnesses    int     `json:"harnesses"`
+	Actions      int     `json:"actions"`
+	HBEdges      int     `json:"hb_edges"`
+	RacyPairs    int     `json:"racy_pairs"`
+	Races        int     `json:"races"`
+	TotalSeconds float64 `json:"total_seconds"`
+	Interrupted  bool    `json:"interrupted"`
+}
+
+// runBatch analyzes every .app file matching cfg.glob on a batch.Run
+// worker pool and prints one summary line per file in glob order. The
+// exit code is 0 when every file produced a verdict (including cached
+// and partial/timeout verdicts) and 1 when any job failed or panicked.
+func runBatch(cfg batchConfig) int {
+	files, err := filepath.Glob(cfg.glob)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sierra: -batch:", err)
+		return 1
+	}
+	if len(files) == 0 {
+		fmt.Fprintf(os.Stderr, "sierra: -batch %q matched no files\n", cfg.glob)
+		return 1
+	}
+	sort.Strings(files)
+
+	fingerprint := []string{
+		"report",
+		"policy=" + cfg.policyID,
+		fmt.Sprintf("compare=%t", cfg.compare),
+		fmt.Sprintf("refute=%t", !cfg.noRefute),
+		fmt.Sprintf("maxpaths=%d", cfg.maxPaths),
+	}
+
+	jobs := make([]batch.Job, len(files))
+	for i := range files {
+		path := files[i]
+		jobs[i] = batch.Job{
+			Name: path,
+			KeyFn: func() (string, error) {
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					return "", err
+				}
+				return batch.Key(batch.RawDigest(raw), fingerprint...), nil
+			},
+			Fn: func(jctx context.Context) ([]byte, error) {
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					return nil, err
+				}
+				app, err := appfile.Read(bytes.NewReader(raw))
+				if err != nil {
+					return nil, fmt.Errorf("parsing %s: %w", path, err)
+				}
+				res := core.AnalyzeContext(jctx, app, core.Options{
+					Policy:          cfg.policy,
+					CompareContexts: cfg.compare,
+					SkipRefutation:  cfg.noRefute,
+					Refuter:         symexec.Config{MaxPaths: cfg.maxPaths},
+				})
+				return json.Marshal(appSummary{
+					App:          app.Name,
+					Harnesses:    res.NumHarnesses(),
+					Actions:      res.NumActions(),
+					HBEdges:      res.HBEdges(),
+					RacyPairs:    len(res.RacyPairs),
+					Races:        res.TrueRaces(),
+					TotalSeconds: res.Timing.Total.Seconds(),
+					Interrupted:  res.Interrupted,
+				})
+			},
+		}
+	}
+
+	tr := obs.New("sierra:batch")
+	opts := batch.Options{
+		Workers: cfg.jobs,
+		Timeout: cfg.timeout,
+		Obs:     tr,
+		OnResult: func(i int, r batch.Result) {
+			printBatchLine(i, len(files), r)
+		},
+	}
+	if cfg.cacheDir != "" {
+		c, err := batch.NewDirCache(cfg.cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sierra: -cache-dir:", err)
+			return 1
+		}
+		opts.Cache = c
+	}
+
+	start := time.Now()
+	results := batch.Run(context.Background(), jobs, opts)
+	sum := batch.Summarize(results, time.Since(start))
+	fmt.Println(sum.String())
+
+	if cfg.stats != "" {
+		raw, err := tr.Snapshot().JSON()
+		if err == nil {
+			err = os.WriteFile(cfg.stats, raw, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sierra: writing -stats:", err)
+			return 1
+		}
+	}
+
+	if sum.Failed > 0 || sum.Panics > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printBatchLine renders one result. Lines arrive in input order (the
+// engine's determinism guarantee), so the output reads like a
+// sequential run regardless of -jobs.
+func printBatchLine(i, total int, r batch.Result) {
+	switch r.Status {
+	case batch.StatusOK, batch.StatusCached, batch.StatusTimeout:
+		var s appSummary
+		if err := json.Unmarshal(r.Value, &s); err != nil {
+			fmt.Printf("[%3d/%d] %-40s %-8s (unreadable summary)\n", i+1, total, r.Name, r.Status)
+			return
+		}
+		note := ""
+		if s.Interrupted {
+			note = " partial"
+		}
+		fmt.Printf("[%3d/%d] %-40s %-8s harnesses=%d actions=%d hb=%d racy=%d races=%d %.3fs%s\n",
+			i+1, total, r.Name, r.Status, s.Harnesses, s.Actions, s.HBEdges,
+			s.RacyPairs, s.Races, s.TotalSeconds, note)
+	case batch.StatusPanic:
+		first := r.Panic
+		if nl := bytes.IndexByte([]byte(first), '\n'); nl >= 0 {
+			first = first[:nl]
+		}
+		fmt.Printf("[%3d/%d] %-40s %-8s %s\n", i+1, total, r.Name, r.Status, first)
+	default:
+		fmt.Printf("[%3d/%d] %-40s %-8s %s\n", i+1, total, r.Name, r.Status, r.Err)
+	}
+}

@@ -7,9 +7,15 @@
 //	sierra -app OpenSudoku            # a named 20-app-dataset member
 //	sierra -fdroid 17                 # a generated 174-app-dataset member
 //	sierra -file path/to/app.app      # a textual app model
+//	sierra -batch 'models/*.app'      # a whole corpus, concurrently
 //	sierra -app K-9Mail -policy hybrid -compare -v
 //	sierra -app OpenSudoku -stats out.json      # machine-readable effort snapshot
 //	sierra -app OpenSudoku -pprof-cpu cpu.out   # CPU profile of the run
+//
+// Batch mode fans the matched .app files out across -jobs workers with
+// per-file deadlines (-job-timeout), panic isolation, and an optional
+// digest-keyed result cache (-cache-dir); one summary line per file is
+// printed in glob order regardless of completion order.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strings"
 
 	"sierra/internal/apk"
 	"sierra/internal/appfile"
@@ -31,19 +38,23 @@ import (
 
 func main() {
 	var (
-		appName  = flag.String("app", "", "named dataset app (see -list)")
-		fdroid   = flag.Int("fdroid", -1, "generated dataset app index (0..173)")
-		file     = flag.String("file", "", "textual .app file to analyze")
-		policy   = flag.String("policy", "as", "context policy: as | hybrid | 2obj | 2cfa | insensitive")
-		compare  = flag.Bool("compare", false, "also report racy pairs without action sensitivity")
-		noRefute = flag.Bool("no-refute", false, "skip symbolic refutation")
-		maxPaths = flag.Int("max-paths", 5000, "refutation path budget per query")
-		list     = flag.Bool("list", false, "list named dataset apps and exit")
-		verbose  = flag.Bool("v", false, "print every report plus the observability breakdown")
-		verifyN  = flag.Int("verify", 0, "dynamically confirm the top N reports via schedule search (§6.4)")
-		stats    = flag.String("stats", "", "write the observability snapshot (spans + counters) as JSON to this file")
-		pprofCPU = flag.String("pprof-cpu", "", "write a CPU profile of the analysis to this file")
-		pprofMem = flag.String("pprof-mem", "", "write a heap profile after the analysis to this file")
+		appName    = flag.String("app", "", "named dataset app (see -list)")
+		fdroid     = flag.Int("fdroid", -1, "generated dataset app index (0..173)")
+		file       = flag.String("file", "", "textual .app file to analyze")
+		batchGlob  = flag.String("batch", "", "analyze every .app file matching this glob on a worker pool")
+		jobs       = flag.Int("jobs", 0, "batch worker count (0 = GOMAXPROCS)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-file analysis deadline in batch mode (0 = none)")
+		cacheDir   = flag.String("cache-dir", "", "cache batch results in this directory, keyed by file digest + options")
+		policy     = flag.String("policy", "as", "context policy: as | hybrid | 2obj | 2cfa | insensitive")
+		compare    = flag.Bool("compare", false, "also report racy pairs without action sensitivity")
+		noRefute   = flag.Bool("no-refute", false, "skip symbolic refutation")
+		maxPaths   = flag.Int("max-paths", 5000, "refutation path budget per query")
+		list       = flag.Bool("list", false, "list named dataset apps and exit")
+		verbose    = flag.Bool("v", false, "print every report plus the observability breakdown")
+		verifyN    = flag.Int("verify", 0, "dynamically confirm the top N reports via schedule search (§6.4)")
+		stats      = flag.String("stats", "", "write the observability snapshot (spans + counters) as JSON to this file")
+		pprofCPU   = flag.String("pprof-cpu", "", "write a CPU profile of the analysis to this file")
+		pprofMem   = flag.String("pprof-mem", "", "write a heap profile after the analysis to this file")
 	)
 	flag.Parse()
 
@@ -54,13 +65,50 @@ func main() {
 		return
 	}
 
-	app, err := loadApp(*appName, *fdroid, *file)
+	// Input selectors are mutually exclusive; silently preferring one
+	// over another hides typos, so conflicts are an error up front.
+	var given []string
+	if *appName != "" {
+		given = append(given, "-app")
+	}
+	if *fdroid >= 0 {
+		given = append(given, "-fdroid")
+	}
+	if *file != "" {
+		given = append(given, "-file")
+	}
+	if *batchGlob != "" {
+		given = append(given, "-batch")
+	}
+	if len(given) > 1 {
+		fmt.Fprintf(os.Stderr, "sierra: %s are mutually exclusive; pick exactly one input selector\n",
+			strings.Join(given, " and "))
+		os.Exit(2)
+	}
+
+	pol, err := parsePolicy(*policy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sierra:", err)
 		os.Exit(1)
 	}
 
-	pol, err := parsePolicy(*policy)
+	if *batchGlob != "" {
+		code := runBatch(batchConfig{
+			glob:     *batchGlob,
+			jobs:     *jobs,
+			timeout:  *jobTimeout,
+			cacheDir: *cacheDir,
+			policy:   pol,
+			policyID: *policy,
+			compare:  *compare,
+			noRefute: *noRefute,
+			maxPaths: *maxPaths,
+			stats:    *stats,
+		})
+		os.Exit(code)
+	}
+
+	app, err := loadApp(*appName, *fdroid, *file)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sierra:", err)
 		os.Exit(1)

@@ -1,6 +1,8 @@
 package actions
 
 import (
+	"context"
+
 	"sierra/internal/apk"
 	"sierra/internal/harness"
 	"sierra/internal/obs"
@@ -24,6 +26,14 @@ func Analyze(app *apk.App, hs []*harness.Harness, pol pointer.Policy) (*Registry
 // the pointer analysis (pointer.* counters) and receives the discovered
 // action count (actions.discovered). Nil Trace = no-op.
 func AnalyzeTraced(app *apk.App, hs []*harness.Harness, pol pointer.Policy, tr *obs.Trace) (*Registry, *pointer.Result) {
+	return AnalyzeContext(nil, app, hs, pol, tr)
+}
+
+// AnalyzeContext is AnalyzeTraced with cooperative cancellation: the
+// context (nil = never cancelled) is threaded into the pointer
+// analysis, whose fixpoint stops early once it is done (the returned
+// result is then marked Interrupted).
+func AnalyzeContext(ctx context.Context, app *apk.App, hs []*harness.Harness, pol pointer.Policy, tr *obs.Trace) (*Registry, *pointer.Result) {
 	reg := NewRegistry(app, hs, pol)
 
 	var seeds []pointer.Seed
@@ -58,6 +68,7 @@ func AnalyzeTraced(app *apk.App, hs []*harness.Harness, pol pointer.Policy, tr *
 		OnEvent:  reg.OnEvent,
 		ActionAt: reg.ActionAt,
 		Obs:      tr,
+		Ctx:      ctx,
 	})
 	tr.Count("actions.discovered", int64(reg.NumActions()))
 	return reg, res

@@ -37,6 +37,7 @@ package appfile
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
@@ -93,6 +94,22 @@ func Write(w io.Writer, app *apk.App) error {
 		writeClass(bw, c)
 	}
 	return bw.Flush()
+}
+
+// Bytes serializes the app to its canonical textual form — the
+// serialization Write produces, in memory. Because Write emits layouts,
+// fields, methods, and callbacks in sorted/declaration order, two
+// structurally identical apps yield identical bytes, which is what
+// makes the form usable as a content-addressed cache key (see
+// internal/batch). Serialize before analysis: harness generation
+// extends the program with synthetic classes that would otherwise leak
+// into the digest.
+func Bytes(app *apk.App) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Write(&buf, app); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 func writeViews(w io.Writer, layout string, v *apk.View, parent int) {

@@ -1,0 +1,53 @@
+package appfile
+
+import (
+	"bytes"
+	"testing"
+
+	"sierra/internal/core"
+	"sierra/internal/corpus"
+)
+
+// TestRoundTripPreservesAnalysis is the batch cache's correctness
+// anchor: the cache key is the digest of an app's canonical
+// serialization, so Parse(Dump(app)) must be analysis-equivalent to the
+// original — otherwise two "identical" apps could cache-share a wrong
+// result. Analysis mutates the program (harness generation), so both
+// sides get a fresh instance.
+func TestRoundTripPreservesAnalysis(t *testing.T) {
+	row, ok := corpus.RowByName("SuperGenPass")
+	if !ok {
+		t.Fatal("SuperGenPass missing from corpus")
+	}
+
+	orig, _ := corpus.NamedApp(row)
+	raw, err := Bytes(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialization fixpoint: dumping the parsed app reproduces the
+	// original bytes, so the digest is stable across round trips.
+	raw2, err := Bytes(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatal("Dump(Parse(Dump(app))) differs from Dump(app)")
+	}
+
+	fresh, _ := corpus.NamedApp(row)
+	got := core.Analyze(parsed, core.Options{})
+	want := core.Analyze(fresh, core.Options{})
+
+	type key struct{ harness, actions, hb, racy, races int }
+	g := key{got.NumHarnesses(), got.NumActions(), got.HBEdges(), len(got.RacyPairs), got.TrueRaces()}
+	w := key{want.NumHarnesses(), want.NumActions(), want.HBEdges(), len(want.RacyPairs), want.TrueRaces()}
+	if g != w {
+		t.Fatalf("round-tripped app analyzes differently:\n got %+v\nwant %+v", g, w)
+	}
+}

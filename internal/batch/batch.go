@@ -1,0 +1,258 @@
+// Package batch is the concurrent batch-analysis engine: a bounded
+// worker pool that runs independent analysis jobs with per-job
+// deadlines, panic isolation, a digest-keyed result cache, and
+// deterministic in-order result emission.
+//
+// The engine is deliberately byte-oriented: a Job produces a serialized
+// result ([]byte, typically JSON), which is what the cache stores and
+// what Run hands back. That keeps the pool generic over workloads (the
+// evaluation tables, `sierra -batch`, future corpora) while making the
+// cache trivially content-addressed.
+//
+// Determinism guarantee: Run returns results indexed by input position,
+// and OnResult fires in input order regardless of completion order —
+// job i's callback never precedes job i-1's. A consumer that renders
+// results as it receives them therefore produces byte-identical output
+// for any worker count.
+//
+// Cancellation contract: jobs receive a context that is done when the
+// per-job timeout elapses or the whole run is cancelled. Cooperative —
+// the SIERRA pipeline polls it at its expensive loop boundaries (the
+// pointer-analysis worklist, the SHBG closure rounds, the
+// symbolic-execution path loop; see core.AnalyzeContext), so a stuck
+// app times out cleanly with a partial-result verdict. A job that
+// ignores its context occupies its worker until it returns; it cannot
+// stall other workers or the emission of earlier results.
+package batch
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"sierra/internal/obs"
+)
+
+// Status classifies one job's outcome.
+type Status string
+
+const (
+	// StatusOK: the job completed and its value was computed fresh.
+	StatusOK Status = "ok"
+	// StatusCached: the value came from the result cache; the job's Fn
+	// never ran.
+	StatusCached Status = "cached"
+	// StatusFailed: Fn returned an error.
+	StatusFailed Status = "failed"
+	// StatusPanic: Fn panicked; the panic was recovered and recorded,
+	// the process and the other jobs are unaffected.
+	StatusPanic Status = "panic"
+	// StatusTimeout: the per-job deadline elapsed. Value, when non-nil,
+	// is the partial result the job produced before bailing.
+	StatusTimeout Status = "timeout"
+	// StatusCanceled: the whole run's context was cancelled before or
+	// while the job ran.
+	StatusCanceled Status = "canceled"
+)
+
+// Job is one unit of batch work.
+type Job struct {
+	// Name identifies the job in results, logs, and obs series.
+	Name string
+	// KeyFn, when non-nil, returns the job's cache key — conventionally
+	// Key(appDigest, optionsFingerprint...). It runs on the worker
+	// before Fn; when the configured cache holds the key, Fn is skipped
+	// entirely (StatusCached). A KeyFn error disables caching for the
+	// job but does not fail it.
+	KeyFn func() (string, error)
+	// Fn computes the job's serialized result. It must honor ctx to be
+	// cancellable (see the package comment's cancellation contract) and
+	// may return a partial value alongside a cancelled context.
+	Fn func(ctx context.Context) ([]byte, error)
+}
+
+// Result is one job's outcome.
+type Result struct {
+	Name   string
+	Status Status
+	// Value is the serialized result (fresh, cached, or partial —
+	// see Status).
+	Value []byte
+	// Err carries the failure message for StatusFailed.
+	Err string
+	// Panic carries the recovered panic value and stack for StatusPanic.
+	Panic string
+	// Latency is the job's wall-clock time on its worker (zero for jobs
+	// never dispatched).
+	Latency time.Duration
+}
+
+// Options configures a Run.
+type Options struct {
+	// Workers bounds concurrency (0 = GOMAXPROCS).
+	Workers int
+	// Timeout is the per-job deadline (0 = none).
+	Timeout time.Duration
+	// Cache, when non-nil, is consulted before and populated after each
+	// keyed job (see Job.KeyFn).
+	Cache Cache
+	// Obs, when non-nil, receives the engine's counters — batch.jobs,
+	// per-status batch.<status> counts, batch.cache_hits/_misses, the
+	// batch.latency_ms.* histogram, and the per-job batch.job_ms series.
+	Obs *obs.Trace
+	// OnResult, when non-nil, observes every result in input order as
+	// the completed prefix grows (job i is reported only after jobs
+	// 0..i-1). Called from the Run goroutine, never concurrently.
+	OnResult func(index int, r Result)
+}
+
+// Run executes the jobs on a bounded worker pool and returns their
+// results indexed by input position. It blocks until every dispatched
+// job has returned; when ctx is cancelled, undispatched jobs are marked
+// StatusCanceled without running. ctx may be nil.
+func Run(ctx context.Context, jobs []Job, o Options) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	start := time.Now()
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+
+	type indexed struct {
+		i int
+		r Result
+	}
+	idxCh := make(chan int)
+	resCh := make(chan indexed)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				resCh <- indexed{i, runJob(ctx, jobs[i], o)}
+			}
+		}()
+	}
+	go func() {
+		defer close(idxCh)
+		for i := range jobs {
+			select {
+			case idxCh <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// Collect out-of-order completions, emit the done prefix in input
+	// order (the determinism guarantee).
+	done := make([]bool, len(jobs))
+	next := 0
+	emit := func() {
+		for next < len(jobs) && done[next] {
+			if o.OnResult != nil {
+				o.OnResult(next, results[next])
+			}
+			next++
+		}
+	}
+	for ir := range resCh {
+		results[ir.i] = ir.r
+		done[ir.i] = true
+		emit()
+	}
+	// Jobs never dispatched (run cancelled): mark and emit the rest.
+	for i := range results {
+		if !done[i] {
+			results[i] = Result{Name: jobs[i].Name, Status: StatusCanceled}
+			done[i] = true
+		}
+	}
+	emit()
+	record(o.Obs, results, time.Since(start), workers)
+	return results
+}
+
+// runJob executes one job on the calling worker: cache probe, deadline,
+// panic isolation, status classification.
+func runJob(ctx context.Context, j Job, o Options) Result {
+	r := Result{Name: j.Name}
+	start := time.Now()
+	defer func() { r.Latency = time.Since(start) }()
+	if ctx.Err() != nil {
+		r.Status = StatusCanceled
+		return r
+	}
+
+	var key string
+	if j.KeyFn != nil && o.Cache != nil {
+		if k, err := j.KeyFn(); err == nil {
+			key = k
+			if v, ok := o.Cache.Get(key); ok {
+				o.Obs.Count("batch.cache_hits", 1)
+				r.Status = StatusCached
+				r.Value = v
+				return r
+			}
+			o.Obs.Count("batch.cache_misses", 1)
+		}
+	}
+
+	jctx := ctx
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
+	}
+	value, err, panicked := safeRun(jctx, j.Fn)
+	switch {
+	case panicked != "":
+		r.Status = StatusPanic
+		r.Panic = panicked
+	case ctx.Err() != nil:
+		r.Status = StatusCanceled
+		r.Value = value
+	case jctx.Err() != nil:
+		r.Status = StatusTimeout
+		r.Value = value // partial result, when the job produced one
+	case err != nil:
+		r.Status = StatusFailed
+		r.Err = err.Error()
+	default:
+		r.Status = StatusOK
+		r.Value = value
+		if key != "" {
+			o.Cache.Put(key, value)
+		}
+	}
+	return r
+}
+
+// safeRun invokes fn with panic isolation: a panicking job becomes a
+// recorded failure, not a dead process.
+func safeRun(ctx context.Context, fn func(context.Context) ([]byte, error)) (v []byte, err error, panicked string) {
+	defer func() {
+		if p := recover(); p != nil {
+			panicked = fmt.Sprintf("%v\n%s", p, debug.Stack())
+		}
+	}()
+	v, err = fn(ctx)
+	return v, err, ""
+}

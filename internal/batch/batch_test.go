@@ -1,0 +1,294 @@
+package batch_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sierra/internal/batch"
+	"sierra/internal/corpus"
+	"sierra/internal/obs"
+)
+
+// TestStress is the acceptance stress test: 64 jobs on 8 workers with
+// injected panics and timeouts (plus plain failures), run under
+// `go test -race`. One crashing or stuck app must become a failed job
+// record, never a dead process, and emission must stay in input order.
+func TestStress(t *testing.T) {
+	const n = 64
+	jobs := make([]batch.Job, n)
+	kind := func(i int) batch.Status {
+		switch {
+		case i%7 == 3:
+			return batch.StatusPanic
+		case i%11 == 5:
+			return batch.StatusTimeout
+		case i%13 == 7:
+			return batch.StatusFailed
+		default:
+			return batch.StatusOK
+		}
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = batch.Job{
+			Name: fmt.Sprintf("job-%02d", i),
+			Fn: func(ctx context.Context) ([]byte, error) {
+				switch kind(i) {
+				case batch.StatusPanic:
+					panic(fmt.Sprintf("injected panic in job %d", i))
+				case batch.StatusTimeout:
+					<-ctx.Done() // a "stuck app" that honors cancellation
+					return []byte(fmt.Sprintf("partial-%d", i)), nil
+				case batch.StatusFailed:
+					return nil, fmt.Errorf("injected failure in job %d", i)
+				default:
+					return []byte(fmt.Sprintf("value-%d", i)), nil
+				}
+			},
+		}
+	}
+
+	tr := obs.New("stress")
+	var emitted []int
+	results := batch.Run(context.Background(), jobs, batch.Options{
+		Workers: 8,
+		Timeout: 30 * time.Millisecond,
+		Obs:     tr,
+		OnResult: func(i int, r batch.Result) {
+			emitted = append(emitted, i)
+		},
+	})
+
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		want := kind(i)
+		if r.Status != want {
+			t.Errorf("job %d: status %q, want %q", i, r.Status, want)
+		}
+		switch want {
+		case batch.StatusOK:
+			if string(r.Value) != fmt.Sprintf("value-%d", i) {
+				t.Errorf("job %d: value %q", i, r.Value)
+			}
+		case batch.StatusTimeout:
+			// The partial-result verdict: a timed-out job's value survives.
+			if string(r.Value) != fmt.Sprintf("partial-%d", i) {
+				t.Errorf("job %d: partial value %q", i, r.Value)
+			}
+		case batch.StatusPanic:
+			if !strings.Contains(r.Panic, "injected panic") {
+				t.Errorf("job %d: panic record %q", i, r.Panic)
+			}
+		case batch.StatusFailed:
+			if !strings.Contains(r.Err, "injected failure") {
+				t.Errorf("job %d: err %q", i, r.Err)
+			}
+		}
+	}
+	for i, idx := range emitted {
+		if idx != i {
+			t.Fatalf("emission out of order: position %d got index %d", i, idx)
+		}
+	}
+	if got := tr.Counter("batch.jobs"); got != n {
+		t.Errorf("batch.jobs = %d, want %d", got, n)
+	}
+	s := batch.Summarize(results, time.Second)
+	if s.Panics == 0 || s.Timeouts == 0 || s.Failed == 0 || s.OK == 0 {
+		t.Errorf("summary misses a status class: %+v", s)
+	}
+	if s.Jobs != s.OK+s.Failed+s.Panics+s.Timeouts {
+		t.Errorf("summary classes do not partition jobs: %+v", s)
+	}
+	if tr.Counter("batch.panic") != int64(s.Panics) || tr.Counter("batch.timeout") != int64(s.Timeouts) {
+		t.Errorf("obs status counters disagree with summary: %+v", s)
+	}
+}
+
+// TestCacheWarmRun verifies the digest-keyed cache: a second run over
+// the same inputs must not re-execute any job.
+func TestCacheWarmRun(t *testing.T) {
+	const n = 16
+	cache := batch.NewMemCache()
+	var executions atomic.Int64
+	mkJobs := func() []batch.Job {
+		jobs := make([]batch.Job, n)
+		for i := 0; i < n; i++ {
+			i := i
+			jobs[i] = batch.Job{
+				Name:  fmt.Sprintf("app-%d", i),
+				KeyFn: func() (string, error) { return batch.Key(fmt.Sprintf("digest-%d", i), "opts"), nil },
+				Fn: func(ctx context.Context) ([]byte, error) {
+					executions.Add(1)
+					return []byte(fmt.Sprintf("result-%d", i)), nil
+				},
+			}
+		}
+		return jobs
+	}
+
+	tr := obs.New("cold")
+	cold := batch.Run(context.Background(), mkJobs(), batch.Options{Workers: 4, Cache: cache, Obs: tr})
+	if got := executions.Load(); got != n {
+		t.Fatalf("cold run executed %d jobs, want %d", got, n)
+	}
+	if tr.Counter("batch.cache_misses") != n || tr.Counter("batch.cache_hits") != 0 {
+		t.Fatalf("cold run cache counters: hits=%d misses=%d",
+			tr.Counter("batch.cache_hits"), tr.Counter("batch.cache_misses"))
+	}
+
+	tr2 := obs.New("warm")
+	warm := batch.Run(context.Background(), mkJobs(), batch.Options{Workers: 4, Cache: cache, Obs: tr2})
+	if got := executions.Load(); got != n {
+		t.Fatalf("warm run re-executed jobs: %d executions total", got)
+	}
+	if tr2.Counter("batch.cache_hits") != n {
+		t.Fatalf("warm run cache hits = %d, want %d", tr2.Counter("batch.cache_hits"), n)
+	}
+	for i := range warm {
+		if warm[i].Status != batch.StatusCached {
+			t.Errorf("warm job %d status %q", i, warm[i].Status)
+		}
+		if string(warm[i].Value) != string(cold[i].Value) {
+			t.Errorf("warm job %d value %q != cold %q", i, warm[i].Value, cold[i].Value)
+		}
+	}
+}
+
+// TestRunCancel verifies whole-run cancellation: once the parent
+// context dies, in-flight jobs unwind and undispatched jobs are marked
+// canceled without running — and every result slot is still populated.
+func TestRunCancel(t *testing.T) {
+	const n = 32
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	release := make(chan struct{})
+	jobs := make([]batch.Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = batch.Job{
+			Name: fmt.Sprintf("job-%d", i),
+			Fn: func(jctx context.Context) ([]byte, error) {
+				if i == 0 {
+					cancel()
+					close(release)
+					return []byte("trigger"), nil
+				}
+				select {
+				case <-jctx.Done():
+				case <-release:
+				}
+				return []byte("late"), nil
+			},
+		}
+	}
+	results := batch.Run(ctx, jobs, batch.Options{Workers: 2})
+	var canceled int
+	for i, r := range results {
+		if r.Status == "" {
+			t.Fatalf("job %d has no status", i)
+		}
+		if r.Status == batch.StatusCanceled {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("expected canceled jobs after parent-context cancellation")
+	}
+}
+
+// TestDirCache exercises the directory cache across instances (the
+// cross-process warm-run path).
+func TestDirCache(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := batch.NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := batch.Key("deadbeef", "policy=as", "maxpaths=5000")
+	if _, ok := c1.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c1.Put(key, []byte("row-json"))
+	c2, err := batch.NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c2.Get(key)
+	if !ok || string(v) != "row-json" {
+		t.Fatalf("second instance Get = %q, %v", v, ok)
+	}
+	if _, ok := c2.Get(batch.Key("deadbeef", "policy=hybrid")); ok {
+		t.Fatal("different options fingerprint must miss")
+	}
+}
+
+// TestAppDigestStable verifies the cache key's foundation: two fresh
+// instances of the same corpus app digest identically, and different
+// apps digest differently.
+func TestAppDigestStable(t *testing.T) {
+	row, ok := corpus.RowByName("OpenSudoku")
+	if !ok {
+		t.Fatal("OpenSudoku missing from corpus")
+	}
+	a1, _ := corpus.NamedApp(row)
+	a2, _ := corpus.NamedApp(row)
+	d1, err := batch.AppDigest(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := batch.AppDigest(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("fresh instances digest differently: %s vs %s", d1, d2)
+	}
+	other, _ := corpus.FDroidApp(0)
+	d3, err := batch.AppDigest(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatal("distinct apps share a digest")
+	}
+}
+
+// TestDeterministicEmissionUnderRandomLatency hammers the in-order
+// emission guarantee with jobs completing in scrambled order.
+func TestDeterministicEmissionUnderRandomLatency(t *testing.T) {
+	const n = 40
+	jobs := make([]batch.Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = batch.Job{
+			Name: fmt.Sprintf("j%d", i),
+			Fn: func(ctx context.Context) ([]byte, error) {
+				// Reverse-staggered sleeps: later jobs finish first.
+				time.Sleep(time.Duration((n-i)%8) * time.Millisecond)
+				return []byte{byte(i)}, nil
+			},
+		}
+	}
+	var order []int
+	results := batch.Run(context.Background(), jobs, batch.Options{
+		Workers:  8,
+		OnResult: func(i int, r batch.Result) { order = append(order, i) },
+	})
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("OnResult order[%d] = %d", i, order[i])
+		}
+	}
+	for i, r := range results {
+		if len(r.Value) != 1 || r.Value[0] != byte(i) {
+			t.Fatalf("result %d carries wrong value %v", i, r.Value)
+		}
+	}
+}

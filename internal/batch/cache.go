@@ -1,0 +1,104 @@
+package batch
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache stores serialized job results under content-addressed keys.
+// Implementations must be safe for concurrent use and best-effort: a
+// cache may drop entries or fail silently, never corrupt them.
+type Cache interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, val []byte)
+}
+
+// MemCache is an in-process Cache (a run-local map). Useful for warm
+// reruns within one process and for tests.
+type MemCache struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemCache returns an empty in-memory cache.
+func NewMemCache() *MemCache { return &MemCache{m: make(map[string][]byte)} }
+
+// Get returns the cached value for key.
+func (c *MemCache) Get(key string) ([]byte, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// Put stores val under key (value is copied; callers may reuse the
+// slice).
+func (c *MemCache) Put(key string, val []byte) {
+	c.mu.Lock()
+	c.m[key] = append([]byte(nil), val...)
+	c.mu.Unlock()
+}
+
+// Len reports the number of cached entries.
+func (c *MemCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// DirCache is a directory-backed Cache: one file per key, named by the
+// key's SHA-256 (keys may contain arbitrary bytes; filenames may not).
+// It is what makes a re-run of an unchanged corpus near-free across
+// processes. Entries never expire — the key embeds the app digest and
+// the options fingerprint, so stale entries are simply never asked for;
+// clear the directory to reclaim space or after changing the analysis
+// in ways the fingerprint does not capture.
+type DirCache struct {
+	dir string
+}
+
+// NewDirCache creates (if needed) and opens a directory cache.
+func NewDirCache(dir string) (*DirCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirCache{dir: dir}, nil
+}
+
+func (c *DirCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:]))
+}
+
+// Get reads the entry for key (a missing or unreadable file is a miss).
+func (c *DirCache) Get(key string) ([]byte, bool) {
+	v, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// Put writes the entry atomically (temp file + rename), so concurrent
+// writers and readers of one key never observe a torn value. Errors are
+// swallowed: a cache that cannot write is a cache that misses.
+func (c *DirCache) Put(key string, val []byte) {
+	dst := c.path(key)
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(val)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, dst); err != nil {
+		os.Remove(name)
+	}
+}

@@ -1,0 +1,95 @@
+package batch
+
+import (
+	"fmt"
+	"time"
+
+	"sierra/internal/obs"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds, cumulative —
+// Prometheus-style "le") of the job-latency histogram the engine
+// publishes as batch.latency_ms.le_* counters.
+var latencyBucketsMS = []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// record publishes one run's aggregate counters to the engine trace:
+// job totals per status, the latency histogram, the per-job
+// batch.job_ms series, and wall-clock/throughput gauges.
+func record(tr *obs.Trace, results []Result, wall time.Duration, workers int) {
+	if tr == nil {
+		return
+	}
+	tr.Count("batch.jobs", int64(len(results)))
+	for _, r := range results {
+		tr.Count("batch."+string(r.Status), 1)
+		ms := r.Latency.Milliseconds()
+		tr.Series("batch.job_ms", r.Name, ms)
+		for _, le := range latencyBucketsMS {
+			if ms <= le {
+				tr.Count(fmt.Sprintf("batch.latency_ms.le_%d", le), 1)
+			}
+		}
+		tr.Count("batch.latency_ms.le_inf", 1)
+		tr.Count("batch.latency_ms.sum", ms)
+	}
+	tr.Gauge("batch.workers", float64(workers))
+	tr.Gauge("batch.wall_ms", float64(wall.Milliseconds()))
+	if secs := wall.Seconds(); secs > 0 {
+		tr.Gauge("batch.jobs_per_sec", float64(len(results))/secs)
+	}
+}
+
+// Summary aggregates one run's results for human- and machine-readable
+// reporting (the `sierra -batch` trailer, the bench-json throughput
+// fields).
+type Summary struct {
+	Jobs     int     `json:"jobs"`
+	OK       int     `json:"ok"`
+	Cached   int     `json:"cached"`
+	Failed   int     `json:"failed"`
+	Panics   int     `json:"panics"`
+	Timeouts int     `json:"timeouts"`
+	Canceled int     `json:"canceled"`
+	WallSecs float64 `json:"wall_seconds"`
+	// JobsPerSec is end-to-end throughput: jobs (cached ones included)
+	// over wall-clock.
+	JobsPerSec float64 `json:"jobs_per_second"`
+	// CacheHitRate is cached results over keyed jobs that consulted the
+	// cache (0 when nothing did).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// Summarize computes a Summary over results and the run's wall-clock.
+func Summarize(results []Result, wall time.Duration) Summary {
+	s := Summary{Jobs: len(results), WallSecs: wall.Seconds()}
+	for _, r := range results {
+		switch r.Status {
+		case StatusOK:
+			s.OK++
+		case StatusCached:
+			s.Cached++
+		case StatusFailed:
+			s.Failed++
+		case StatusPanic:
+			s.Panics++
+		case StatusTimeout:
+			s.Timeouts++
+		case StatusCanceled:
+			s.Canceled++
+		}
+	}
+	if s.WallSecs > 0 {
+		s.JobsPerSec = float64(s.Jobs) / s.WallSecs
+	}
+	if probed := s.Cached + s.OK; probed > 0 {
+		s.CacheHitRate = float64(s.Cached) / float64(probed)
+	}
+	return s
+}
+
+// String renders the one-line trailer both CLIs print after a batch.
+func (s Summary) String() string {
+	return fmt.Sprintf("jobs=%d ok=%d cached=%d failed=%d panics=%d timeouts=%d canceled=%d wall=%.2fs throughput=%.2f/s cache-hit-rate=%.0f%%",
+		s.Jobs, s.OK, s.Cached, s.Failed, s.Panics, s.Timeouts, s.Canceled,
+		s.WallSecs, s.JobsPerSec, 100*s.CacheHitRate)
+}

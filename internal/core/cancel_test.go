@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sierra/internal/corpus"
+)
+
+// TestAnalyzeContextCancelled drives the cancellation contract from the
+// top: with a dead context the pipeline must return quickly with a
+// partial, well-formed Result — every stage still runs (so downstream
+// consumers keep their non-nil Registry/Graph invariants) but each
+// bails at its first cancellation poll.
+func TestAnalyzeContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead before the pipeline starts
+
+	start := time.Now()
+	res := AnalyzeContext(ctx, corpus.NewsApp(), Options{CompareContexts: true})
+	elapsed := time.Since(start)
+
+	if !res.Interrupted {
+		t.Fatal("cancelled run not marked Interrupted")
+	}
+	if res.InterruptedStage != "cgpa" {
+		t.Errorf("InterruptedStage = %q, want cgpa (the earliest stage)", res.InterruptedStage)
+	}
+	if res.Registry == nil || res.Graph == nil {
+		t.Fatal("partial result dropped the Registry/Graph invariants")
+	}
+	if len(res.AllVerdicts) > len(res.RacyPairs) {
+		t.Errorf("verdicts (%d) exceed racy pairs (%d)", len(res.AllVerdicts), len(res.RacyPairs))
+	}
+	// "Quickly" here is generous — the uncancelled pipeline on this app
+	// takes noticeably longer than a second only on starved CI machines,
+	// but a cancelled one must not do real pointer-analysis work at all.
+	if elapsed > 5*time.Second {
+		t.Errorf("cancelled run took %v", elapsed)
+	}
+}
+
+// TestAnalyzeContextNilMatchesAnalyze pins the compatibility contract:
+// Analyze is AnalyzeContext with a nil (never-cancelled) context.
+func TestAnalyzeContextNilMatchesAnalyze(t *testing.T) {
+	a := Analyze(corpus.NewsApp(), Options{})
+	b := AnalyzeContext(nil, corpus.NewsApp(), Options{})
+	if a.Interrupted || b.Interrupted {
+		t.Fatal("uncancelled runs marked Interrupted")
+	}
+	if a.NumActions() != b.NumActions() || a.HBEdges() != b.HBEdges() ||
+		len(a.RacyPairs) != len(b.RacyPairs) || a.TrueRaces() != b.TrueRaces() {
+		t.Errorf("nil-context run diverges from Analyze: %d/%d/%d/%d vs %d/%d/%d/%d",
+			a.NumActions(), a.HBEdges(), len(a.RacyPairs), a.TrueRaces(),
+			b.NumActions(), b.HBEdges(), len(b.RacyPairs), b.TrueRaces())
+	}
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"sierra/internal/actions"
@@ -72,13 +73,20 @@ type Result struct {
 	// (only when CompareContexts is set).
 	RacyPairsNoAS int
 	// AllVerdicts align with RacyPairs (every candidate's refutation
-	// outcome; nil when refutation is skipped).
+	// outcome; nil when refutation is skipped, shorter than RacyPairs
+	// when the run was Interrupted mid-refutation).
 	AllVerdicts []symexec.Verdict
 	// Verdicts align with the surviving pairs (the Reports' order input).
 	Verdicts []symexec.Verdict
 	// Reports are the surviving races, ranked.
 	Reports []report.Report
 	Timing  Timing
+	// Interrupted marks a run whose context was cancelled (or timed out)
+	// mid-pipeline: every recorded fact is real but the result is
+	// partial. InterruptedStage names the earliest stage that noticed
+	// ("cgpa", "shbg", "pairs", "compare", "refute").
+	Interrupted      bool
+	InterruptedStage string
 }
 
 // NumHarnesses returns the per-activity harness count.
@@ -100,11 +108,32 @@ func (r *Result) TrueRaces() int { return len(r.Reports) }
 // extended with synthetic harness classes; analyze each app instance at
 // most once (corpus constructors return fresh instances).
 func Analyze(app *apk.App, opts Options) *Result {
+	return AnalyzeContext(nil, app, opts)
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation (ctx nil =
+// never cancelled). The expensive loops — the pointer-analysis
+// worklist, the SHBG closure rounds, the symbolic-execution path loop,
+// and the per-pair refutation loop here — poll the context and stop
+// early once it is done, so a deadline yields a well-formed partial
+// Result (marked Interrupted, with the earliest affected stage in
+// InterruptedStage) instead of a stuck process. Every stage still runs:
+// a cancelled context makes each one cheap rather than skipped, keeping
+// the Result's shape invariants (non-nil Registry/Graph) intact.
+func AnalyzeContext(ctx context.Context, app *apk.App, opts Options) *Result {
 	if opts.Policy == nil {
 		opts.Policy = pointer.ActionSensitivePolicy{K: 2}
 	}
 	tr := opts.Obs
 	res := &Result{App: app}
+	// mark records the earliest stage at which the context was already
+	// cancelled (checked at every stage boundary).
+	mark := func(stage string) {
+		if !res.Interrupted && ctx != nil && ctx.Err() != nil {
+			res.Interrupted = true
+			res.InterruptedStage = stage
+		}
+	}
 	start := time.Now()
 	span := tr.Start("analyze")
 
@@ -114,19 +143,22 @@ func Analyze(app *apk.App, opts Options) *Result {
 	res.Harnesses = harness.GenerateTraced(app, tr)
 	sHarness.End()
 	sCGPA := tr.Start("cgpa")
-	reg, pta := actions.AnalyzeTraced(app, res.Harnesses, opts.Policy, tr)
+	reg, pta := actions.AnalyzeContext(ctx, app, res.Harnesses, opts.Policy, tr)
 	sCGPA.End()
 	res.Registry, res.PTA = reg, pta
 	res.Timing.CGPA = time.Since(t0)
+	mark("cgpa")
 
 	// Stage 2: Static Happens-Before Graph.
 	t1 := time.Now()
 	sSHBG := tr.Start("shbg")
 	shbgOpts := opts.SHBG
 	shbgOpts.Obs = tr
+	shbgOpts.Ctx = ctx
 	res.Graph = shbg.Build(reg, pta, shbgOpts)
 	sSHBG.End()
 	res.Timing.HBG = time.Since(t1)
+	mark("shbg")
 
 	// Stage 3: racy pairs (the action-sensitive run is authoritative;
 	// the hybrid rerun only contributes its candidate count).
@@ -136,6 +168,7 @@ func Analyze(app *apk.App, opts Options) *Result {
 	res.RacyPairs = race.RacyPairsTraced(reg, res.Graph, res.Accesses, tr)
 	sPairs.End()
 	res.Timing.Pairs = time.Since(t2)
+	mark("pairs")
 	if opts.CompareContexts {
 		t3 := time.Now()
 		sCompare := tr.Start("compare")
@@ -143,12 +176,14 @@ func Analyze(app *apk.App, opts Options) *Result {
 		// the authoritative (action-sensitive) run only.
 		plainSHBG := opts.SHBG
 		plainSHBG.Obs = nil
-		regH, ptaH := actions.Analyze(app, res.Harnesses, pointer.Hybrid{K: 2})
+		plainSHBG.Ctx = ctx
+		regH, ptaH := actions.AnalyzeContext(ctx, app, res.Harnesses, pointer.Hybrid{K: 2}, nil)
 		gH := shbg.Build(regH, ptaH, plainSHBG)
 		pairsH := race.RacyPairs(regH, gH, race.CollectAccesses(regH, ptaH))
 		res.RacyPairsNoAS = len(pairsH)
 		sCompare.End()
 		res.Timing.Compare = time.Since(t3)
+		mark("compare")
 	}
 
 	// Stage 4: refutation + ranking.
@@ -157,11 +192,16 @@ func Analyze(app *apk.App, opts Options) *Result {
 		sRefute := tr.Start("refute")
 		refCfg := opts.Refuter
 		refCfg.Obs = tr
+		refCfg.Ctx = ctx
 		ref := symexec.NewRefuter(reg, pta, refCfg)
 		var survivors []race.Pair
 		var verdicts []symexec.Verdict
 		res.AllVerdicts = make([]symexec.Verdict, 0, len(res.RacyPairs))
 		for _, p := range res.RacyPairs {
+			if ctx != nil && ctx.Err() != nil {
+				mark("refute")
+				break
+			}
 			v := ref.Check(p)
 			res.AllVerdicts = append(res.AllVerdicts, v)
 			if v.TruePositive {
@@ -174,10 +214,14 @@ func Analyze(app *apk.App, opts Options) *Result {
 		sRank := tr.Start("rank")
 		res.Reports = report.Rank(app.Program, survivors, verdicts)
 		sRank.End()
+		mark("refute")
 	}
 	res.Timing.Refutation = time.Since(t4)
 	res.Timing.Total = time.Since(start)
 	tr.Count("core.reports", int64(len(res.Reports)))
+	if res.Interrupted {
+		tr.Count("core.interrupted", 1)
+	}
 	span.End()
 	return res
 }

@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -50,15 +51,28 @@ type Options struct {
 	// Schedules / EventsPerSchedule configure the dynamic runs.
 	Schedules         int
 	EventsPerSchedule int
+	// Obs, when non-nil, absorbs each measured app's effort counters
+	// (the per-app trace snapshot) — the batch runners point this at a
+	// shared trace so `-stats`-style aggregates survive fan-out. Safe
+	// for concurrent use.
+	Obs *obs.Trace
 }
 
 // EvaluateApp runs the full static pipeline (and optionally the dynamic
 // baseline) on an app produced by factory, classifying survivors against
 // the ground truth.
 func EvaluateApp(name string, factory func() (*apk.App, *corpus.GroundTruth), opts Options) Row {
+	return EvaluateAppContext(nil, name, factory, opts)
+}
+
+// EvaluateAppContext is EvaluateApp with cooperative cancellation: the
+// context is threaded into the pipeline (see core.AnalyzeContext), so a
+// deadline yields a partial Row instead of a stuck evaluation. The
+// dynamic baseline is skipped once the context is done.
+func EvaluateAppContext(ctx context.Context, name string, factory func() (*apk.App, *corpus.GroundTruth), opts Options) Row {
 	app, gt := factory()
 	tr := obs.New(name)
-	res := core.Analyze(app, core.Options{CompareContexts: true, Obs: tr})
+	res := core.AnalyzeContext(ctx, app, core.Options{CompareContexts: true, Obs: tr})
 
 	row := Row{
 		Name:       name,
@@ -88,7 +102,7 @@ func EvaluateApp(name string, factory func() (*apk.App, *corpus.GroundTruth), op
 			row.FP++
 		}
 	}
-	if opts.WithDynamic {
+	if opts.WithDynamic && (ctx == nil || ctx.Err() == nil) {
 		races := eventracer.Detect(func() *apk.App {
 			a, _ := factory()
 			return a
@@ -106,6 +120,7 @@ func EvaluateApp(name string, factory func() (*apk.App, *corpus.GroundTruth), op
 		}
 		row.EventRacer = len(pairs)
 	}
+	opts.Obs.Absorb(tr.Snapshot())
 	return row
 }
 

@@ -77,6 +77,37 @@ func (c *Counters) GaugeValue(name string) float64 {
 	return c.gauges[name]
 }
 
+// absorb merges frozen counter state into this set: counters sum,
+// gauges keep the maximum (the aggregate of peak-style gauges like
+// pointer.pts_max), series append.
+func (c *Counters) absorb(counts map[string]int64, gauges map[string]float64, series map[string][]SeriesPoint) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(counts) > 0 && c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
+	for k, v := range counts {
+		c.counts[k] += v
+	}
+	if len(gauges) > 0 && c.gauges == nil {
+		c.gauges = make(map[string]float64)
+	}
+	for k, v := range gauges {
+		if have, ok := c.gauges[k]; !ok || v > have {
+			c.gauges[k] = v
+		}
+	}
+	if len(series) > 0 && c.series == nil {
+		c.series = make(map[string][]SeriesPoint)
+	}
+	for k, pts := range series {
+		c.series[k] = append(c.series[k], pts...)
+	}
+}
+
 // snapshot deep-copies the current state.
 func (c *Counters) snapshot() (counts map[string]int64, gauges map[string]float64, series map[string][]SeriesPoint) {
 	if c == nil {

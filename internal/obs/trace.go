@@ -140,6 +140,18 @@ func (t *Trace) Series(series, label string, v int64) {
 	t.c.Append(series, label, v)
 }
 
+// Absorb merges a snapshot's counters, gauges, and series into the
+// trace: counters sum, gauges keep the maximum, series append. Span
+// trees are not merged (spans describe one run's timeline; absorbed
+// snapshots typically come from sibling runs, e.g. batch jobs). Safe
+// for concurrent use; no-op when t or s is nil.
+func (t *Trace) Absorb(s *Snapshot) {
+	if t == nil || s == nil {
+		return
+	}
+	t.c.absorb(s.Counters, s.Gauges, s.Series)
+}
+
 // Counter reads a counter's current value (0 if absent or t is nil).
 func (t *Trace) Counter(name string) int64 {
 	if t == nil {

@@ -1,6 +1,7 @@
 package pointer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -71,6 +72,11 @@ type Config struct {
 	ActionAt func(ir.Pos) (int, bool)
 	// MaxPasses bounds the global fixpoint (safety valve; 0 = default).
 	MaxPasses int
+	// Ctx, when non-nil, is polled at pass boundaries and every
+	// ctxStride instances within a pass; once done the fixpoint stops
+	// early and the result is marked Interrupted (sound for the facts
+	// derived so far, but incomplete).
+	Ctx context.Context
 	// Obs, when non-nil, receives the analysis effort counters
 	// (pointer.* — see README.md "Observability"). Nil costs nothing.
 	Obs *obs.Trace
@@ -101,15 +107,26 @@ func Analyze(cfg Config) *Result {
 		a.install(e, true)
 	}
 	for pass := 0; pass < cfg.MaxPasses; pass++ {
+		if ctxDone(cfg.Ctx) {
+			a.res.Interrupted = true
+			break
+		}
 		a.res.passes = pass + 1
 		changed := false
 		// Statements of every discovered instance (order-stable: the
 		// slice only grows, and growth order is deterministic).
 		for i := 0; i < len(a.order); i++ {
+			if i%ctxStride == ctxStride-1 && ctxDone(cfg.Ctx) {
+				a.res.Interrupted = true
+				break
+			}
 			a.stats.iterations++
 			if a.processInstance(a.order[i]) {
 				changed = true
 			}
+		}
+		if a.res.Interrupted {
+			break
 		}
 		if a.applyCopies() {
 			changed = true
@@ -128,6 +145,16 @@ func Analyze(cfg Config) *Result {
 	return a.res
 }
 
+// ctxStride is how many instances a pass processes between context
+// polls; ctx.Err takes a lock, so the worklist does not check per
+// statement.
+const ctxStride = 256
+
+// ctxDone reports whether the (possibly nil) context is cancelled.
+func ctxDone(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
+
 // reportObs publishes the fixpoint's effort counters (no-op on nil Obs).
 func (a *analyzer) reportObs() {
 	tr := a.cfg.Obs
@@ -135,6 +162,9 @@ func (a *analyzer) reportObs() {
 		return
 	}
 	tr.Count("pointer.passes", int64(a.res.passes))
+	if a.res.Interrupted {
+		tr.Count("pointer.interrupted", 1)
+	}
 	tr.Count("pointer.worklist_iterations", a.stats.iterations)
 	tr.Count("pointer.instances", int64(len(a.res.instances)))
 	tr.Count("pointer.entries", int64(len(a.res.entryKeys)))

@@ -10,6 +10,10 @@ import (
 // produced by Analyze.
 type Result struct {
 	Policy Policy
+	// Interrupted marks that the fixpoint stopped early because the
+	// configured context was cancelled: every recorded fact is real, but
+	// the call graph and points-to sets may be incomplete.
+	Interrupted bool
 
 	pts       map[VarKey]ObjSet
 	fpts      map[FieldKey]ObjSet

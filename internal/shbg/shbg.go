@@ -7,6 +7,8 @@
 package shbg
 
 import (
+	"context"
+
 	"sierra/internal/actions"
 	"sierra/internal/cfg"
 	"sierra/internal/frontend"
@@ -66,12 +68,19 @@ type Options struct {
 	// Obs, when non-nil, receives the construction effort counters
 	// (shbg.* — see README.md "Observability"). Nil costs nothing.
 	Obs *obs.Trace
+	// Ctx, when non-nil, is polled between closure rounds; once done the
+	// rule-6/7 iteration stops early and the graph is marked Interrupted
+	// (every recorded edge is real, but the closure may be incomplete).
+	Ctx context.Context
 }
 
 // Graph is the SHBG.
 type Graph struct {
 	Reg *actions.Registry
 	n   int
+	// Interrupted marks that closure stopped early on a cancelled
+	// context; the HB relation is then an under-approximation.
+	Interrupted bool
 	// hb[a][b]: a ≺ b after transitive closure.
 	hb [][]bool
 	// ruleCounts tallies direct (pre-closure) edges per rule.
@@ -106,6 +115,10 @@ func Build(reg *actions.Registry, res *pointer.Result, opts Options) *Graph {
 	// edges that further closure propagates, and vice versa (§4.3 ¶7).
 	rounds := 0
 	for {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			g.Interrupted = true
+			break
+		}
 		rounds++
 		changed := g.close()
 		if !disabled(RuleInvocation) && g.ruleMultiSpawnInvocation() {
@@ -125,6 +138,9 @@ func Build(reg *actions.Registry, res *pointer.Result, opts Options) *Graph {
 		tr.Count("shbg.edges_closed", int64(g.NumEdges()))
 		tr.Count("shbg.closure_rounds", int64(rounds))
 		tr.Count("shbg.reach_queries", int64(g.reachQueries))
+		if g.Interrupted {
+			tr.Count("shbg.interrupted", 1)
+		}
 	}
 	return g
 }

@@ -1,6 +1,7 @@
 package symexec
 
 import (
+	"context"
 	"fmt"
 
 	"sierra/internal/actions"
@@ -38,6 +39,10 @@ type Config struct {
 	// per-pair refute.pair_paths series (see README.md "Observability").
 	// Nil costs nothing.
 	Obs *obs.Trace
+	// Ctx, when non-nil, is polled every few dozen explored paths; once
+	// done the walk bails as if its path budget ran out, so interrupted
+	// pairs keep the paper's over-approximate "report anyway" verdict.
+	Ctx context.Context
 }
 
 // Refuter performs backward symbolic execution over actions.
@@ -251,9 +256,10 @@ func (r *Refuter) entryConstraints(acc race.Access, seedIdx int, seed *store, bu
 	seen := map[string]bool{}
 	for _, g := range r.actionGraphs(acc.Action) {
 		w := &walker{
-			g:      g,
-			pts:    r.ptsResolver(acc.Action),
-			budget: budget - res.explored,
+			g:         g,
+			pts:       r.ptsResolver(acc.Action),
+			budget:    budget - res.explored,
+			cancelled: r.cancelPoll(),
 		}
 		for _, start := range g.byPos[acc.Pos] {
 			w.collectEntryFrom(start, seed, func(st *store) {
@@ -289,10 +295,11 @@ func (r *Refuter) witness(acc race.Access, init *store, budget int) (ok bool, us
 	}
 	for _, g := range r.actionGraphs(acc.Action) {
 		w := &walker{
-			g:      g,
-			pts:    r.ptsResolver(acc.Action),
-			budget: budget - used,
-			target: acc.Pos,
+			g:         g,
+			pts:       r.ptsResolver(acc.Action),
+			budget:    budget - used,
+			target:    acc.Pos,
+			cancelled: r.cancelPoll(),
 		}
 		hit := w.findWitness(init)
 		used += w.paths
@@ -314,6 +321,16 @@ func (r *Refuter) witness(acc race.Access, init *store, budget int) (ok bool, us
 		r.witnessMemo[key] = false
 	}
 	return false, used, false
+}
+
+// cancelPoll returns the walker's cancellation probe (nil when no
+// context is configured, keeping the uncancellable path free).
+func (r *Refuter) cancelPoll() func() bool {
+	ctx := r.Cfg.Ctx
+	if ctx == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
 }
 
 // actionGraphs returns (building on demand) the inlined graphs of the

@@ -24,10 +24,18 @@ type walker struct {
 	target ir.Pos
 	// visits tracks per-path node occurrences (loop unrolling bound).
 	visits map[int]int
+	// cancelled, when non-nil, is polled every ctxPollStride paths; a
+	// true return bails the walk through the budget-exhaustion path.
+	cancelled func() bool
 }
 
 // maxVisitsPerNode allows one loop unrolling per path.
 const maxVisitsPerNode = 2
+
+// ctxPollStride is how many completed paths pass between cancellation
+// polls (ctx.Err takes a lock; per-path polling would show up in the
+// refutation hot loop).
+const ctxPollStride = 64
 
 // collectEntry runs the A-walk: backward from the access node (its own
 // transfer skipped — the access is the query's sink) to the root entry,
@@ -125,6 +133,9 @@ func (w *walker) walkPreds(node int, st *store, saw bool, atEntry func(*store, b
 func (w *walker) endPath() {
 	w.paths++
 	if w.paths >= w.budget {
+		w.budgetHit = true
+	}
+	if w.cancelled != nil && w.paths%ctxPollStride == 0 && w.cancelled() {
 		w.budgetHit = true
 	}
 }
