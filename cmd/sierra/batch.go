@@ -20,16 +20,17 @@ import (
 
 // batchConfig carries the flag values that shape a -batch run.
 type batchConfig struct {
-	glob     string
-	jobs     int
-	timeout  time.Duration
-	cacheDir string
-	policy   pointer.Policy
-	policyID string
-	compare  bool
-	noRefute bool
-	maxPaths int
-	stats    string
+	glob       string
+	jobs       int
+	timeout    time.Duration
+	cacheDir   string
+	policy     pointer.Policy
+	policyID   string
+	compare    bool
+	noRefute   bool
+	maxPaths   int
+	refuteJobs int
+	stats      string
 }
 
 // appSummary is the cached per-file verdict: the headline numbers a
@@ -67,6 +68,7 @@ func runBatch(cfg batchConfig) int {
 		fmt.Sprintf("compare=%t", cfg.compare),
 		fmt.Sprintf("refute=%t", !cfg.noRefute),
 		fmt.Sprintf("maxpaths=%d", cfg.maxPaths),
+		fmt.Sprintf("refutejobs=%d", cfg.refuteJobs),
 	}
 
 	jobs := make([]batch.Job, len(files))
@@ -94,7 +96,7 @@ func runBatch(cfg batchConfig) int {
 					Policy:          cfg.policy,
 					CompareContexts: cfg.compare,
 					SkipRefutation:  cfg.noRefute,
-					Refuter:         symexec.Config{MaxPaths: cfg.maxPaths},
+					Refuter:         symexec.Config{MaxPaths: cfg.maxPaths, Jobs: cfg.refuteJobs},
 				})
 				return json.Marshal(appSummary{
 					App:          app.Name,

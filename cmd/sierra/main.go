@@ -49,6 +49,7 @@ func main() {
 		compare    = flag.Bool("compare", false, "also report racy pairs without action sensitivity")
 		noRefute   = flag.Bool("no-refute", false, "skip symbolic refutation")
 		maxPaths   = flag.Int("max-paths", 5000, "refutation path budget per query")
+		refuteJobs = flag.Int("refute-jobs", 1, "per-pair refutation workers within one app (1 = sequential shared-memo refuter)")
 		list       = flag.Bool("list", false, "list named dataset apps and exit")
 		verbose    = flag.Bool("v", false, "print every report plus the observability breakdown")
 		verifyN    = flag.Int("verify", 0, "dynamically confirm the top N reports via schedule search (§6.4)")
@@ -94,16 +95,17 @@ func main() {
 
 	if *batchGlob != "" {
 		code := runBatch(batchConfig{
-			glob:     *batchGlob,
-			jobs:     *jobs,
-			timeout:  *jobTimeout,
-			cacheDir: *cacheDir,
-			policy:   pol,
-			policyID: *policy,
-			compare:  *compare,
-			noRefute: *noRefute,
-			maxPaths: *maxPaths,
-			stats:    *stats,
+			glob:       *batchGlob,
+			jobs:       *jobs,
+			timeout:    *jobTimeout,
+			cacheDir:   *cacheDir,
+			policy:     pol,
+			policyID:   *policy,
+			compare:    *compare,
+			noRefute:   *noRefute,
+			maxPaths:   *maxPaths,
+			refuteJobs: *refuteJobs,
+			stats:      *stats,
 		})
 		os.Exit(code)
 	}
@@ -139,7 +141,7 @@ func main() {
 		Policy:          pol,
 		CompareContexts: *compare,
 		SkipRefutation:  *noRefute,
-		Refuter:         symexec.Config{MaxPaths: *maxPaths},
+		Refuter:         symexec.Config{MaxPaths: *maxPaths, Jobs: *refuteJobs},
 		Obs:             tr,
 	})
 

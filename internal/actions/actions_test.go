@@ -296,7 +296,7 @@ func TestMessageWhatsExtraction(t *testing.T) {
 	// The message parameter must be bound: handleMessage's m points to
 	// the obtained Message object.
 	hm := app.Program.Class("MyHandler").Methods[frontend.HandleMessage]
-	if got := res.PointsToAll(hm, "m"); len(got) == 0 {
+	if got := res.PointsToAll(hm, "m"); got.Len() == 0 {
 		t.Error("handleMessage's message parameter has empty points-to")
 	}
 }

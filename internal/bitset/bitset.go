@@ -1,0 +1,137 @@
+// Package bitset is the dense-ID substrate shared by the pipeline's
+// hottest kernels: a word-packed set of small non-negative integers.
+// The pointer analysis stores interned-object ids in it (pointer.ObjSet),
+// and the SHBG keeps one Set per action as its happens-before row, so
+// set union, intersection tests, and transitive-closure propagation all
+// run word-parallel (64 elements per machine op) instead of per-element
+// through map or [][]bool indirections.
+package bitset
+
+import "math/bits"
+
+// Set is a word-packed bitset. The zero value is an empty set; Add and
+// Or grow it as needed. Sets are append-only views over their word
+// slice: copy a Set header freely, but share mutation through a single
+// owner (the pointer analysis wraps Set behind a shared pointer).
+type Set []uint64
+
+// wordsFor returns the word count needed to hold bit i.
+func wordsFor(i int) int { return i/64 + 1 }
+
+// New returns a set pre-sized to hold bits [0, nbits).
+func New(nbits int) Set {
+	if nbits <= 0 {
+		return nil
+	}
+	return make(Set, wordsFor(nbits-1))
+}
+
+// Add sets bit i (growing the set), reporting whether it was newly set.
+func (s *Set) Add(i int) bool {
+	if i < 0 {
+		return false
+	}
+	w := i >> 6
+	if w >= len(*s) {
+		grown := make(Set, w+1)
+		copy(grown, *s)
+		*s = grown
+	}
+	mask := uint64(1) << (uint(i) & 63)
+	if (*s)[w]&mask != 0 {
+		return false
+	}
+	(*s)[w] |= mask
+	return true
+}
+
+// Has reports whether bit i is set (false for out-of-range i — the
+// bounds check the callers rely on).
+func (s Set) Has(i int) bool {
+	if i < 0 {
+		return false
+	}
+	w := i >> 6
+	return w < len(s) && s[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Or unions other into s word-parallel, returning how many bits were
+// newly set (0 = no change).
+func (s *Set) Or(other Set) int {
+	if len(other) > len(*s) {
+		// Trim other's trailing zero words before growing.
+		n := len(other)
+		for n > 0 && other[n-1] == 0 {
+			n--
+		}
+		if n > len(*s) {
+			grown := make(Set, n)
+			copy(grown, *s)
+			*s = grown
+		}
+	}
+	dst := *s
+	added := 0
+	n := len(other)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for w := 0; w < n; w++ {
+		diff := other[w] &^ dst[w]
+		if diff != 0 {
+			dst[w] |= diff
+			added += bits.OnesCount64(diff)
+		}
+	}
+	return added
+}
+
+// Intersects reports whether the sets share a bit — one AND per word.
+func (s Set) Intersects(other Set) bool {
+	n := len(s)
+	if len(other) < n {
+		n = len(other)
+	}
+	for w := 0; w < n; w++ {
+		if s[w]&other[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of set bits.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Words reports the backing word count (the pointer.objset_words
+// gauge's unit).
+func (s Set) Words() int { return len(s) }
+
+// ForEach calls fn for every set bit in ascending order.
+func (s Set) ForEach(fn func(i int)) {
+	for w, word := range s {
+		for word != 0 {
+			fn(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
+// AppendBits appends the set bits in ascending order to dst and returns
+// it (an allocation-free ForEach for callers that reuse a scratch
+// slice).
+func (s Set) AppendBits(dst []int) []int {
+	for w, word := range s {
+		for word != 0 {
+			dst = append(dst, w<<6+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+	return dst
+}

@@ -1,0 +1,154 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// ref is the naive map reference implementation the bitset must agree
+// with.
+type ref map[int]bool
+
+func (r ref) slice() []int {
+	out := make([]int, 0, len(r))
+	for i := range r {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestAgainstMapReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Set
+		m := ref{}
+		for op := 0; op < 200; op++ {
+			i := rng.Intn(300)
+			switch rng.Intn(3) {
+			case 0:
+				if s.Add(i) == m[i] {
+					return false // Add must report newness, m[i] is prior membership
+				}
+				m[i] = true
+			case 1:
+				if s.Has(i) != m[i] {
+					return false
+				}
+			case 2:
+				var o Set
+				om := ref{}
+				for k := 0; k < rng.Intn(20); k++ {
+					j := rng.Intn(300)
+					o.Add(j)
+					om[j] = true
+				}
+				before := len(m)
+				for j := range om {
+					m[j] = true
+				}
+				if s.Or(o) != len(m)-before {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(m) {
+			return false
+		}
+		var got []int
+		s.ForEach(func(i int) { got = append(got, i) })
+		want := m.slice()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// AppendBits agrees with ForEach.
+		ap := s.AppendBits(nil)
+		for i := range ap {
+			if ap[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectsSymmetricAndAgainstRef(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		var sa, sb Set
+		ma, mb := ref{}, ref{}
+		for _, x := range a {
+			sa.Add(int(x) % 500)
+			ma[int(x)%500] = true
+		}
+		for _, x := range b {
+			sb.Add(int(x) % 500)
+			mb[int(x)%500] = true
+		}
+		want := false
+		for i := range ma {
+			if mb[i] {
+				want = true
+			}
+		}
+		return sa.Intersects(sb) == want && sb.Intersects(sa) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroValueAndBounds(t *testing.T) {
+	var s Set
+	if s.Has(0) || s.Has(63) || s.Has(-1) || s.Count() != 0 || s.Words() != 0 {
+		t.Fatal("zero value must be empty")
+	}
+	if s.Add(-1) {
+		t.Fatal("negative bits are rejected")
+	}
+	if !s.Add(64) || s.Add(64) {
+		t.Fatal("Add must report newness exactly once")
+	}
+	if s.Has(1000) {
+		t.Fatal("out-of-range Has must be false, not panic")
+	}
+	var empty Set
+	if s.Intersects(empty) || empty.Intersects(s) {
+		t.Fatal("empty set intersects nothing")
+	}
+	if empty.Or(s) != 1 || !empty.Has(64) {
+		t.Fatal("Or must grow the receiver")
+	}
+	if got := New(65); len(got) != 2 {
+		t.Fatalf("New(65) = %d words, want 2", len(got))
+	}
+	if New(0) != nil {
+		t.Fatal("New(0) is nil")
+	}
+}
+
+func TestOrTrimsTrailingZeroWords(t *testing.T) {
+	var big Set
+	big.Add(1000)
+	var small Set
+	small.Add(3)
+	// big has many words but only low bits matter for small.
+	bigLow := make(Set, len(big))
+	copy(bigLow, big)
+	bigLow[1000>>6] = 0 // now all-zero words beyond word 0
+	if small.Or(bigLow) != 0 {
+		t.Fatal("OR with zero words adds nothing")
+	}
+	if small.Words() != 1 {
+		t.Fatalf("receiver grew to %d words for all-zero source tail", small.Words())
+	}
+}

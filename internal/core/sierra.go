@@ -193,19 +193,16 @@ func AnalyzeContext(ctx context.Context, app *apk.App, opts Options) *Result {
 		refCfg := opts.Refuter
 		refCfg.Obs = tr
 		refCfg.Ctx = ctx
-		ref := symexec.NewRefuter(reg, pta, refCfg)
 		var survivors []race.Pair
 		var verdicts []symexec.Verdict
-		res.AllVerdicts = make([]symexec.Verdict, 0, len(res.RacyPairs))
-		for _, p := range res.RacyPairs {
-			if ctx != nil && ctx.Err() != nil {
-				mark("refute")
-				break
-			}
-			v := ref.Check(p)
-			res.AllVerdicts = append(res.AllVerdicts, v)
+		all, interrupted := symexec.CheckAll(reg, pta, refCfg, res.RacyPairs)
+		res.AllVerdicts = all
+		if interrupted {
+			mark("refute")
+		}
+		for i, v := range all {
 			if v.TruePositive {
-				survivors = append(survivors, p)
+				survivors = append(survivors, res.RacyPairs[i])
 				verdicts = append(verdicts, v)
 			}
 		}

@@ -91,10 +91,13 @@ func Analyze(cfg Config) *Result {
 	if cfg.MaxPasses == 0 {
 		cfg.MaxPasses = 200
 	}
+	in := NewInterner()
 	a := &analyzer{
 		cfg: cfg,
+		in:  in,
 		res: &Result{
 			Policy:    cfg.Policy,
+			in:        in,
 			pts:       make(map[VarKey]ObjSet),
 			fpts:      make(map[FieldKey]ObjSet),
 			spts:      make(map[string]ObjSet),
@@ -180,13 +183,23 @@ func (a *analyzer) reportObs() {
 		copies += len(srcs)
 	}
 	tr.Count("pointer.copy_constraints", int64(copies))
-	var totalObjs, maxSet int
+	var totalObjs, maxSet, words int
 	for _, set := range a.res.pts {
-		totalObjs += len(set)
-		if len(set) > maxSet {
-			maxSet = len(set)
+		n := set.Len()
+		totalObjs += n
+		if n > maxSet {
+			maxSet = n
 		}
+		words += set.Words()
 	}
+	for _, set := range a.res.fpts {
+		words += set.Words()
+	}
+	for _, set := range a.res.spts {
+		words += set.Words()
+	}
+	tr.Count("pointer.objset_words", int64(words))
+	tr.Count("pointer.interned_objs", int64(a.in.NumObjs()))
 	tr.Gauge("pointer.pts_vars", float64(len(a.res.pts)))
 	tr.Gauge("pointer.pts_objs", float64(totalObjs))
 	tr.Gauge("pointer.pts_max", float64(maxSet))
@@ -200,15 +213,33 @@ type siteKey struct {
 
 type analyzer struct {
 	cfg    Config
+	in     *Interner
 	res    *Result
 	order  []MKey // instance worklist in discovery order
 	copies map[VarKey]map[VarKey]bool
+	// sortedCopies mirrors copies as String()-ordered slices so
+	// applyCopies iterates deterministically without re-sorting (and
+	// re-rendering keys) every sweep.
+	sortedCopies []*copyEdge
 	// stats feeds the pointer.* observability counters.
 	stats struct {
 		iterations  int64 // instances processed, summed over passes
 		chaTargets  int64 // dispatch targets resolved at call sites
 		eventsFired int64 // OnEvent hook invocations
 	}
+}
+
+// copyEdge is one destination's persistent copy constraints, its
+// sources kept String()-sorted.
+type copyEdge struct {
+	key  string
+	dst  VarKey
+	srcs []copySrc
+}
+
+type copySrc struct {
+	key string
+	src VarKey
 }
 
 // install registers an entry's method instance and seeds, reporting
@@ -252,18 +283,18 @@ func (a *analyzer) install(e Entry, isRoot bool) bool {
 }
 
 func (a *analyzer) pts(k VarKey) ObjSet {
-	s := a.res.pts[k]
-	if s == nil {
-		s = make(ObjSet)
+	s, ok := a.res.pts[k]
+	if !ok {
+		s = a.in.NewSet()
 		a.res.pts[k] = s
 	}
 	return s
 }
 
 func (a *analyzer) fpts(k FieldKey) ObjSet {
-	s := a.res.fpts[k]
-	if s == nil {
-		s = make(ObjSet)
+	s, ok := a.res.fpts[k]
+	if !ok {
+		s = a.in.NewSet()
 		a.res.fpts[k] = s
 	}
 	return s
@@ -271,21 +302,57 @@ func (a *analyzer) fpts(k FieldKey) ObjSet {
 
 func (a *analyzer) spts(cls, field string) ObjSet {
 	key := cls + "." + field
-	s := a.res.spts[key]
-	if s == nil {
-		s = make(ObjSet)
+	s, ok := a.res.spts[key]
+	if !ok {
+		s = a.in.NewSet()
 		a.res.spts[key] = s
 	}
 	return s
 }
 
+// addCopy records dst ⊆ src, keeping the sorted iteration mirrors in
+// sync (no-op for an already-known edge).
 func (a *analyzer) addCopy(dst, src VarKey) {
 	m := a.copies[dst]
 	if m == nil {
 		m = make(map[VarKey]bool)
 		a.copies[dst] = m
+		a.insertCopyEdge(dst)
+	}
+	if m[src] {
+		return
 	}
 	m[src] = true
+	a.insertCopySrc(dst, src)
+}
+
+// insertCopyEdge places a new destination into sortedCopies at its
+// String()-ordered position.
+func (a *analyzer) insertCopyEdge(dst VarKey) {
+	key := dst.String()
+	i := sort.Search(len(a.sortedCopies), func(i int) bool {
+		return a.sortedCopies[i].key >= key
+	})
+	a.sortedCopies = append(a.sortedCopies, nil)
+	copy(a.sortedCopies[i+1:], a.sortedCopies[i:])
+	a.sortedCopies[i] = &copyEdge{key: key, dst: dst}
+}
+
+// insertCopySrc places a new source into its destination's sorted
+// source list.
+func (a *analyzer) insertCopySrc(dst, src VarKey) {
+	key := dst.String()
+	i := sort.Search(len(a.sortedCopies), func(i int) bool {
+		return a.sortedCopies[i].key >= key
+	})
+	e := a.sortedCopies[i]
+	skey := src.String()
+	j := sort.Search(len(e.srcs), func(j int) bool {
+		return e.srcs[j].key >= skey
+	})
+	e.srcs = append(e.srcs, copySrc{})
+	copy(e.srcs[j+1:], e.srcs[j:])
+	e.srcs[j] = copySrc{key: skey, src: src}
 }
 
 // processInstance applies all statement transfer functions of one method
@@ -485,22 +552,15 @@ func (a *analyzer) recordEdge(sk siteKey, callee MKey) {
 	a.res.callees[sk] = append(a.res.callees[sk], callee)
 }
 
-// applyCopies propagates all persistent copy constraints once.
+// applyCopies propagates all persistent copy constraints once, in the
+// stable String() order sortedCopies maintains (word-parallel unions;
+// no per-sweep sorting or key rendering).
 func (a *analyzer) applyCopies() bool {
 	changed := false
-	dsts := make([]VarKey, 0, len(a.copies))
-	for dst := range a.copies {
-		dsts = append(dsts, dst)
-	}
-	sort.Slice(dsts, func(i, j int) bool { return dsts[i].String() < dsts[j].String() })
-	for _, dst := range dsts {
-		srcs := make([]VarKey, 0, len(a.copies[dst]))
-		for src := range a.copies[dst] {
-			srcs = append(srcs, src)
-		}
-		sort.Slice(srcs, func(i, j int) bool { return srcs[i].String() < srcs[j].String() })
-		for _, src := range srcs {
-			if a.pts(dst).AddAll(a.pts(src)) {
+	for _, e := range a.sortedCopies {
+		dst := a.pts(e.dst)
+		for _, s := range e.srcs {
+			if dst.AddAll(a.pts(s.src)) {
 				changed = true
 			}
 		}
@@ -518,15 +578,15 @@ func (a *analyzer) applySeeds() bool {
 				continue
 			}
 			src := a.res.pts[VarKey{M: mk.M, Ctx: mk.Ctx, Var: seed.SrcVar}]
-			if len(src) == 0 {
+			if src.Len() == 0 {
 				continue
 			}
-			if union == nil {
-				union = make(ObjSet)
+			if union.d == nil {
+				union = a.in.NewSet()
 			}
 			union.AddAll(src)
 		}
-		if union == nil {
+		if union.d == nil {
 			continue
 		}
 		for _, mk := range a.order {

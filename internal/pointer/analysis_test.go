@@ -35,10 +35,10 @@ func TestBasicFlow(t *testing.T) {
 	res := Analyze(Config{Prog: p, Policy: Insensitive{}, Entries: []Entry{entry(m)}})
 	for _, v := range []string{"a", "b", "c"} {
 		pts := res.PointsTo(m, EmptyContext, v)
-		if len(pts) != 1 {
+		if pts.Len() != 1 {
 			t.Fatalf("pts(%s) = %v, want one object", v, pts)
 		}
-		for o := range pts {
+		for _, o := range pts.Slice() {
 			if o.Class != "A" {
 				t.Errorf("pts(%s) class = %s", v, o.Class)
 			}
@@ -62,7 +62,7 @@ func TestCallBindingAndReturn(t *testing.T) {
 	m := c.Methods["main"]
 
 	res := Analyze(Config{Prog: p, Policy: Insensitive{}, Entries: []Entry{entry(m)}})
-	if got := res.PointsToAll(m, "x"); len(got) != 1 {
+	if got := res.PointsToAll(m, "x"); got.Len() != 1 {
 		t.Fatalf("return flow broken: pts(x) = %v", got)
 	}
 	// Receiver binding: make's this is the self object.
@@ -70,7 +70,7 @@ func TestCallBindingAndReturn(t *testing.T) {
 	if len(made) != 1 {
 		t.Fatalf("make instances = %v", made)
 	}
-	if got := res.PointsTo(c.Methods["make"], made[0].Ctx, "this"); len(got) != 1 {
+	if got := res.PointsTo(c.Methods["make"], made[0].Ctx, "this"); got.Len() != 1 {
 		t.Fatalf("this binding broken: %v", got)
 	}
 }
@@ -110,10 +110,10 @@ func TestVirtualDispatchPerReceiverClass(t *testing.T) {
 		t.Errorf("Sub1.get instances = %v, want 1", got)
 	}
 	x := res.PointsToAll(main.Methods["main"], "x")
-	if len(x) != 1 {
+	if x.Len() != 1 {
 		t.Fatalf("pts(x) = %v", x)
 	}
-	for o := range x {
+	for _, o := range x.Slice() {
 		if o.Class != "Sub1" {
 			t.Errorf("x points to %s, want Sub1", o.Class)
 		}
@@ -183,7 +183,7 @@ func TestActionSensitivitySeparatesAllocations(t *testing.T) {
 
 	// Action sensitivity keeps them apart even with k=1.
 	x1, x2 = run(ActionSensitivePolicy{K: 1})
-	if len(x1) == 0 || len(x2) == 0 {
+	if x1.Len() == 0 || x2.Len() == 0 {
 		t.Fatalf("empty pts under action sensitivity: %v %v", x1, x2)
 	}
 	if x1.Intersects(x2) {
@@ -223,7 +223,7 @@ func TestInflatedViewContextAliasesSameID(t *testing.T) {
 	if v1.Intersects(w) {
 		t.Error("different view ids must not alias")
 	}
-	for o := range v1 {
+	for _, o := range v1.Slice() {
 		if !o.IsView() || o.ViewID != 7 || o.Class != frontend.ButtonClass {
 			t.Errorf("bad view object %v", o)
 		}
@@ -241,7 +241,7 @@ func TestMainLooperSingleton(t *testing.T) {
 	res := Analyze(Config{Prog: p, Policy: Insensitive{}, Entries: []Entry{entry(c.Methods["m"])}})
 	l1 := res.PointsToAll(c.Methods["m"], "l1")
 	l2 := res.PointsToAll(c.Methods["m"], "l2")
-	if len(l1) != 1 || !l1.Intersects(l2) {
+	if l1.Len() != 1 || !l1.Intersects(l2) {
 		t.Fatalf("looper objects: l1=%v l2=%v, want the shared singleton", l1, l2)
 	}
 }
@@ -268,7 +268,7 @@ func TestSeedsJoinAcrossMethods(t *testing.T) {
 			DstMethod: r.Methods["sink"], DstVar: "recv",
 		}},
 	})
-	if got := res.PointsToAll(r.Methods["sink"], "recv"); len(got) != 1 {
+	if got := res.PointsToAll(r.Methods["sink"], "recv"); got.Len() != 1 {
 		t.Fatalf("seed did not propagate: %v", got)
 	}
 }
@@ -327,11 +327,11 @@ func TestOnEventSpawnsEntries(t *testing.T) {
 	}
 	// The store in run() must have landed on the Task object.
 	thisSet := res.PointsTo(task.Methods[frontend.Run], runs[0].Ctx, "this")
-	if len(thisSet) != 1 {
+	if thisSet.Len() != 1 {
 		t.Fatalf("run this = %v", thisSet)
 	}
-	for o := range thisSet {
-		if got := res.FieldPointsTo(o, "hit"); len(got) != 0 {
+	for _, o := range thisSet.Slice() {
+		if got := res.FieldPointsTo(o, "hit"); got.Len() != 0 {
 			// "hit" holds no objects (boolean store), so empty is right;
 			// just ensure no panic and object identity is the Task.
 			t.Errorf("unexpected field pts %v", got)

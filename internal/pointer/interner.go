@@ -1,0 +1,87 @@
+package pointer
+
+import (
+	"sync"
+
+	"sierra/internal/bitset"
+)
+
+// Interner assigns dense uint32 ids to abstract objects, one id space
+// per analysis. ObjSets store those ids in a word-packed bitset, so the
+// fixpoint's set unions (Move/Load/Store transfer, copy constraints)
+// and the race detector's alias tests run word-parallel instead of
+// hashing Obj structs. Obj→id hashing happens only where objects enter
+// the analysis (allocation sites, view inflation, seeds) — never on the
+// propagation hot path.
+//
+// Intern is called by the single-threaded fixpoint; lookups are
+// read-locked so the refuter's worker pool can resolve points-to sets
+// concurrently once the analysis is frozen.
+type Interner struct {
+	mu   sync.RWMutex
+	ids  map[Obj]uint32
+	objs []Obj
+}
+
+// NewInterner returns an empty id space.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[Obj]uint32)}
+}
+
+// Intern returns o's dense id, assigning the next one on first sight.
+func (in *Interner) Intern(o Obj) uint32 {
+	in.mu.RLock()
+	id, ok := in.ids[o]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[o]; ok {
+		return id
+	}
+	id = uint32(len(in.objs))
+	in.ids[o] = id
+	in.objs = append(in.objs, o)
+	return id
+}
+
+// lookup returns o's id without assigning one.
+func (in *Interner) lookup(o Obj) (uint32, bool) {
+	in.mu.RLock()
+	id, ok := in.ids[o]
+	in.mu.RUnlock()
+	return id, ok
+}
+
+// snapshot returns the current id→Obj table. Interned objects are
+// immutable and ids append-only, so indexing a snapshot is safe while
+// other goroutines intern.
+func (in *Interner) snapshot() []Obj {
+	in.mu.RLock()
+	objs := in.objs
+	in.mu.RUnlock()
+	return objs
+}
+
+// NumObjs reports how many objects have been interned.
+func (in *Interner) NumObjs() int {
+	in.mu.RLock()
+	n := len(in.objs)
+	in.mu.RUnlock()
+	return n
+}
+
+// NewSet returns an empty ObjSet bound to this id space.
+func (in *Interner) NewSet() ObjSet {
+	return ObjSet{d: &objsetData{in: in}}
+}
+
+// objsetData is the shared backing of an ObjSet: copies of the ObjSet
+// header alias the same data, preserving the reference semantics the
+// map-based representation had.
+type objsetData struct {
+	in   *Interner
+	bits bitset.Set
+}

@@ -127,22 +127,33 @@ func push(chain, elem string, k int) string {
 	return elem + "," + strings.Join(parts, ",")
 }
 
-// ObjSet is a set of abstract objects.
-type ObjSet map[Obj]struct{}
+// ObjSet is a set of abstract objects, represented as a word-packed
+// bitset of interner-dense ids. The zero value is a read-only empty
+// set (Len/Slice/Contains/Intersects work, mutation needs a set from
+// Interner.NewSet or Result.NewObjSet). Copies of an ObjSet alias the
+// same backing storage, like the map representation it replaced.
+type ObjSet struct {
+	d *objsetData
+}
 
 // Add inserts o, reporting whether it was new.
 func (s ObjSet) Add(o Obj) bool {
-	if _, ok := s[o]; ok {
-		return false
-	}
-	s[o] = struct{}{}
-	return true
+	return s.d.bits.Add(int(s.d.in.Intern(o)))
 }
 
-// AddAll inserts all of other, reporting whether anything was new.
+// AddAll inserts all of other, reporting whether anything was new. When
+// both sets share an id space (always, within one analysis) this is a
+// word-parallel union with no hashing.
 func (s ObjSet) AddAll(other ObjSet) bool {
+	if other.d == nil {
+		return false
+	}
+	if s.d.in == other.d.in {
+		return s.d.bits.Or(other.d.bits) > 0
+	}
+	// Cross-analysis union (never on the hot path): re-intern.
 	changed := false
-	for o := range other {
+	for _, o := range other.Slice() {
 		if s.Add(o) {
 			changed = true
 		}
@@ -151,28 +162,60 @@ func (s ObjSet) AddAll(other ObjSet) bool {
 }
 
 // Contains reports membership.
-func (s ObjSet) Contains(o Obj) bool { _, ok := s[o]; return ok }
-
-// Intersects reports whether the sets share an element.
-func (s ObjSet) Intersects(other ObjSet) bool {
-	a, b := s, other
-	if len(b) < len(a) {
-		a, b = b, a
+func (s ObjSet) Contains(o Obj) bool {
+	if s.d == nil {
+		return false
 	}
-	for o := range a {
-		if _, ok := b[o]; ok {
+	id, ok := s.d.in.lookup(o)
+	return ok && s.d.bits.Has(int(id))
+}
+
+// Intersects reports whether the sets share an element — one AND per
+// word when the sets share an id space.
+func (s ObjSet) Intersects(other ObjSet) bool {
+	if s.d == nil || other.d == nil {
+		return false
+	}
+	if s.d.in == other.d.in {
+		return s.d.bits.Intersects(other.d.bits)
+	}
+	for _, o := range s.Slice() {
+		if other.Contains(o) {
 			return true
 		}
 	}
 	return false
 }
 
-// Slice returns the objects in deterministic order.
-func (s ObjSet) Slice() []Obj {
-	out := make([]Obj, 0, len(s))
-	for o := range s {
-		out = append(out, o)
+// Len returns the set's cardinality.
+func (s ObjSet) Len() int {
+	if s.d == nil {
+		return 0
 	}
+	return s.d.bits.Count()
+}
+
+// Words reports the backing word count (the pointer.objset_words
+// counter's unit; 64 ids per word).
+func (s ObjSet) Words() int {
+	if s.d == nil {
+		return 0
+	}
+	return s.d.bits.Words()
+}
+
+// Slice returns the objects in deterministic order (the same
+// site/view/ctx/class order the map representation produced, so
+// downstream event firing and action numbering are unchanged).
+func (s ObjSet) Slice() []Obj {
+	if s.d == nil {
+		return nil
+	}
+	objs := s.d.in.snapshot()
+	out := make([]Obj, 0, s.d.bits.Count())
+	s.d.bits.ForEach(func(id int) {
+		out = append(out, objs[id])
+	})
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Site != b.Site {
@@ -187,6 +230,14 @@ func (s ObjSet) Slice() []Obj {
 		return a.Class < b.Class
 	})
 	return out
+}
+
+func (s ObjSet) String() string {
+	parts := make([]string, 0, s.Len())
+	for _, o := range s.Slice() {
+		parts = append(parts, o.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
 }
 
 // VarKey identifies a context-sensitive variable.

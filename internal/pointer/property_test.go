@@ -22,7 +22,7 @@ func randObj(site int, ctx string, view uint8) Obj {
 
 func TestObjSetProperties(t *testing.T) {
 	add := func(sites []int16, ctx string) bool {
-		s := make(ObjSet)
+		s := NewInterner().NewSet()
 		for _, raw := range sites {
 			o := randObj(int(raw), ctx, uint8(raw))
 			first := s.Add(o)
@@ -38,7 +38,7 @@ func TestObjSetProperties(t *testing.T) {
 		}
 		// Slice is duplicate-free and matches the set size.
 		sl := s.Slice()
-		if len(sl) != len(s) {
+		if len(sl) != s.Len() {
 			return false
 		}
 		seen := map[Obj]bool{}
@@ -57,7 +57,8 @@ func TestObjSetProperties(t *testing.T) {
 
 func TestIntersectsSymmetric(t *testing.T) {
 	f := func(a, b []int16) bool {
-		sa, sb := make(ObjSet), make(ObjSet)
+		in := NewInterner()
+		sa, sb := in.NewSet(), in.NewSet()
 		for _, x := range a {
 			sa.Add(randObj(int(x), "", uint8(x)))
 		}
@@ -73,26 +74,27 @@ func TestIntersectsSymmetric(t *testing.T) {
 
 func TestAddAllIsUnion(t *testing.T) {
 	f := func(a, b []int16) bool {
-		sa, sb := make(ObjSet), make(ObjSet)
+		in := NewInterner()
+		sa, sb := in.NewSet(), in.NewSet()
 		for _, x := range a {
 			sa.Add(randObj(int(x), "x", uint8(x)))
 		}
 		for _, x := range b {
 			sb.Add(randObj(int(x), "x", uint8(x)))
 		}
-		union := make(ObjSet)
+		union := in.NewSet()
 		union.AddAll(sa)
 		union.AddAll(sb)
 		// Every element of both sides is in the union, nothing else.
-		if len(union) > len(sa)+len(sb) {
+		if union.Len() > sa.Len()+sb.Len() {
 			return false
 		}
-		for o := range sa {
+		for _, o := range sa.Slice() {
 			if !union.Contains(o) {
 				return false
 			}
 		}
-		for o := range sb {
+		for _, o := range sb.Slice() {
 			if !union.Contains(o) {
 				return false
 			}
@@ -101,6 +103,95 @@ func TestAddAllIsUnion(t *testing.T) {
 		return !union.AddAll(sa) && !union.AddAll(sb)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mapObjSet is the naive reference implementation the bitset ObjSet
+// replaced; the equivalence property below keeps the two in lockstep
+// on randomized workloads.
+type mapObjSet map[Obj]struct{}
+
+func (m mapObjSet) add(o Obj) bool {
+	if _, ok := m[o]; ok {
+		return false
+	}
+	m[o] = struct{}{}
+	return true
+}
+
+func (m mapObjSet) addAll(other mapObjSet) bool {
+	changed := false
+	for o := range other {
+		if m.add(o) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (m mapObjSet) intersects(other mapObjSet) bool {
+	for o := range m {
+		if _, ok := other[o]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestObjSetMatchesMapReference drives the bitset ObjSet and the naive
+// map set through the same randomized Add/AddAll/Intersects/Contains
+// sequence and requires identical observable behavior, including the
+// changed-report of every mutation and the sorted Slice contents.
+func TestObjSetMatchesMapReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := NewInterner()
+		const nsets = 4
+		bs := make([]ObjSet, nsets)
+		ms := make([]mapObjSet, nsets)
+		for i := range bs {
+			bs[i] = in.NewSet()
+			ms[i] = mapObjSet{}
+		}
+		for op := 0; op < 300; op++ {
+			i := rng.Intn(nsets)
+			switch rng.Intn(4) {
+			case 0:
+				o := randObj(rng.Intn(200)-20, string('a'+rune(rng.Intn(3))), uint8(rng.Intn(16)))
+				if bs[i].Add(o) != ms[i].add(o) {
+					return false
+				}
+			case 1:
+				j := rng.Intn(nsets)
+				if bs[i].AddAll(bs[j]) != ms[i].addAll(ms[j]) {
+					return false
+				}
+			case 2:
+				j := rng.Intn(nsets)
+				if bs[i].Intersects(bs[j]) != ms[i].intersects(ms[j]) {
+					return false
+				}
+			case 3:
+				o := randObj(rng.Intn(200)-20, "a", uint8(rng.Intn(16)))
+				if bs[i].Contains(o) != (func() bool { _, ok := ms[i][o]; return ok })() {
+					return false
+				}
+			}
+		}
+		for i := range bs {
+			if bs[i].Len() != len(ms[i]) {
+				return false
+			}
+			for _, o := range bs[i].Slice() {
+				if _, ok := ms[i][o]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -174,7 +265,7 @@ func TestAnalysisTerminatesAndIsDeterministic(t *testing.T) {
 				Entries: []Entry{{Method: m, Ctx: EmptyContext}}})
 			out := map[string]int{}
 			for _, v := range []string{"a", "b", "c", "d"} {
-				out[v] = len(res.PointsToAll(m, v))
+				out[v] = res.PointsToAll(m, v).Len()
 			}
 			return out
 		}

@@ -15,6 +15,7 @@ type Result struct {
 	// the call graph and points-to sets may be incomplete.
 	Interrupted bool
 
+	in        *Interner
 	pts       map[VarKey]ObjSet
 	fpts      map[FieldKey]ObjSet
 	spts      map[string]ObjSet
@@ -24,6 +25,15 @@ type Result struct {
 	passes    int
 }
 
+// NewObjSet returns an empty mutable set in this result's dense-id
+// space — the constructor downstream consumers (race, symexec) use to
+// union points-to sets word-parallel.
+func (r *Result) NewObjSet() ObjSet { return r.in.NewSet() }
+
+// Interner exposes the result's id space (for equivalence tests and
+// diagnostics).
+func (r *Result) Interner() *Interner { return r.in }
+
 // PointsTo returns the points-to set of variable v in method m under ctx
 // (nil-safe: missing keys yield an empty set).
 func (r *Result) PointsTo(m *ir.Method, ctx Context, v string) ObjSet {
@@ -32,7 +42,7 @@ func (r *Result) PointsTo(m *ir.Method, ctx Context, v string) ObjSet {
 
 // PointsToAll unions v's points-to sets across every context of m.
 func (r *Result) PointsToAll(m *ir.Method, v string) ObjSet {
-	out := make(ObjSet)
+	out := r.in.NewSet()
 	for mk := range r.instances {
 		if mk.M == m {
 			out.AddAll(r.pts[VarKey{M: m, Ctx: mk.Ctx, Var: v}])

@@ -120,7 +120,7 @@ func CollectAccessesTraced(reg *actions.Registry, res *pointer.Result, tr *obs.T
 				InLibrary:   mk.M.Class != nil && mk.M.Class.Library,
 			}
 			if !static {
-				acc.Objs = make(pointer.ObjSet)
+				acc.Objs = res.NewObjSet()
 			}
 			merged[k] = acc
 		}
@@ -156,10 +156,10 @@ func CollectAccessesTraced(reg *actions.Registry, res *pointer.Result, tr *obs.T
 		// Reference-typed state: some pointee of the base holds objects
 		// under this field, or the static slot holds objects.
 		if acc.Static {
-			acc.IsRef = len(res.StaticPointsTo(acc.Class, acc.Field)) > 0
+			acc.IsRef = res.StaticPointsTo(acc.Class, acc.Field).Len() > 0
 		} else {
-			for o := range acc.Objs {
-				if len(res.FieldPointsTo(o, acc.Field)) > 0 {
+			for _, o := range acc.Objs.Slice() {
+				if res.FieldPointsTo(o, acc.Field).Len() > 0 {
 					acc.IsRef = true
 					break
 				}
@@ -206,8 +206,17 @@ func RacyPairsTraced(reg *actions.Registry, g *shbg.Graph, accesses []Access, tr
 	}
 	sort.Strings(fields)
 
+	// pairKey mirrors Pair.Key() structurally: dedup needs no string
+	// formatting, only the report-order sort below renders Key().
+	type pairKey struct {
+		aAction int
+		aPos    ir.Pos
+		bAction int
+		bPos    ir.Pos
+		field   string
+	}
 	var out []Pair
-	seen := map[string]bool{}
+	seen := map[pairKey]bool{}
 	for _, f := range fields {
 		idxs := byField[f]
 		for i := 0; i < len(idxs); i++ {
@@ -243,17 +252,36 @@ func RacyPairsTraced(reg *actions.Registry, g *shbg.Graph, accesses []Access, tr
 				if a.Action > b.Action {
 					p = Pair{A: b, B: a}
 				}
-				if !seen[p.Key()] {
-					seen[p.Key()] = true
+				k := pairKey{p.A.Action, p.A.Pos, p.B.Action, p.B.Pos, p.A.Field}
+				if !seen[k] {
+					seen[k] = true
 					out = append(out, p)
 				}
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	keys := make([]string, len(out))
+	for i := range out {
+		keys[i] = out[i].Key()
+	}
+	sort.Sort(&pairsByKey{pairs: out, keys: keys})
 	tr.Count("race.pairs_considered", considered)
 	tr.Count("race.alias_hits", aliasHits)
 	tr.Count("race.hb_filtered", hbFiltered)
 	tr.Count("race.pairs_emitted", int64(len(out)))
 	return out
+}
+
+// pairsByKey sorts pairs by their canonical Key with each key rendered
+// once, not O(n log n) times inside the comparator.
+type pairsByKey struct {
+	pairs []Pair
+	keys  []string
+}
+
+func (s *pairsByKey) Len() int           { return len(s.pairs) }
+func (s *pairsByKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *pairsByKey) Swap(i, j int) {
+	s.pairs[i], s.pairs[j] = s.pairs[j], s.pairs[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }

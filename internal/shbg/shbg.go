@@ -8,8 +8,10 @@ package shbg
 
 import (
 	"context"
+	mathbits "math/bits"
 
 	"sierra/internal/actions"
+	"sierra/internal/bitset"
 	"sierra/internal/cfg"
 	"sierra/internal/frontend"
 	"sierra/internal/ir"
@@ -81,22 +83,53 @@ type Graph struct {
 	// Interrupted marks that closure stopped early on a cancelled
 	// context; the HB relation is then an under-approximation.
 	Interrupted bool
-	// hb[a][b]: a ≺ b after transitive closure.
-	hb [][]bool
+	// hb[a] is a's successor row: bit b set means a ≺ b after
+	// transitive closure. One bitset row per action makes closure
+	// propagation a word-parallel OR (64 pairs per machine op).
+	hb []bitset.Set
+	// rev[b] is b's predecessor row (bit a set iff a ≺ b), kept in
+	// lockstep with hb so the closure worklist can reach exactly the
+	// rows a changed row invalidates.
+	rev []bitset.Set
+	// work/inWork form the closure worklist: actions whose successor
+	// row changed since their predecessors last absorbed it.
+	work   []int
+	inWork []bool
 	// ruleCounts tallies direct (pre-closure) edges per rule.
 	ruleCounts [numRules]int
 	// reachQueries counts rule 5's ICFG reachability queries.
 	reachQueries int
+	// iaCands/msCands are the rule-6 and multi-spawn candidates,
+	// precomputed once per Build: spawns are static, so re-deriving
+	// them every closure round (the old per-round singleSpawn +
+	// externalSpawners churn) only burned allocations.
+	iaCands []iaCand
+	msCands []msCand
+}
+
+// iaCand is a rule-6 candidate: a single-spawn action actually posted,
+// undelayed, to a real looper queue. Pairs of candidates on the same
+// looper with distinct HB-ordered spawners get ordered by Fig 7.
+type iaCand struct {
+	id     int
+	from   int
+	looper actions.Looper
+}
+
+// msCand is a multi-spawner invocation-rule candidate with its distinct
+// external spawner ids.
+type msCand struct {
+	id       int
+	spawners []int
 }
 
 // Build constructs the SHBG from the action registry and the (action-
 // sensitive) analysis result.
 func Build(reg *actions.Registry, res *pointer.Result, opts Options) *Graph {
 	g := &Graph{Reg: reg, n: reg.NumActions()}
-	g.hb = make([][]bool, g.n)
-	for i := range g.hb {
-		g.hb[i] = make([]bool, g.n)
-	}
+	g.hb = make([]bitset.Set, g.n)
+	g.rev = make([]bitset.Set, g.n)
+	g.inWork = make([]bool, g.n)
 	disabled := func(r Rule) bool { return opts.Disable != nil && opts.Disable[r] }
 
 	if !disabled(RuleInvocation) {
@@ -113,6 +146,17 @@ func Build(reg *actions.Registry, res *pointer.Result, opts Options) *Graph {
 	}
 	// Rules 6+7 iterate together: inter-action transitivity can reveal
 	// edges that further closure propagates, and vice versa (§4.3 ¶7).
+	// Their candidate sets depend only on the (static) spawn structure,
+	// so derive them once, in action order.
+	for _, a := range reg.Actions() {
+		if sp, ok := singleSpawn(a); ok && sp.From >= 0 &&
+			sp.Posted && !sp.Delayed && a.Looper != actions.LooperNone {
+			g.iaCands = append(g.iaCands, iaCand{id: a.ID, from: sp.From, looper: a.Looper})
+		}
+		if spawners := externalSpawners(a); len(spawners) >= 2 {
+			g.msCands = append(g.msCands, msCand{id: a.ID, spawners: spawners})
+		}
+	}
 	rounds := 0
 	for {
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
@@ -145,21 +189,37 @@ func Build(reg *actions.Registry, res *pointer.Result, opts Options) *Graph {
 	return g
 }
 
-// addEdge inserts a direct edge (no self-edges), tagging the rule.
+// addEdge inserts a direct edge (no self-edges, out-of-range ids
+// rejected), tagging the rule. Both endpoints join the closure
+// worklist: a's row grew, and b's successors now belong in a's row.
 func (g *Graph) addEdge(a, b int, r Rule) bool {
-	if a == b || a < 0 || b < 0 || g.hb[a][b] {
+	if a == b || a < 0 || b < 0 || a >= g.n || b >= g.n || g.hb[a].Has(b) {
 		return false
 	}
-	g.hb[a][b] = true
+	g.hb[a].Add(b)
+	g.rev[b].Add(a)
 	g.ruleCounts[r]++
+	g.push(a)
+	g.push(b)
 	return true
 }
 
-// HB reports whether a ≺ b.
-func (g *Graph) HB(a, b int) bool { return g.hb[a][b] }
+// HB reports whether a ≺ b (false for out-of-range action ids).
+func (g *Graph) HB(a, b int) bool {
+	if a < 0 || b < 0 || a >= g.n || b >= g.n {
+		return false
+	}
+	return g.hb[a].Has(b)
+}
 
-// Ordered reports whether the pair is ordered either way.
-func (g *Graph) Ordered(a, b int) bool { return g.hb[a][b] || g.hb[b][a] }
+// Ordered reports whether the pair is ordered either way (false for
+// out-of-range action ids).
+func (g *Graph) Ordered(a, b int) bool {
+	if a < 0 || b < 0 || a >= g.n || b >= g.n {
+		return false
+	}
+	return g.hb[a].Has(b) || g.hb[b].Has(a)
+}
 
 // NumActions returns the node count.
 func (g *Graph) NumActions() int { return g.n }
@@ -168,11 +228,7 @@ func (g *Graph) NumActions() int { return g.n }
 func (g *Graph) NumEdges() int {
 	total := 0
 	for a := 0; a < g.n; a++ {
-		for b := 0; b < g.n; b++ {
-			if g.hb[a][b] {
-				total++
-			}
-		}
+		total += g.hb[a].Count()
 	}
 	return total
 }
@@ -229,26 +285,24 @@ func externalSpawners(a *actions.Action) []int {
 
 // ruleMultiSpawnInvocation orders X ≺ B for multi-spawner actions B when
 // X is (or precedes) every distinct external spawner of B. Monotone in
-// the growing HB relation, so it iterates with closure.
+// the growing HB relation, so it iterates with closure over the
+// precomputed msCands (same action/x order as the naive scan, so the
+// addEdge sequence — and with it the per-rule tallies — is unchanged).
 func (g *Graph) ruleMultiSpawnInvocation() bool {
 	changed := false
-	for _, b := range g.Reg.Actions() {
-		spawners := externalSpawners(b)
-		if len(spawners) < 2 {
-			continue
-		}
+	for _, ms := range g.msCands {
 		for x := 0; x < g.n; x++ {
-			if x == b.ID || g.hb[x][b.ID] {
+			if x == ms.id || g.hb[x].Has(ms.id) {
 				continue
 			}
 			all := true
-			for _, f := range spawners {
-				if x != f && !g.hb[x][f] {
+			for _, f := range ms.spawners {
+				if x != f && !g.hb[x].Has(f) {
 					all = false
 					break
 				}
 			}
-			if all && g.addEdge(x, b.ID, RuleInvocation) {
+			if all && g.addEdge(x, ms.id, RuleInvocation) {
 				changed = true
 			}
 		}
@@ -324,7 +378,7 @@ func (g *Graph) ruleHarnessDominance(skipLifecycle, skipGUI, skipTeardown bool) 
 				default:
 					continue
 				}
-				if g.hb[b.ID][a.ID] {
+				if g.hb[b.ID].Has(a.ID) {
 					continue
 				}
 				if pdom.Dominates(b.HarnessSite.Block, a.HarnessSite.Block) {
@@ -398,7 +452,7 @@ func (g *Graph) ruleInterProc(res *pointer.Result) {
 			continue
 		}
 		for _, b := range g.Reg.Actions() {
-			if a.ID == b.ID || g.hb[a.ID][b.ID] {
+			if a.ID == b.ID || g.hb[a.ID].Has(b.ID) {
 				continue
 			}
 			sb, ok := singleSpawn(b)
@@ -432,29 +486,23 @@ func (g *Graph) ruleInterProc(res *pointer.Result) {
 }
 
 // ruleInterAction applies Fig 7: A1 ≺ A2, A1 posts A3, A2 posts A4,
-// same-looper non-delayed posts ⇒ A3 ≺ A4.
+// same-looper non-delayed posts ⇒ A3 ≺ A4. It scans the precomputed
+// candidate pairs — the same pairs the naive n² scan reached, in the
+// same order, so the addEdge sequence is unchanged — which drops the
+// per-round cost from n² singleSpawn/posteable probes to c² bit tests
+// over the usually-small posted-candidate set.
 func (g *Graph) ruleInterAction() bool {
 	changed := false
-	for _, a3 := range g.Reg.Actions() {
-		s3, ok := singleSpawn(a3)
-		if !ok || s3.From < 0 {
-			continue
-		}
-		for _, a4 := range g.Reg.Actions() {
-			if a3.ID == a4.ID || g.hb[a3.ID][a4.ID] {
+	for _, c3 := range g.iaCands {
+		for _, c4 := range g.iaCands {
+			if c3.id == c4.id || c4.from == c3.from || c3.looper != c4.looper {
 				continue
 			}
-			s4, ok := singleSpawn(a4)
-			if !ok || s4.From < 0 || s4.From == s3.From {
+			if g.hb[c3.id].Has(c4.id) || !g.hb[c3.from].Has(c4.from) {
 				continue
 			}
-			if !posteable(a3, a4, s3, s4) {
-				continue
-			}
-			if g.hb[s3.From][s4.From] {
-				if g.addEdge(a3.ID, a4.ID, RuleInterAction) {
-					changed = true
-				}
+			if g.addEdge(c3.id, c4.id, RuleInterAction) {
+				changed = true
 			}
 		}
 	}
@@ -462,22 +510,74 @@ func (g *Graph) ruleInterAction() bool {
 }
 
 // close computes the transitive closure (rule 7), reporting change.
+//
+// Rather than a dense Floyd–Warshall sweep (n³ boolean tests per call,
+// most re-confirming settled rows), it drains a worklist of actions
+// whose successor row changed: popping k ORs hb[k] into every
+// predecessor's row word-parallel, re-queueing rows that grew. The
+// fixpoint is the same full closure the dense sweep reached — at an
+// empty worklist every edge i≺k implies hb[i] ⊇ hb[k]\{i} — so the
+// per-rule edge counts, round counts, and final relation are
+// unchanged; only the work drops from n³ to (edges added)·n/64.
 func (g *Graph) close() bool {
 	changed := false
-	for k := 0; k < g.n; k++ {
-		for i := 0; i < g.n; i++ {
-			if !g.hb[i][k] {
-				continue
-			}
-			row, krow := g.hb[i], g.hb[k]
-			for j := 0; j < g.n; j++ {
-				if krow[j] && !row[j] && i != j {
-					row[j] = true
-					g.ruleCounts[RuleTransitive]++
-					changed = true
-				}
-			}
+	for len(g.work) > 0 {
+		k := g.work[len(g.work)-1]
+		g.work = g.work[:len(g.work)-1]
+		g.inWork[k] = false
+		krow := g.hb[k]
+		if len(krow) == 0 {
+			continue
 		}
+		// Propagate k's successors to each predecessor of k. rev[k]
+		// cannot change while k is being processed (self-bits never
+		// exist, so no new j here equals k), making the iteration safe.
+		g.rev[k].ForEach(func(i int) {
+			if g.orRow(i, krow) > 0 {
+				changed = true
+				g.push(i)
+			}
+		})
 	}
 	return changed
+}
+
+// orRow ORs krow into action i's successor row (clearing the self-bit),
+// maintains rev for every newly reachable successor, tallies the new
+// edges under RuleTransitive, and returns how many bits were added.
+func (g *Graph) orRow(i int, krow bitset.Set) int {
+	row := g.hb[i]
+	added := 0
+	for w, kw := range krow {
+		if w == i>>6 {
+			kw &^= 1 << (uint(i) & 63)
+		}
+		if kw == 0 {
+			continue
+		}
+		for len(row) <= w {
+			row = append(row, 0)
+		}
+		nw := kw &^ row[w]
+		if nw == 0 {
+			continue
+		}
+		row[w] |= nw
+		added += mathbits.OnesCount64(nw)
+		for rem := nw; rem != 0; rem &= rem - 1 {
+			j := w<<6 + mathbits.TrailingZeros64(rem)
+			g.rev[j].Add(i)
+		}
+	}
+	g.hb[i] = row
+	g.ruleCounts[RuleTransitive] += added
+	return added
+}
+
+// push queues action i for closure propagation (idempotent).
+func (g *Graph) push(i int) {
+	if !g.inWork[i] {
+		g.inWork[i] = true
+		g.work = append(g.work, i)
+	}
 }

@@ -1,0 +1,145 @@
+package symexec
+
+import (
+	"sort"
+	"sync"
+
+	"sierra/internal/actions"
+	"sierra/internal/pointer"
+	"sierra/internal/race"
+)
+
+// CheckAll refutes every candidate pair and returns the verdicts
+// aligned with a prefix of pairs, plus whether the run was interrupted
+// by the configured context (the returned verdicts then cover only the
+// pairs refuted before cancellation; the prefix is always contiguous).
+//
+// cfg.Jobs ≤ 1 runs the single shared-memo refuter over the pairs in
+// order — exactly the legacy sequential loop. cfg.Jobs > 1 fans the
+// pairs out over a bounded worker pool: the inlined action graphs are
+// prebuilt once and shared read-only, while each pair gets private
+// memo tables, making its verdict a pure function of the pair and the
+// output independent of worker count and scheduling. Observability is
+// recorded by an in-order emitter either way, so counter totals and
+// the refute.pair_paths series order match the sequential run's shape.
+// A worker panic is isolated to its pair, which keeps the paper's
+// over-approximate "report anyway" verdict instead of crashing the
+// pipeline.
+func CheckAll(reg *actions.Registry, res *pointer.Result, cfg Config, pairs []race.Pair) ([]Verdict, bool) {
+	ctx := cfg.Ctx
+	cancelled := func() bool { return ctx != nil && ctx.Err() != nil }
+
+	if cfg.Jobs <= 1 {
+		ref := NewRefuter(reg, res, cfg)
+		verdicts := make([]Verdict, 0, len(pairs))
+		for _, p := range pairs {
+			if cancelled() {
+				return verdicts, true
+			}
+			verdicts = append(verdicts, ref.Check(p))
+		}
+		return verdicts, false
+	}
+
+	tr := cfg.Obs
+	workerCfg := cfg
+	workerCfg.Obs = nil // workers stay silent; the emitter records
+	base := NewRefuter(reg, res, workerCfg)
+	// Prebuild every pair action's inlined graphs up front, in sorted
+	// action order: after this the graph map is read-only, so forks can
+	// share it without locks (and build effort is deterministic).
+	seen := map[int]bool{}
+	var aids []int
+	for _, p := range pairs {
+		for _, aid := range [2]int{p.A.Action, p.B.Action} {
+			if aid >= 0 && aid < reg.NumActions() && !seen[aid] {
+				seen[aid] = true
+				aids = append(aids, aid)
+			}
+		}
+	}
+	sort.Ints(aids)
+	for _, aid := range aids {
+		base.actionGraphs(aid)
+	}
+
+	jobs := cfg.Jobs
+	if jobs > len(pairs) {
+		jobs = len(pairs)
+	}
+	type result struct {
+		v        Verdict
+		pruned   int64
+		panicked bool
+		done     bool
+	}
+	results := make([]result, len(pairs))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i] = func() (r result) {
+					defer func() {
+						if rec := recover(); rec != nil {
+							// Over-approximate, like budget exhaustion:
+							// the pair is reported rather than lost.
+							r = result{
+								v:        Verdict{TruePositive: true, BudgetExhausted: true},
+								panicked: true,
+								done:     true,
+							}
+						}
+					}()
+					v, pruned := base.fork().check(pairs[i])
+					return result{v: v, pruned: pruned, done: true}
+				}()
+			}
+		}()
+	}
+	fed := 0
+	for i := range pairs {
+		if cancelled() {
+			break
+		}
+		idxCh <- i
+		fed++
+	}
+	close(idxCh)
+	wg.Wait()
+
+	// Every fed index completed (cancellation only stops feeding, and
+	// walkers bail budget-style when the context dies mid-pair), so the
+	// done prefix is contiguous. Emit it in pair order.
+	verdicts := make([]Verdict, 0, fed)
+	for i := 0; i < len(results) && results[i].done; i++ {
+		recordVerdict(tr, pairs[i], results[i].v, results[i].pruned)
+		if results[i].panicked && tr != nil {
+			tr.Count("refute.pair_panics", 1)
+		}
+		verdicts = append(verdicts, results[i].v)
+	}
+	if tr != nil {
+		tr.Count("symexec.refute_par_jobs", int64(len(verdicts)))
+	}
+	return verdicts, len(verdicts) < len(pairs)
+}
+
+// fork returns a refuter sharing the receiver's read-only prebuilt
+// state (callee map, action instances, inlined graphs) with private
+// memo tables and pruned tally — the isolation that makes a pair's
+// verdict independent of which other pairs ran first.
+func (r *Refuter) fork() *Refuter {
+	return &Refuter{
+		Reg:         r.Reg,
+		Res:         r.Res,
+		Cfg:         r.Cfg,
+		callees:     r.callees,
+		insts:       r.insts,
+		graphs:      r.graphs,
+		entryMemo:   map[string]*entryResult{},
+		witnessMemo: map[string]bool{},
+	}
+}

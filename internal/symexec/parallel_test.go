@@ -1,0 +1,163 @@
+package symexec
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"sierra/internal/actions"
+	"sierra/internal/apk"
+	"sierra/internal/corpus"
+	"sierra/internal/harness"
+	"sierra/internal/obs"
+	"sierra/internal/pointer"
+	"sierra/internal/race"
+	"sierra/internal/shbg"
+)
+
+// analyzeForCheckAll runs the pipeline up to racy pairs, returning the
+// inputs CheckAll needs.
+func analyzeForCheckAll(t *testing.T, app *apk.App) (*actions.Registry, *pointer.Result, []race.Pair) {
+	t.Helper()
+	hs := harness.Generate(app)
+	reg, res := actions.Analyze(app, hs, pointer.ActionSensitivePolicy{K: 2})
+	g := shbg.Build(reg, res, shbg.Options{})
+	pairs := race.RacyPairs(reg, g, race.CollectAccesses(reg, res))
+	return reg, res, pairs
+}
+
+// TestCheckAllParallelDeterministic verdicts must be identical across
+// every worker count > 1: each pair's verdict is a pure function of the
+// pair once the memo tables are private.
+func TestCheckAllParallelDeterministic(t *testing.T) {
+	for _, mk := range []func() *apk.App{corpus.SudokuTimerApp, corpus.NewsApp, corpus.DatabaseApp} {
+		reg, res, pairs := analyzeForCheckAll(t, mk())
+		if len(pairs) == 0 {
+			t.Fatal("fixture produced no pairs")
+		}
+		var runs [][]Verdict
+		for _, jobs := range []int{2, 3, 8} {
+			v, interrupted := CheckAll(reg, res, Config{Jobs: jobs}, pairs)
+			if interrupted {
+				t.Fatalf("jobs=%d: interrupted without a context", jobs)
+			}
+			if len(v) != len(pairs) {
+				t.Fatalf("jobs=%d: %d verdicts for %d pairs", jobs, len(v), len(pairs))
+			}
+			runs = append(runs, v)
+		}
+		for i := 1; i < len(runs); i++ {
+			if !reflect.DeepEqual(runs[0], runs[i]) {
+				t.Errorf("verdicts differ across worker counts:\n%+v\nvs\n%+v", runs[0], runs[i])
+			}
+		}
+	}
+}
+
+// TestCheckAllSequentialMatchesRefuterLoop jobs<=1 must be the legacy
+// shared-memo loop, verdict for verdict.
+func TestCheckAllSequentialMatchesRefuterLoop(t *testing.T) {
+	reg, res, pairs := analyzeForCheckAll(t, corpus.SudokuTimerApp())
+	ref := NewRefuter(reg, res, Config{})
+	var want []Verdict
+	for _, p := range pairs {
+		want = append(want, ref.Check(p))
+	}
+	got, interrupted := CheckAll(reg, res, Config{}, pairs)
+	if interrupted {
+		t.Fatal("interrupted without a context")
+	}
+	if !reflect.DeepEqual(append([]Verdict{}, got...), want) {
+		t.Errorf("CheckAll(jobs=1) = %+v, want %+v", got, want)
+	}
+}
+
+// TestCheckAllTruePositivesAgree the race/no-race outcome must agree
+// between the sequential and parallel paths: private memos change
+// budget accounting, never feasibility on these in-budget fixtures.
+func TestCheckAllTruePositivesAgree(t *testing.T) {
+	reg, res, pairs := analyzeForCheckAll(t, corpus.SudokuTimerApp())
+	seq, _ := CheckAll(reg, res, Config{Jobs: 1}, pairs)
+	par, _ := CheckAll(reg, res, Config{Jobs: 4}, pairs)
+	for i := range pairs {
+		if seq[i].TruePositive != par[i].TruePositive {
+			t.Errorf("pair %s: sequential TruePositive=%v, parallel=%v",
+				pairs[i].Key(), seq[i].TruePositive, par[i].TruePositive)
+		}
+	}
+}
+
+// TestCheckAllCancelledReturnsPrefix a pre-cancelled context yields an
+// empty (but well-formed) prefix and the interrupted flag, on both
+// paths.
+func TestCheckAllCancelledReturnsPrefix(t *testing.T) {
+	reg, res, pairs := analyzeForCheckAll(t, corpus.SudokuTimerApp())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, jobs := range []int{1, 4} {
+		v, interrupted := CheckAll(reg, res, Config{Jobs: jobs, Ctx: ctx}, pairs)
+		if !interrupted {
+			t.Errorf("jobs=%d: cancelled run not marked interrupted", jobs)
+		}
+		if len(v) != 0 {
+			t.Errorf("jobs=%d: cancelled run emitted %d verdicts", jobs, len(v))
+		}
+	}
+}
+
+// TestCheckAllPanicIsolation a worker panic (here: a pair whose action
+// id does not exist) must not crash the pool; the pair keeps the
+// over-approximate report-anyway verdict and is counted.
+func TestCheckAllPanicIsolation(t *testing.T) {
+	reg, res, pairs := analyzeForCheckAll(t, corpus.SudokuTimerApp())
+	if len(pairs) == 0 {
+		t.Fatal("fixture produced no pairs")
+	}
+	bad := pairs[0]
+	bad.A.Action = reg.NumActions() + 50
+	bad.B.Action = reg.NumActions() + 51
+	mixed := append([]race.Pair{bad}, pairs...)
+
+	tr := obs.New("test")
+	v, interrupted := CheckAll(reg, res, Config{Jobs: 4, Obs: tr}, mixed)
+	if interrupted {
+		t.Fatal("panic was reported as interruption")
+	}
+	if len(v) != len(mixed) {
+		t.Fatalf("%d verdicts for %d pairs", len(v), len(mixed))
+	}
+	if !v[0].TruePositive || !v[0].BudgetExhausted {
+		t.Errorf("panicked pair verdict = %+v, want over-approximate race", v[0])
+	}
+	if got := tr.Counter("refute.pair_panics"); got != 1 {
+		t.Errorf("refute.pair_panics = %d, want 1", got)
+	}
+	if got := tr.Counter("symexec.refute_par_jobs"); got != int64(len(mixed)) {
+		t.Errorf("symexec.refute_par_jobs = %d, want %d", got, len(mixed))
+	}
+}
+
+// TestCheckAllObsParityWithSequential the parallel emitter must record
+// the same refute.pairs total and the same pair_paths series keys in
+// the same order as the sequential path.
+func TestCheckAllObsParityWithSequential(t *testing.T) {
+	reg, res, pairs := analyzeForCheckAll(t, corpus.NewsApp())
+	trSeq := obs.New("seq")
+	CheckAll(reg, res, Config{Jobs: 1, Obs: trSeq}, pairs)
+	trPar := obs.New("par")
+	CheckAll(reg, res, Config{Jobs: 4, Obs: trPar}, pairs)
+
+	if a, b := trSeq.Counter("refute.pairs"), trPar.Counter("refute.pairs"); a != b {
+		t.Errorf("refute.pairs: sequential %d, parallel %d", a, b)
+	}
+	sa := trSeq.Snapshot().Series["refute.pair_paths"]
+	sb := trPar.Snapshot().Series["refute.pair_paths"]
+	if len(sa) != len(sb) {
+		t.Fatalf("series lengths differ: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i].Label != sb[i].Label {
+			t.Errorf("series order diverges at %d: %q vs %q", i, sa[i].Label, sb[i].Label)
+		}
+	}
+}

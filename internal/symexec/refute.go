@@ -35,6 +35,15 @@ type Config struct {
 	// DisableCache turns off cross-query memoization (for the ablation
 	// benchmark).
 	DisableCache bool
+	// Jobs is the per-pair refutation parallelism for CheckAll. At most
+	// 1 (the default) pairs are refuted sequentially by one refuter
+	// whose memo tables span pairs — the legacy behavior, bit-for-bit.
+	// Above 1, each pair is refuted independently on a bounded worker
+	// pool with private memo tables over shared read-only graphs, so
+	// every verdict is a pure function of its pair: deterministic for
+	// any job count, but budget accounting can differ from the
+	// memo-amplified sequential path.
+	Jobs int
 	// Obs, when non-nil, receives the refutation effort counters and the
 	// per-pair refute.pair_paths series (see README.md "Observability").
 	// Nil costs nothing.
@@ -93,6 +102,15 @@ func NewRefuter(reg *actions.Registry, res *pointer.Result, cfg Config) *Refuter
 // is a true positive iff a feasible path witnesses it in both orderings
 // of the two actions (§5).
 func (r *Refuter) Check(p race.Pair) Verdict {
+	v, pruned := r.check(p)
+	recordVerdict(r.Cfg.Obs, p, v, pruned)
+	return v
+}
+
+// check is Check without observability: it returns the verdict plus
+// the pruned-path delta so callers that defer obs recording (the
+// parallel pool's in-order emitter) can replay it later.
+func (r *Refuter) check(p race.Pair) (Verdict, int64) {
 	v := Verdict{}
 	budget := r.Cfg.MaxPaths
 	prunedBefore := r.pruned
@@ -114,27 +132,43 @@ func (r *Refuter) Check(p race.Pair) Verdict {
 		v.RefutedOrders = append(v.RefutedOrders, "B<A")
 	}
 	v.TruePositive = abFeasible && baFeasible
+	return v, r.pruned - prunedBefore
+}
 
-	if tr := r.Cfg.Obs; tr != nil {
-		tr.Count("refute.pairs", 1)
-		tr.Count("refute.paths", int64(v.Paths))
-		tr.Count("refute.paths_pruned", r.pruned-prunedBefore)
-		if v.BudgetExhausted {
-			tr.Count("refute.budget_exhausted", 1)
-		}
-		switch {
-		case v.TruePositive:
-			tr.Count("refute.verdict.race", 1)
-		case !abFeasible && !baFeasible:
-			tr.Count("refute.verdict.refuted_both", 1)
-		case !abFeasible:
-			tr.Count("refute.verdict.refuted_ab", 1)
-		default:
-			tr.Count("refute.verdict.refuted_ba", 1)
-		}
-		tr.Series("refute.pair_paths", p.Key(), int64(v.Paths))
+// recordVerdict emits one pair's refutation counters and its
+// refute.pair_paths sample (nil Trace = no-op). Sequential Check calls
+// it inline; CheckAll's parallel path calls it from the in-order
+// emitter so counter and series order match the sequential run.
+func recordVerdict(tr *obs.Trace, p race.Pair, v Verdict, pruned int64) {
+	if tr == nil {
+		return
 	}
-	return v
+	refutedAB, refutedBA := false, false
+	for _, o := range v.RefutedOrders {
+		switch o {
+		case "A<B":
+			refutedAB = true
+		case "B<A":
+			refutedBA = true
+		}
+	}
+	tr.Count("refute.pairs", 1)
+	tr.Count("refute.paths", int64(v.Paths))
+	tr.Count("refute.paths_pruned", pruned)
+	if v.BudgetExhausted {
+		tr.Count("refute.budget_exhausted", 1)
+	}
+	switch {
+	case v.TruePositive:
+		tr.Count("refute.verdict.race", 1)
+	case refutedAB && refutedBA:
+		tr.Count("refute.verdict.refuted_both", 1)
+	case refutedAB:
+		tr.Count("refute.verdict.refuted_ab", 1)
+	default:
+		tr.Count("refute.verdict.refuted_ba", 1)
+	}
+	tr.Series("refute.pair_paths", p.Key(), int64(v.Paths))
 }
 
 // feasible checks the ordering "first's action completes, then second's
@@ -354,7 +388,7 @@ func (r *Refuter) actionGraphs(aid int) []*igraph {
 func (r *Refuter) ptsResolver(aid int) func(f *frame, v string) pointer.ObjSet {
 	keys := r.insts[aid]
 	return func(f *frame, v string) pointer.ObjSet {
-		out := make(pointer.ObjSet)
+		out := r.Res.NewObjSet()
 		for _, mk := range keys {
 			if mk.M == f.m {
 				out.AddAll(r.Res.PointsTo(mk.M, mk.Ctx, v))

@@ -229,18 +229,18 @@ func (w *walker) transfer(n *inode, st *store) bool {
 		}
 		delete(st.vars, q)
 		objs := w.pts(f, s.Obj)
-		if len(objs) == 1 {
-			for o := range objs {
+		if objs.Len() == 1 {
+			for _, o := range objs.Slice() {
 				return mergeLoc(st, locKey{obj: o, field: s.Field}, c)
 			}
 		}
 		return true // ambiguous base: drop the constraint (sound)
 	case *ir.Store:
 		objs := w.pts(f, s.Obj)
-		if len(objs) != 1 {
+		if objs.Len() != 1 {
 			return true // weak update: the store may not hit our location
 		}
-		for o := range objs {
+		for _, o := range objs.Slice() {
 			lk := locKey{obj: o, field: s.Field}
 			c, ok := st.locs[lk]
 			if !ok {
