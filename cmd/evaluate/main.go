@@ -30,6 +30,7 @@ import (
 	"sierra/internal/corpus"
 	"sierra/internal/metrics"
 	"sierra/internal/obs"
+	"sierra/internal/pointer"
 )
 
 func main() {
@@ -43,11 +44,18 @@ func main() {
 		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent analysis workers")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-app analysis deadline (0 = none); a timed-out app yields a partial row")
 		cacheDir   = flag.String("cache-dir", "", "cache analysis results in this directory, keyed by app digest + options")
+		ptaSolver  = flag.String("pta-solver", "delta", "points-to fixpoint solver: delta | exhaustive (identical tables; delta is faster)")
 		benchJSON  = flag.String("bench-json", "", "write per-stage timings + effort counters for the 20-app dataset as JSON to this file and exit (e.g. BENCH_sierra.json)")
 		pprofCPU   = flag.String("pprof-cpu", "", "write a CPU profile of the evaluation to this file")
 		pprofMem   = flag.String("pprof-mem", "", "write a heap profile after the evaluation to this file")
 	)
 	flag.Parse()
+
+	solver, err := pointer.ParseSolver(*ptaSolver)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate: -pta-solver:", err)
+		os.Exit(1)
+	}
 
 	if *pprofCPU != "" {
 		f, err := os.Create(*pprofCPU)
@@ -87,7 +95,7 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *quiet, bopts); err != nil {
+		if err := writeBenchJSON(*benchJSON, *quiet, solver, bopts); err != nil {
 			fmt.Fprintln(os.Stderr, "evaluate:", err)
 			os.Exit(1)
 		}
@@ -98,6 +106,7 @@ func main() {
 		WithDynamic:       *dynamic,
 		Schedules:         *schedules,
 		EventsPerSchedule: *events,
+		Solver:            solver,
 	}
 
 	progress := func(total int) func(int, batch.Result) {
@@ -138,7 +147,7 @@ func main() {
 				}
 			}
 		}
-		rows, sizes, _ := metrics.EvaluateFDroidBatch(context.Background(), *nFDroid, metrics.Options{}, b)
+		rows, sizes, _ := metrics.EvaluateFDroidBatch(context.Background(), *nFDroid, metrics.Options{Solver: solver}, b)
 		fmt.Println(metrics.FormatTable5(rows, sizes))
 	}
 }
@@ -169,7 +178,7 @@ type benchReport struct {
 // writeBenchJSON measures the 20-app dataset (static pipeline only — no
 // dynamic baseline, so the artifact is deterministic and fast) and
 // writes the benchReport.
-func writeBenchJSON(path string, quiet bool, bopts metrics.BatchOptions) error {
+func writeBenchJSON(path string, quiet bool, solver pointer.Solver, bopts metrics.BatchOptions) error {
 	rows := corpus.PaperRows()
 	if bopts.Jobs <= 0 {
 		bopts.Jobs = runtime.GOMAXPROCS(0)
@@ -181,7 +190,7 @@ func writeBenchJSON(path string, quiet bool, bopts metrics.BatchOptions) error {
 		}
 	}
 	start := time.Now()
-	measured, results := metrics.EvaluateNamedBatch(context.Background(), rows, metrics.Options{}, bopts)
+	measured, results := metrics.EvaluateNamedBatch(context.Background(), rows, metrics.Options{Solver: solver}, bopts)
 	sum := batch.Summarize(results, time.Since(start))
 
 	report := benchReport{

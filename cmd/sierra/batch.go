@@ -26,6 +26,7 @@ type batchConfig struct {
 	cacheDir   string
 	policy     pointer.Policy
 	policyID   string
+	solver     pointer.Solver
 	compare    bool
 	noRefute   bool
 	maxPaths   int
@@ -65,6 +66,7 @@ func runBatch(cfg batchConfig) int {
 	fingerprint := []string{
 		"report",
 		"policy=" + cfg.policyID,
+		"solver=" + string(cfg.solver),
 		fmt.Sprintf("compare=%t", cfg.compare),
 		fmt.Sprintf("refute=%t", !cfg.noRefute),
 		fmt.Sprintf("maxpaths=%d", cfg.maxPaths),
@@ -97,6 +99,7 @@ func runBatch(cfg batchConfig) int {
 					CompareContexts: cfg.compare,
 					SkipRefutation:  cfg.noRefute,
 					Refuter:         symexec.Config{MaxPaths: cfg.maxPaths, Jobs: cfg.refuteJobs},
+					PTASolver:       cfg.solver,
 				})
 				return json.Marshal(appSummary{
 					App:          app.Name,

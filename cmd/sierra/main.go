@@ -46,6 +46,7 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 0, "per-file analysis deadline in batch mode (0 = none)")
 		cacheDir   = flag.String("cache-dir", "", "cache batch results in this directory, keyed by file digest + options")
 		policy     = flag.String("policy", "as", "context policy: as | hybrid | 2obj | 2cfa | insensitive")
+		ptaSolver  = flag.String("pta-solver", "delta", "points-to fixpoint solver: delta | exhaustive (identical results; delta is faster)")
 		compare    = flag.Bool("compare", false, "also report racy pairs without action sensitivity")
 		noRefute   = flag.Bool("no-refute", false, "skip symbolic refutation")
 		maxPaths   = flag.Int("max-paths", 5000, "refutation path budget per query")
@@ -92,6 +93,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sierra:", err)
 		os.Exit(1)
 	}
+	solver, err := pointer.ParseSolver(*ptaSolver)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sierra: -pta-solver:", err)
+		os.Exit(1)
+	}
 
 	if *batchGlob != "" {
 		code := runBatch(batchConfig{
@@ -101,6 +107,7 @@ func main() {
 			cacheDir:   *cacheDir,
 			policy:     pol,
 			policyID:   *policy,
+			solver:     solver,
 			compare:    *compare,
 			noRefute:   *noRefute,
 			maxPaths:   *maxPaths,
@@ -142,6 +149,7 @@ func main() {
 		CompareContexts: *compare,
 		SkipRefutation:  *noRefute,
 		Refuter:         symexec.Config{MaxPaths: *maxPaths, Jobs: *refuteJobs},
+		PTASolver:       solver,
 		Obs:             tr,
 	})
 

@@ -34,6 +34,14 @@ func AnalyzeTraced(app *apk.App, hs []*harness.Harness, pol pointer.Policy, tr *
 // analysis, whose fixpoint stops early once it is done (the returned
 // result is then marked Interrupted).
 func AnalyzeContext(ctx context.Context, app *apk.App, hs []*harness.Harness, pol pointer.Policy, tr *obs.Trace) (*Registry, *pointer.Result) {
+	return AnalyzeSolver(ctx, app, hs, pol, pointer.SolverDelta, tr)
+}
+
+// AnalyzeSolver is AnalyzeContext with an explicit points-to solver
+// selection (the -pta-solver flag's plumbing). Both solvers produce
+// identical results; SolverExhaustive is the slow reference
+// implementation kept for parity testing.
+func AnalyzeSolver(ctx context.Context, app *apk.App, hs []*harness.Harness, pol pointer.Policy, solver pointer.Solver, tr *obs.Trace) (*Registry, *pointer.Result) {
 	reg := NewRegistry(app, hs, pol)
 
 	var seeds []pointer.Seed
@@ -67,6 +75,7 @@ func AnalyzeContext(ctx context.Context, app *apk.App, hs []*harness.Harness, po
 		Views:    views,
 		OnEvent:  reg.OnEvent,
 		ActionAt: reg.ActionAt,
+		Solver:   solver,
 		Obs:      tr,
 		Ctx:      ctx,
 	})

@@ -45,6 +45,17 @@ func (s *Set) Add(i int) bool {
 	return true
 }
 
+// Clear unsets bit i (no-op for out-of-range i; the set never shrinks).
+func (s Set) Clear(i int) {
+	if i < 0 {
+		return
+	}
+	w := i >> 6
+	if w < len(s) {
+		s[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
 // Has reports whether bit i is set (false for out-of-range i — the
 // bounds check the callers rely on).
 func (s Set) Has(i int) bool {
@@ -134,4 +145,66 @@ func (s Set) AppendBits(dst []int) []int {
 		}
 	}
 	return dst
+}
+
+// TakeDelta is the difference-propagation primitive: it appends the bits
+// set in s but absent from prev to dst (ascending), marks them in prev
+// (growing prev as needed), and returns dst. After the call prev ⊇ s, so
+// the next TakeDelta against the same prev yields only bits added to s
+// in between.
+func (s Set) TakeDelta(prev *Set, dst []int) []int {
+	if len(s) > len(*prev) {
+		// Trim s's trailing zero words before growing prev.
+		n := len(s)
+		for n > 0 && s[n-1] == 0 {
+			n--
+		}
+		if n > len(*prev) {
+			grown := make(Set, n)
+			copy(grown, *prev)
+			*prev = grown
+		}
+	}
+	p := *prev
+	n := len(s)
+	if len(p) < n {
+		n = len(p)
+	}
+	for w := 0; w < n; w++ {
+		diff := s[w] &^ p[w]
+		if diff == 0 {
+			continue
+		}
+		p[w] |= diff
+		for diff != 0 {
+			dst = append(dst, w<<6+bits.TrailingZeros64(diff))
+			diff &= diff - 1
+		}
+	}
+	return dst
+}
+
+// ForEachNew calls fn for every bit set in s but not in prev, ascending
+// — TakeDelta's read-only sibling (prev is left untouched).
+func (s Set) ForEachNew(prev Set, fn func(i int)) {
+	for w, word := range s {
+		if w < len(prev) {
+			word &^= prev[w]
+		}
+		for word != 0 {
+			fn(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
+// CopyFrom overwrites s with other's contents, reusing s's backing array
+// when it is large enough.
+func (s *Set) CopyFrom(other Set) {
+	if cap(*s) < len(other) {
+		*s = make(Set, len(other))
+	} else {
+		*s = (*s)[:len(other)]
+	}
+	copy(*s, other)
 }

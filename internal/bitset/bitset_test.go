@@ -136,6 +136,91 @@ func TestZeroValueAndBounds(t *testing.T) {
 	}
 }
 
+// TestTakeDeltaAgainstReference drives a growing set through randomized
+// Add/Or bursts, calling TakeDelta after each burst, and checks that (a)
+// every delta is exactly the bits added since the previous call, in
+// ascending order, and (b) prev converges to the full set.
+func TestTakeDeltaAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s, prev Set
+		seen := ref{}
+		for burst := 0; burst < 20; burst++ {
+			fresh := ref{}
+			for k := 0; k < rng.Intn(30); k++ {
+				i := rng.Intn(700)
+				if s.Add(i) {
+					fresh[i] = true
+				}
+			}
+			if rng.Intn(2) == 0 {
+				var o Set
+				for k := 0; k < rng.Intn(10); k++ {
+					o.Add(rng.Intn(700))
+				}
+				o.ForEach(func(i int) {
+					if !seen[i] && !fresh[i] {
+						fresh[i] = true
+					}
+				})
+				s.Or(o)
+			}
+			// ForEachNew must agree with the upcoming TakeDelta and leave
+			// prev untouched.
+			var peek []int
+			s.ForEachNew(prev, func(i int) { peek = append(peek, i) })
+			got := s.TakeDelta(&prev, nil)
+			want := fresh.slice()
+			if len(got) != len(want) || len(peek) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] || peek[i] != want[i] {
+					return false
+				}
+			}
+			for i := range fresh {
+				seen[i] = true
+			}
+		}
+		// prev has absorbed everything: the next delta is empty.
+		if d := s.TakeDelta(&prev, nil); len(d) != 0 {
+			return false
+		}
+		return prev.Count() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClearAndCopyFrom(t *testing.T) {
+	var s Set
+	s.Add(5)
+	s.Add(130)
+	s.Clear(5)
+	if s.Has(5) || !s.Has(130) {
+		t.Fatal("Clear must unset exactly the given bit")
+	}
+	s.Clear(-1)
+	s.Clear(100000) // out of range: no-op, no panic
+	var c Set
+	c.Add(900) // larger than the source: CopyFrom must shrink
+	c.CopyFrom(s)
+	if c.Has(900) || !c.Has(130) || c.Count() != 1 {
+		t.Fatalf("CopyFrom mismatch: %v", c.AppendBits(nil))
+	}
+	c.Add(7)
+	if s.Has(7) {
+		t.Fatal("CopyFrom must not alias the source")
+	}
+	var shrunk Set
+	shrunk.CopyFrom(nil)
+	if shrunk.Count() != 0 {
+		t.Fatal("CopyFrom(nil) empties the set")
+	}
+}
+
 func TestOrTrimsTrailingZeroWords(t *testing.T) {
 	var big Set
 	big.Add(1000)

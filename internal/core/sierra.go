@@ -35,6 +35,10 @@ type Options struct {
 	Refuter symexec.Config
 	// SHBG tunes happens-before construction (rule ablation).
 	SHBG shbg.Options
+	// PTASolver selects the points-to fixpoint implementation
+	// (pointer.SolverDelta, the default, or pointer.SolverExhaustive —
+	// the -pta-solver flag). Both produce identical results.
+	PTASolver pointer.Solver
 	// Obs, when non-nil, collects hierarchical spans and per-stage
 	// effort counters for the whole pipeline (see README.md
 	// "Observability"). Nil disables observability at zero cost.
@@ -124,6 +128,9 @@ func AnalyzeContext(ctx context.Context, app *apk.App, opts Options) *Result {
 	if opts.Policy == nil {
 		opts.Policy = pointer.ActionSensitivePolicy{K: 2}
 	}
+	if opts.PTASolver == "" {
+		opts.PTASolver = pointer.SolverDelta
+	}
 	tr := opts.Obs
 	res := &Result{App: app}
 	// mark records the earliest stage at which the context was already
@@ -143,7 +150,7 @@ func AnalyzeContext(ctx context.Context, app *apk.App, opts Options) *Result {
 	res.Harnesses = harness.GenerateTraced(app, tr)
 	sHarness.End()
 	sCGPA := tr.Start("cgpa")
-	reg, pta := actions.AnalyzeContext(ctx, app, res.Harnesses, opts.Policy, tr)
+	reg, pta := actions.AnalyzeSolver(ctx, app, res.Harnesses, opts.Policy, opts.PTASolver, tr)
 	sCGPA.End()
 	res.Registry, res.PTA = reg, pta
 	res.Timing.CGPA = time.Since(t0)
@@ -177,7 +184,7 @@ func AnalyzeContext(ctx context.Context, app *apk.App, opts Options) *Result {
 		plainSHBG := opts.SHBG
 		plainSHBG.Obs = nil
 		plainSHBG.Ctx = ctx
-		regH, ptaH := actions.AnalyzeContext(ctx, app, res.Harnesses, pointer.Hybrid{K: 2}, nil)
+		regH, ptaH := actions.AnalyzeSolver(ctx, app, res.Harnesses, pointer.Hybrid{K: 2}, opts.PTASolver, nil)
 		gH := shbg.Build(regH, ptaH, plainSHBG)
 		pairsH := race.RacyPairs(regH, gH, race.CollectAccesses(regH, ptaH))
 		res.RacyPairsNoAS = len(pairsH)

@@ -42,6 +42,7 @@ func fingerprint(opts Options) []string {
 		fmt.Sprintf("dynamic=%t", opts.WithDynamic),
 		fmt.Sprintf("schedules=%d", opts.Schedules),
 		fmt.Sprintf("events=%d", opts.EventsPerSchedule),
+		"solver=" + string(opts.Solver),
 	}
 }
 

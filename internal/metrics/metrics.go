@@ -15,6 +15,7 @@ import (
 	"sierra/internal/corpus"
 	"sierra/internal/eventracer"
 	"sierra/internal/obs"
+	"sierra/internal/pointer"
 )
 
 // Row is one measured app: Table 3's columns plus Table 4's timings and
@@ -51,6 +52,10 @@ type Options struct {
 	// Schedules / EventsPerSchedule configure the dynamic runs.
 	Schedules         int
 	EventsPerSchedule int
+	// Solver selects the points-to fixpoint implementation ("" =
+	// pointer.SolverDelta). Both solvers produce identical tables; the
+	// exhaustive one is the slow reference kept for parity checking.
+	Solver pointer.Solver
 	// Obs, when non-nil, absorbs each measured app's effort counters
 	// (the per-app trace snapshot) — the batch runners point this at a
 	// shared trace so `-stats`-style aggregates survive fan-out. Safe
@@ -72,7 +77,7 @@ func EvaluateApp(name string, factory func() (*apk.App, *corpus.GroundTruth), op
 func EvaluateAppContext(ctx context.Context, name string, factory func() (*apk.App, *corpus.GroundTruth), opts Options) Row {
 	app, gt := factory()
 	tr := obs.New(name)
-	res := core.AnalyzeContext(ctx, app, core.Options{CompareContexts: true, Obs: tr})
+	res := core.AnalyzeContext(ctx, app, core.Options{CompareContexts: true, PTASolver: opts.Solver, Obs: tr})
 
 	row := Row{
 		Name:       name,

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"sierra/internal/batch"
+	"sierra/internal/core"
+	"sierra/internal/corpus"
+	"sierra/internal/obs"
+	"sierra/internal/pointer"
+)
+
+// TestSolverGoldenTables is the end-to-end parity gate for the
+// difference-propagation solver: the evaluation tables produced under
+// -pta-solver=delta and -pta-solver=exhaustive must be byte-identical
+// (timings zeroed — wall clock is the one column allowed to differ,
+// and the whole point is that it does).
+func TestSolverGoldenTables(t *testing.T) {
+	rows := goldenSubset(t)
+	ctx := context.Background()
+
+	run := func(s pointer.Solver) []Row {
+		got, res := EvaluateNamedBatch(ctx, rows, Options{Solver: s}, BatchOptions{Jobs: 1})
+		for i, r := range res {
+			if r.Status != batch.StatusOK {
+				t.Fatalf("%s job %d (%s) status %q", s, i, r.Name, r.Status)
+			}
+		}
+		return zeroTimings(got)
+	}
+	delta := run(pointer.SolverDelta)
+	exhaustive := run(pointer.SolverExhaustive)
+
+	if got, want := FormatTable3(delta), FormatTable3(exhaustive); got != want {
+		t.Errorf("Table 3 differs between solvers:\n%s\nvs\n%s", got, want)
+	}
+	if got, want := FormatTable4(delta), FormatTable4(exhaustive); got != want {
+		t.Errorf("Table 4 (timings zeroed) differs between solvers:\n%s\nvs\n%s", got, want)
+	}
+	if !reflect.DeepEqual(delta, exhaustive) {
+		t.Errorf("rows differ between solvers:\n%+v\nvs\n%+v", delta, exhaustive)
+	}
+}
+
+// TestSolverGaugeParity pins the observability contract: both solvers
+// report the same points-to volume gauges (they compute the same
+// result), while the delta solver additionally proves it skipped work.
+func TestSolverGaugeParity(t *testing.T) {
+	pr, ok := corpus.RowByName("SuperGenPass")
+	if !ok {
+		t.Fatal("SuperGenPass missing from corpus")
+	}
+
+	run := func(s pointer.Solver) *obs.Trace {
+		app, _ := corpus.NamedApp(pr)
+		tr := obs.New(string(s))
+		core.Analyze(app, core.Options{PTASolver: s, SkipRefutation: true, Obs: tr})
+		return tr
+	}
+	trD := run(pointer.SolverDelta)
+	trE := run(pointer.SolverExhaustive)
+
+	for _, g := range []string{"pointer.pts_objs", "pointer.pts_vars", "pointer.pts_max"} {
+		if d, e := trD.GaugeValue(g), trE.GaugeValue(g); d != e {
+			t.Errorf("%s: delta %v vs exhaustive %v", g, d, e)
+		}
+	}
+	for _, c := range []string{"pointer.passes", "pointer.worklist_iterations"} {
+		if d, e := trD.Counter(c), trE.Counter(c); d != e {
+			t.Errorf("%s: delta %d vs exhaustive %d", c, d, e)
+		}
+	}
+	if skips := trD.Counter("pointer.transfer_skips"); skips == 0 {
+		t.Error("delta solver reported zero transfer_skips — no work was actually skipped")
+	}
+	if trE.Counter("pointer.transfer_skips") != 0 {
+		t.Error("exhaustive solver reported transfer_skips")
+	}
+	if trD.Counter("pointer.dep_edges") == 0 {
+		t.Error("delta solver reported zero dep_edges")
+	}
+}

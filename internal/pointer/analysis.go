@@ -52,10 +52,44 @@ type Event struct {
 	FieldObjs func(Obj, string) []Obj
 }
 
+// Solver selects the fixpoint strategy. Both solvers compute the exact
+// same Result — same points-to sets, same instance/entry discovery
+// order, same call-edge order, same pass count — the difference is only
+// how much no-op work each pass re-does.
+type Solver string
+
+const (
+	// SolverDelta is the difference-propagation worklist solver (the
+	// default): it tracks which points-to keys grew, maintains a
+	// dependency index from keys to the statements / copy edges / seeds /
+	// event sites that consume them, and only re-runs transfer functions
+	// whose inputs actually changed.
+	SolverDelta Solver = "delta"
+	// SolverExhaustive re-runs every statement of every instance each
+	// pass — the simple reference solver kept as an escape hatch and as
+	// the parity oracle for the delta solver's tests.
+	SolverExhaustive Solver = "exhaustive"
+)
+
+// ParseSolver validates a -pta-solver flag value ("" means the default,
+// delta).
+func ParseSolver(s string) (Solver, error) {
+	switch Solver(s) {
+	case "", SolverDelta:
+		return SolverDelta, nil
+	case SolverExhaustive:
+		return SolverExhaustive, nil
+	}
+	return "", fmt.Errorf("unknown points-to solver %q (want %q or %q)", s, SolverDelta, SolverExhaustive)
+}
+
 // Config parameterizes Analyze.
 type Config struct {
 	Prog   *ir.Program
 	Policy Policy
+	// Solver picks the fixpoint strategy; the zero value means
+	// SolverDelta. Results are identical either way.
+	Solver Solver
 	// Entries are the initial roots (typically the harness mains).
 	Entries []Entry
 	// Seeds are cross-context copy constraints.
@@ -91,6 +125,21 @@ func Analyze(cfg Config) *Result {
 	if cfg.MaxPasses == 0 {
 		cfg.MaxPasses = 200
 	}
+	// Size hints scale with program text: context sensitivity multiplies
+	// methods into instances and locals into variable keys, so seeding
+	// the hot maps near their final size avoids the incremental-rehash
+	// churn that otherwise dominates construction.
+	nMethods, nStmts := 0, 0
+	if cfg.Prog != nil {
+		for _, cl := range cfg.Prog.Classes() {
+			for _, m := range cl.Methods {
+				nMethods++
+				for _, b := range m.Blocks {
+					nStmts += len(b.Stmts)
+				}
+			}
+		}
+	}
 	in := NewInterner()
 	a := &analyzer{
 		cfg: cfg,
@@ -98,17 +147,39 @@ func Analyze(cfg Config) *Result {
 		res: &Result{
 			Policy:    cfg.Policy,
 			in:        in,
-			pts:       make(map[VarKey]ObjSet),
-			fpts:      make(map[FieldKey]ObjSet),
-			spts:      make(map[string]ObjSet),
-			instances: make(map[MKey]bool),
-			callees:   make(map[siteKey][]MKey),
+			pts:       make(map[VarKey]ObjSet, nStmts),
+			fpts:      make(map[FieldKey]ObjSet, nMethods/2),
+			spts:      make(map[string]ObjSet, 16),
+			instances: make(map[MKey]bool, 3*nMethods/2),
+			callees:   make(map[siteKey][]MKey, nMethods),
 		},
-		copies: make(map[VarKey]map[VarKey]bool),
+		edgeOf:      make(map[VarKey]*copyEdge, nMethods),
+		byMethod:    make(map[*ir.Method][]MKey, nMethods),
+		calleeSeen:  make(map[calleeEdge]bool, nMethods),
+		hintStmts:   nStmts,
+		hintMethods: nMethods,
+	}
+	a.viewFallback = sortedViewObjs(cfg.Views)
+	if cfg.Solver != SolverExhaustive {
+		a.d = newDeltaState(a)
 	}
 	for _, e := range cfg.Entries {
 		a.install(e, true)
 	}
+	if a.d != nil {
+		a.runDelta()
+	} else {
+		a.runExhaustive()
+	}
+	a.reportObs()
+	return a.res
+}
+
+// runExhaustive is the reference fixpoint: every pass re-runs every
+// statement of every discovered instance, then all copy edges, seeds,
+// and events.
+func (a *analyzer) runExhaustive() {
+	cfg := a.cfg
 	for pass := 0; pass < cfg.MaxPasses; pass++ {
 		if ctxDone(cfg.Ctx) {
 			a.res.Interrupted = true
@@ -144,8 +215,6 @@ func Analyze(cfg Config) *Result {
 			break
 		}
 	}
-	a.reportObs()
-	return a.res
 }
 
 // ctxStride is how many instances a pass processes between context
@@ -169,6 +238,12 @@ func (a *analyzer) reportObs() {
 		tr.Count("pointer.interrupted", 1)
 	}
 	tr.Count("pointer.worklist_iterations", a.stats.iterations)
+	if a.d != nil {
+		tr.Count("pointer.dirty_instances", a.stats.dirtyInstances)
+		tr.Count("pointer.transfer_skips", a.stats.transferSkips)
+		tr.Count("pointer.delta_props", a.stats.deltaProps)
+		tr.Count("pointer.dep_edges", int64(a.d.depEdges()))
+	}
 	tr.Count("pointer.instances", int64(len(a.res.instances)))
 	tr.Count("pointer.entries", int64(len(a.res.entryKeys)))
 	tr.Count("pointer.cha_targets", a.stats.chaTargets)
@@ -179,8 +254,8 @@ func (a *analyzer) reportObs() {
 	}
 	tr.Count("pointer.call_edges", int64(edges))
 	copies := 0
-	for _, srcs := range a.copies {
-		copies += len(srcs)
+	for _, e := range a.sortedCopies {
+		copies += len(e.srcs)
 	}
 	tr.Count("pointer.copy_constraints", int64(copies))
 	var totalObjs, maxSet, words int
@@ -212,21 +287,50 @@ type siteKey struct {
 }
 
 type analyzer struct {
-	cfg    Config
-	in     *Interner
-	res    *Result
-	order  []MKey // instance worklist in discovery order
-	copies map[VarKey]map[VarKey]bool
-	// sortedCopies mirrors copies as String()-ordered slices so
-	// applyCopies iterates deterministically without re-sorting (and
-	// re-rendering keys) every sweep.
+	cfg   Config
+	in    *Interner
+	res   *Result
+	order []MKey // instance worklist in discovery order
+	// edgeOf maps each copy destination to its edge, so addCopy finds
+	// (or dedups) an edge with one hash lookup plus a scan of the
+	// destination's short source list — no nested membership maps and no
+	// key re-rendering per call.
+	edgeOf map[VarKey]*copyEdge
+	// sortedCopies holds the copy edges String()-ordered so applyCopies
+	// iterates deterministically without re-sorting (and re-rendering
+	// keys) every sweep.
 	sortedCopies []*copyEdge
+	// byMethod indexes discovered instances by method, maintained at
+	// install time so applySeeds (and the delta solver) never rescan the
+	// full instance order.
+	byMethod map[*ir.Method][]MKey
+	// calleeSeen is the membership mirror of res.callees, so recordEdge
+	// is O(1) per re-visit instead of a linear scan of the edge list.
+	calleeSeen map[calleeEdge]bool
+	// viewFallback is the sorted all-views slice viewObjs falls back to
+	// for non-constant findViewById arguments, computed once.
+	viewFallback []Obj
+	// d holds the difference-propagation state; nil under the exhaustive
+	// solver.
+	d *deltaState
+	// hintStmts / hintMethods are the program-text sizes the map size
+	// hints derive from (shared with the delta state's own maps).
+	hintStmts, hintMethods int
 	// stats feeds the pointer.* observability counters.
 	stats struct {
-		iterations  int64 // instances processed, summed over passes
-		chaTargets  int64 // dispatch targets resolved at call sites
-		eventsFired int64 // OnEvent hook invocations
+		iterations     int64 // instance sweep slots visited, summed over passes
+		chaTargets     int64 // dispatch targets resolved at call sites
+		eventsFired    int64 // OnEvent hook invocations
+		dirtyInstances int64 // delta: instances actually processed
+		transferSkips  int64 // delta: sweep slots skipped (no input grew)
+		deltaProps     int64 // delta: dirty statement transfers re-run
 	}
+}
+
+// calleeEdge is one (call site, callee) pair — the recordEdge dedup key.
+type calleeEdge struct {
+	sk     siteKey
+	callee MKey
 }
 
 // copyEdge is one destination's persistent copy constraints, its
@@ -235,6 +339,9 @@ type copyEdge struct {
 	key  string
 	dst  VarKey
 	srcs []copySrc
+	// dirty marks that some source grew since the delta solver last
+	// applied this edge (unused by the exhaustive solver).
+	dirty bool
 }
 
 type copySrc struct {
@@ -250,18 +357,14 @@ func (a *analyzer) install(e Entry, isRoot bool) bool {
 	}
 	changed := false
 	mk := MKey{M: e.Method, Ctx: e.Ctx}
-	if !a.res.instances[mk] {
-		a.res.instances[mk] = true
-		a.order = append(a.order, mk)
-		if isRoot {
-			a.res.entryKeys = append(a.res.entryKeys, mk)
-		}
+	if a.newInstance(mk, isRoot) {
 		changed = true
 	}
 	thisKey := VarKey{M: e.Method, Ctx: e.Ctx, Var: "this"}
 	for _, o := range e.This {
 		if a.pts(thisKey).Add(o) {
 			changed = true
+			a.touchVar(thisKey)
 		}
 	}
 	for v, objs := range e.ParamObjs {
@@ -269,17 +372,58 @@ func (a *analyzer) install(e Entry, isRoot bool) bool {
 		for _, o := range objs {
 			if a.pts(k).Add(o) {
 				changed = true
+				a.touchVar(k)
 			}
 		}
 	}
 	for v, src := range e.ParamFrom {
 		dst := VarKey{M: e.Method, Ctx: e.Ctx, Var: v}
-		if !a.copies[dst][src] {
+		if !a.hasCopy(dst, src) {
 			a.addCopy(dst, src)
 			changed = true
 		}
 	}
 	return changed
+}
+
+// newInstance registers a method instance on first sight: the instance
+// set, the discovery-ordered worklist, the per-method index, the entry
+// list (for roots), and — under the delta solver — the per-statement
+// dirty bookkeeping. Reports whether the instance was new.
+func (a *analyzer) newInstance(mk MKey, isRoot bool) bool {
+	if a.res.instances[mk] {
+		return false
+	}
+	a.res.instances[mk] = true
+	a.order = append(a.order, mk)
+	a.byMethod[mk.M] = append(a.byMethod[mk.M], mk)
+	if isRoot {
+		a.res.entryKeys = append(a.res.entryKeys, mk)
+	}
+	if a.d != nil {
+		a.d.registerInstance(a, len(a.order)-1, mk)
+	}
+	return true
+}
+
+// touchVar / touchField / touchStatic notify the delta solver that a
+// points-to set grew (no-ops under the exhaustive solver).
+func (a *analyzer) touchVar(k VarKey) {
+	if a.d != nil {
+		a.d.touchVar(k)
+	}
+}
+
+func (a *analyzer) touchField(k FieldKey) {
+	if a.d != nil {
+		a.d.touchField(k)
+	}
+}
+
+func (a *analyzer) touchStatic(key string) {
+	if a.d != nil {
+		a.d.touchStatic(key)
+	}
 }
 
 func (a *analyzer) pts(k VarKey) ObjSet {
@@ -310,42 +454,57 @@ func (a *analyzer) spts(cls, field string) ObjSet {
 	return s
 }
 
+// hasCopy reports whether dst ⊆ src is already recorded. Source lists
+// are short (a destination's fan-in), so a scan beats a nested map.
+func (a *analyzer) hasCopy(dst, src VarKey) bool {
+	e := a.edgeOf[dst]
+	if e == nil {
+		return false
+	}
+	for i := range e.srcs {
+		if e.srcs[i].src == src {
+			return true
+		}
+	}
+	return false
+}
+
 // addCopy records dst ⊆ src, keeping the sorted iteration mirrors in
 // sync (no-op for an already-known edge).
 func (a *analyzer) addCopy(dst, src VarKey) {
-	m := a.copies[dst]
-	if m == nil {
-		m = make(map[VarKey]bool)
-		a.copies[dst] = m
-		a.insertCopyEdge(dst)
+	e := a.edgeOf[dst]
+	if e == nil {
+		e = a.insertCopyEdge(dst)
+		a.edgeOf[dst] = e
 	}
-	if m[src] {
-		return
+	for i := range e.srcs {
+		if e.srcs[i].src == src {
+			return
+		}
 	}
-	m[src] = true
-	a.insertCopySrc(dst, src)
+	a.insertCopySrc(e, src)
+	if a.d != nil {
+		a.d.registerCopy(e, src)
+	}
 }
 
 // insertCopyEdge places a new destination into sortedCopies at its
-// String()-ordered position.
-func (a *analyzer) insertCopyEdge(dst VarKey) {
+// String()-ordered position, returning the fresh edge.
+func (a *analyzer) insertCopyEdge(dst VarKey) *copyEdge {
 	key := dst.String()
 	i := sort.Search(len(a.sortedCopies), func(i int) bool {
 		return a.sortedCopies[i].key >= key
 	})
 	a.sortedCopies = append(a.sortedCopies, nil)
 	copy(a.sortedCopies[i+1:], a.sortedCopies[i:])
-	a.sortedCopies[i] = &copyEdge{key: key, dst: dst}
+	e := &copyEdge{key: key, dst: dst}
+	a.sortedCopies[i] = e
+	return e
 }
 
-// insertCopySrc places a new source into its destination's sorted
+// insertCopySrc places a new source into the destination edge's sorted
 // source list.
-func (a *analyzer) insertCopySrc(dst, src VarKey) {
-	key := dst.String()
-	i := sort.Search(len(a.sortedCopies), func(i int) bool {
-		return a.sortedCopies[i].key >= key
-	})
-	e := a.sortedCopies[i]
+func (a *analyzer) insertCopySrc(e *copyEdge, src VarKey) {
 	skey := src.String()
 	j := sort.Search(len(e.srcs), func(j int) bool {
 		return e.srcs[j].key >= skey
@@ -445,48 +604,23 @@ func (a *analyzer) invoke(mk MKey, inv *ir.Invoke) bool {
 	}
 
 	site := fmt.Sprintf("%s@%d.%d", mk.M.QualifiedName(), pos.Block, pos.Index)
-	bind := func(target *ir.Method, ctx Context, recv *Obj) {
-		if target == nil {
-			return
-		}
-		a.stats.chaTargets++
-		calleeKey := MKey{M: target, Ctx: ctx}
-		if !a.res.instances[calleeKey] {
-			a.res.instances[calleeKey] = true
-			a.order = append(a.order, calleeKey)
-			changed = true
-		}
-		a.recordEdge(siteKey{Caller: mk, Pos: pos}, calleeKey)
-		if recv != nil {
-			if a.pts(VarKey{M: target, Ctx: ctx, Var: "this"}).Add(*recv) {
-				changed = true
-			}
-		}
-		n := len(inv.Args)
-		if len(target.Params) < n {
-			n = len(target.Params)
-		}
-		for i := 0; i < n; i++ {
-			a.addCopy(VarKey{M: target, Ctx: ctx, Var: target.Params[i]}, key(inv.Args[i]))
-		}
-		if inv.Dst != "" {
-			a.addCopy(key(inv.Dst), VarKey{M: target, Ctx: ctx, Var: retVar})
-		}
-	}
-
 	switch inv.Kind {
 	case ir.InvokeStatic:
 		target := a.cfg.Prog.ResolveMethod(inv.Class, inv.Method)
 		ctx := a.cfg.Policy.CalleeContext(mk.Ctx, site, inv.Kind, Obj{}, false)
 		ctx = a.maybeEnterAction(ctx, pos)
-		bind(target, ctx, nil)
+		if a.bindCall(mk, inv, pos, target, ctx, nil) {
+			changed = true
+		}
 	case ir.InvokeSpecial:
 		target := a.cfg.Prog.ResolveMethod(inv.Class, inv.Method)
 		for _, o := range a.pts(key(inv.Recv)).Slice() {
 			o := o
 			ctx := a.cfg.Policy.CalleeContext(mk.Ctx, site, inv.Kind, o, true)
 			ctx = a.maybeEnterAction(ctx, pos)
-			bind(target, ctx, &o)
+			if a.bindCall(mk, inv, pos, target, ctx, &o) {
+				changed = true
+			}
 		}
 	default: // virtual
 		for _, o := range a.pts(key(inv.Recv)).Slice() {
@@ -494,8 +628,51 @@ func (a *analyzer) invoke(mk MKey, inv *ir.Invoke) bool {
 			target := a.cfg.Prog.ResolveMethod(o.Class, inv.Method)
 			ctx := a.cfg.Policy.CalleeContext(mk.Ctx, site, inv.Kind, o, true)
 			ctx = a.maybeEnterAction(ctx, pos)
-			bind(target, ctx, &o)
+			if a.bindCall(mk, inv, pos, target, ctx, &o) {
+				changed = true
+			}
 		}
+	}
+	return changed
+}
+
+// bindCall wires one resolved dispatch target into the call graph: it
+// installs the callee instance, records the call edge, flows the
+// receiver into the callee's this, and adds the parameter/return copy
+// constraints. Reports whether anything new was learned (new instance or
+// receiver growth). Shared by both solvers so discovery order and edge
+// order are identical.
+func (a *analyzer) bindCall(mk MKey, inv *ir.Invoke, pos ir.Pos, target *ir.Method, ctx Context, recv *Obj) bool {
+	if target == nil {
+		return false
+	}
+	a.stats.chaTargets++
+	changed := false
+	calleeKey := MKey{M: target, Ctx: ctx}
+	if a.newInstance(calleeKey, false) {
+		changed = true
+	}
+	a.recordEdge(siteKey{Caller: mk, Pos: pos}, calleeKey)
+	if recv != nil {
+		thisKey := VarKey{M: target, Ctx: ctx, Var: "this"}
+		if a.pts(thisKey).Add(*recv) {
+			changed = true
+			a.touchVar(thisKey)
+		}
+	}
+	n := len(inv.Args)
+	if len(target.Params) < n {
+		n = len(target.Params)
+	}
+	for i := 0; i < n; i++ {
+		a.addCopy(
+			VarKey{M: target, Ctx: ctx, Var: target.Params[i]},
+			VarKey{M: mk.M, Ctx: mk.Ctx, Var: inv.Args[i]})
+	}
+	if inv.Dst != "" {
+		a.addCopy(
+			VarKey{M: mk.M, Ctx: mk.Ctx, Var: inv.Dst},
+			VarKey{M: target, Ctx: ctx, Var: retVar})
 	}
 	return changed
 }
@@ -518,11 +695,11 @@ func (a *analyzer) maybeEnterAction(ctx Context, pos ir.Pos) Context {
 
 // viewObjs resolves findViewById's result objects: the views whose ids
 // the argument can hold, or every known view when the id is not a
-// constant (the sound fallback).
+// constant (the sound fallback, precomputed once in Analyze).
 func (a *analyzer) viewObjs(m *ir.Method, arg string) []Obj {
 	ids := ir.ConstIntDefs(m, arg)
-	var out []Obj
 	if len(ids) > 0 {
+		var out []Obj
 		for _, id := range ids {
 			if cls, ok := a.cfg.Views[int(id)]; ok {
 				out = append(out, ViewObj(int(id), cls))
@@ -532,23 +709,30 @@ func (a *analyzer) viewObjs(m *ir.Method, arg string) []Obj {
 			return out
 		}
 	}
-	keys := make([]int, 0, len(a.cfg.Views))
-	for id := range a.cfg.Views {
+	return a.viewFallback
+}
+
+// sortedViewObjs renders the view map as id-sorted view objects — the
+// fallback slice viewObjs hands out (callers only iterate it).
+func sortedViewObjs(views map[int]string) []Obj {
+	keys := make([]int, 0, len(views))
+	for id := range views {
 		keys = append(keys, id)
 	}
 	sort.Ints(keys)
+	out := make([]Obj, 0, len(keys))
 	for _, id := range keys {
-		out = append(out, ViewObj(id, a.cfg.Views[id]))
+		out = append(out, ViewObj(id, views[id]))
 	}
 	return out
 }
 
 func (a *analyzer) recordEdge(sk siteKey, callee MKey) {
-	for _, have := range a.res.callees[sk] {
-		if have == callee {
-			return
-		}
+	e := calleeEdge{sk: sk, callee: callee}
+	if a.calleeSeen[e] {
+		return
 	}
+	a.calleeSeen[e] = true
 	a.res.callees[sk] = append(a.res.callees[sk], callee)
 }
 
@@ -568,34 +752,42 @@ func (a *analyzer) applyCopies() bool {
 	return changed
 }
 
-// applySeeds propagates the cross-context seeds once.
+// applySeeds propagates the cross-context seeds once (over the
+// per-method instance index, not the full order).
 func (a *analyzer) applySeeds() bool {
 	changed := false
-	for _, seed := range a.cfg.Seeds {
-		var union ObjSet
-		for _, mk := range a.order {
-			if mk.M != seed.SrcMethod {
-				continue
-			}
-			src := a.res.pts[VarKey{M: mk.M, Ctx: mk.Ctx, Var: seed.SrcVar}]
-			if src.Len() == 0 {
-				continue
-			}
-			if union.d == nil {
-				union = a.in.NewSet()
-			}
-			union.AddAll(src)
+	for i := range a.cfg.Seeds {
+		if a.applySeed(&a.cfg.Seeds[i]) {
+			changed = true
 		}
-		if union.d == nil {
+	}
+	return changed
+}
+
+// applySeed propagates one seed: the union of the source variable across
+// every instance of the source method flows into the destination
+// variable of every instance of the destination method.
+func (a *analyzer) applySeed(seed *Seed) bool {
+	var union ObjSet
+	for _, mk := range a.byMethod[seed.SrcMethod] {
+		src := a.res.pts[VarKey{M: mk.M, Ctx: mk.Ctx, Var: seed.SrcVar}]
+		if src.Len() == 0 {
 			continue
 		}
-		for _, mk := range a.order {
-			if mk.M != seed.DstMethod {
-				continue
-			}
-			if a.pts(VarKey{M: mk.M, Ctx: mk.Ctx, Var: seed.DstVar}).AddAll(union) {
-				changed = true
-			}
+		if union.d == nil {
+			union = a.in.NewSet()
+		}
+		union.AddAll(src)
+	}
+	if union.d == nil {
+		return false
+	}
+	changed := false
+	for _, mk := range a.byMethod[seed.DstMethod] {
+		k := VarKey{M: mk.M, Ctx: mk.Ctx, Var: seed.DstVar}
+		if a.pts(k).AddAll(union) {
+			changed = true
+			a.touchVar(k)
 		}
 	}
 	return changed

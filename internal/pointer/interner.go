@@ -84,4 +84,8 @@ func (in *Interner) NewSet() ObjSet {
 type objsetData struct {
 	in   *Interner
 	bits bitset.Set
+	// ver counts growth events (Add/AddAll that inserted something). The
+	// delta solver compares versions to skip re-unioning sets that have
+	// not grown since it last looked.
+	ver uint32
 }

@@ -11,8 +11,10 @@ package pointer
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
+	"sierra/internal/bitset"
 	"sierra/internal/ir"
 )
 
@@ -92,20 +94,31 @@ const NoAction = -1
 var EmptyContext = Context{Action: NoAction}
 
 func (c Context) String() string {
-	parts := []string{}
-	if c.Action != NoAction {
-		parts = append(parts, fmt.Sprintf("A%d", c.Action))
-	}
-	if c.Objs != "" {
-		parts = append(parts, "o:"+c.Objs)
-	}
-	if c.Calls != "" {
-		parts = append(parts, "c:"+c.Calls)
-	}
-	if len(parts) == 0 {
+	if c.Action == NoAction && c.Objs == "" && c.Calls == "" {
 		return "ε"
 	}
-	return strings.Join(parts, "|")
+	// Manual rendering: this is the sort key for copy-edge ordering, so
+	// it runs once per discovered variable and must not pay fmt overhead.
+	var b strings.Builder
+	if c.Action != NoAction {
+		b.WriteByte('A')
+		b.WriteString(strconv.Itoa(c.Action))
+	}
+	if c.Objs != "" {
+		if b.Len() > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString("o:")
+		b.WriteString(c.Objs)
+	}
+	if c.Calls != "" {
+		if b.Len() > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString("c:")
+		b.WriteString(c.Calls)
+	}
+	return b.String()
 }
 
 // push prepends elem to a comma-joined bounded string, keeping at most k
@@ -138,7 +151,11 @@ type ObjSet struct {
 
 // Add inserts o, reporting whether it was new.
 func (s ObjSet) Add(o Obj) bool {
-	return s.d.bits.Add(int(s.d.in.Intern(o)))
+	if s.d.bits.Add(int(s.d.in.Intern(o))) {
+		s.d.ver++
+		return true
+	}
+	return false
 }
 
 // AddAll inserts all of other, reporting whether anything was new. When
@@ -149,7 +166,11 @@ func (s ObjSet) AddAll(other ObjSet) bool {
 		return false
 	}
 	if s.d.in == other.d.in {
-		return s.d.bits.Or(other.d.bits) > 0
+		if s.d.bits.Or(other.d.bits) > 0 {
+			s.d.ver++
+			return true
+		}
+		return false
 	}
 	// Cross-analysis union (never on the hot path): re-intern.
 	changed := false
@@ -159,6 +180,34 @@ func (s ObjSet) AddAll(other ObjSet) bool {
 		}
 	}
 	return changed
+}
+
+// version returns the set's growth counter (0 for the zero-value set).
+// Two reads returning the same version bracket a window in which the set
+// did not grow — the delta solver's cheap "did my input change" test.
+func (s ObjSet) version() uint32 {
+	if s.d == nil {
+		return 0
+	}
+	return s.d.ver
+}
+
+// bits exposes the backing bitset for in-package delta iteration (nil
+// for the zero-value set).
+func (s ObjSet) bits() bitset.Set {
+	if s.d == nil {
+		return nil
+	}
+	return s.d.bits
+}
+
+// takeDelta appends the interned ids present in s but not yet in prev to
+// dst, marks them in prev, and returns dst (see bitset.TakeDelta).
+func (s ObjSet) takeDelta(prev *bitset.Set, dst []int) []int {
+	if s.d == nil {
+		return dst
+	}
+	return s.d.bits.TakeDelta(prev, dst)
 }
 
 // Contains reports membership.
@@ -216,20 +265,29 @@ func (s ObjSet) Slice() []Obj {
 	s.d.bits.ForEach(func(id int) {
 		out = append(out, objs[id])
 	})
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Site != b.Site {
-			return a.Site < b.Site
-		}
-		if a.ViewID != b.ViewID {
-			return a.ViewID < b.ViewID
-		}
-		if a.Ctx != b.Ctx {
-			return a.Ctx < b.Ctx
-		}
-		return a.Class < b.Class
-	})
+	sortObjs(out)
 	return out
+}
+
+// lessObj is the canonical object order (site/view/ctx/class) that
+// Slice and the delta solver's new-receiver iteration share, so both
+// solvers bind dispatch targets in the same sequence.
+func lessObj(a, b Obj) bool {
+	if a.Site != b.Site {
+		return a.Site < b.Site
+	}
+	if a.ViewID != b.ViewID {
+		return a.ViewID < b.ViewID
+	}
+	if a.Ctx != b.Ctx {
+		return a.Ctx < b.Ctx
+	}
+	return a.Class < b.Class
+}
+
+// sortObjs sorts objects into the canonical lessObj order.
+func sortObjs(objs []Obj) {
+	sort.Slice(objs, func(i, j int) bool { return lessObj(objs[i], objs[j]) })
 }
 
 func (s ObjSet) String() string {
@@ -248,7 +306,7 @@ type VarKey struct {
 }
 
 func (k VarKey) String() string {
-	return fmt.Sprintf("%s<%s>:%s", k.M.QualifiedName(), k.Ctx, k.Var)
+	return k.M.QualifiedName() + "<" + k.Ctx.String() + ">:" + k.Var
 }
 
 // MKey identifies a method instance (a call-graph node).
@@ -258,7 +316,7 @@ type MKey struct {
 }
 
 func (k MKey) String() string {
-	return fmt.Sprintf("%s<%s>", k.M.QualifiedName(), k.Ctx)
+	return k.M.QualifiedName() + "<" + k.Ctx.String() + ">"
 }
 
 // FieldKey identifies an abstract object's field.
