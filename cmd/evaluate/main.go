@@ -45,6 +45,8 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 0, "per-app analysis deadline (0 = none); a timed-out app yields a partial row")
 		cacheDir   = flag.String("cache-dir", "", "cache analysis results in this directory, keyed by app digest + options")
 		ptaSolver  = flag.String("pta-solver", "delta", "points-to fixpoint solver: delta | exhaustive (identical tables; delta is faster)")
+		refPaths   = flag.Int("refute-max-paths", 5000, "refutation path budget per query (the paper's 5,000)")
+		refDepth   = flag.Int("refute-max-depth", 6, "refutation call-inlining depth bound (the paper's 6)")
 		benchJSON  = flag.String("bench-json", "", "write per-stage timings + effort counters for the 20-app dataset as JSON to this file and exit (e.g. BENCH_sierra.json)")
 		pprofCPU   = flag.String("pprof-cpu", "", "write a CPU profile of the evaluation to this file")
 		pprofMem   = flag.String("pprof-mem", "", "write a heap profile after the evaluation to this file")
@@ -107,6 +109,8 @@ func main() {
 		Schedules:         *schedules,
 		EventsPerSchedule: *events,
 		Solver:            solver,
+		RefuteMaxPaths:    *refPaths,
+		RefuteMaxDepth:    *refDepth,
 	}
 
 	progress := func(total int) func(int, batch.Result) {
@@ -147,7 +151,8 @@ func main() {
 				}
 			}
 		}
-		rows, sizes, _ := metrics.EvaluateFDroidBatch(context.Background(), *nFDroid, metrics.Options{Solver: solver}, b)
+		rows, sizes, _ := metrics.EvaluateFDroidBatch(context.Background(), *nFDroid,
+			metrics.Options{Solver: solver, RefuteMaxPaths: *refPaths, RefuteMaxDepth: *refDepth}, b)
 		fmt.Println(metrics.FormatTable5(rows, sizes))
 	}
 }

@@ -30,6 +30,7 @@ type batchConfig struct {
 	compare    bool
 	noRefute   bool
 	maxPaths   int
+	maxDepth   int
 	refuteJobs int
 	stats      string
 }
@@ -70,6 +71,7 @@ func runBatch(cfg batchConfig) int {
 		fmt.Sprintf("compare=%t", cfg.compare),
 		fmt.Sprintf("refute=%t", !cfg.noRefute),
 		fmt.Sprintf("maxpaths=%d", cfg.maxPaths),
+		fmt.Sprintf("maxdepth=%d", cfg.maxDepth),
 		fmt.Sprintf("refutejobs=%d", cfg.refuteJobs),
 	}
 
@@ -98,7 +100,7 @@ func runBatch(cfg batchConfig) int {
 					Policy:          cfg.policy,
 					CompareContexts: cfg.compare,
 					SkipRefutation:  cfg.noRefute,
-					Refuter:         symexec.Config{MaxPaths: cfg.maxPaths, Jobs: cfg.refuteJobs},
+					Refuter:         symexec.Config{MaxPaths: cfg.maxPaths, MaxDepth: cfg.maxDepth, Jobs: cfg.refuteJobs},
 					PTASolver:       cfg.solver,
 				})
 				return json.Marshal(appSummary{

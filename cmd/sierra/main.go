@@ -38,25 +38,26 @@ import (
 
 func main() {
 	var (
-		appName    = flag.String("app", "", "named dataset app (see -list)")
-		fdroid     = flag.Int("fdroid", -1, "generated dataset app index (0..173)")
-		file       = flag.String("file", "", "textual .app file to analyze")
-		batchGlob  = flag.String("batch", "", "analyze every .app file matching this glob on a worker pool")
-		jobs       = flag.Int("jobs", 0, "batch worker count (0 = GOMAXPROCS)")
-		jobTimeout = flag.Duration("job-timeout", 0, "per-file analysis deadline in batch mode (0 = none)")
-		cacheDir   = flag.String("cache-dir", "", "cache batch results in this directory, keyed by file digest + options")
-		policy     = flag.String("policy", "as", "context policy: as | hybrid | 2obj | 2cfa | insensitive")
-		ptaSolver  = flag.String("pta-solver", "delta", "points-to fixpoint solver: delta | exhaustive (identical results; delta is faster)")
-		compare    = flag.Bool("compare", false, "also report racy pairs without action sensitivity")
-		noRefute   = flag.Bool("no-refute", false, "skip symbolic refutation")
-		maxPaths   = flag.Int("max-paths", 5000, "refutation path budget per query")
-		refuteJobs = flag.Int("refute-jobs", 1, "per-pair refutation workers within one app (1 = sequential shared-memo refuter)")
-		list       = flag.Bool("list", false, "list named dataset apps and exit")
-		verbose    = flag.Bool("v", false, "print every report plus the observability breakdown")
-		verifyN    = flag.Int("verify", 0, "dynamically confirm the top N reports via schedule search (§6.4)")
-		stats      = flag.String("stats", "", "write the observability snapshot (spans + counters) as JSON to this file")
-		pprofCPU   = flag.String("pprof-cpu", "", "write a CPU profile of the analysis to this file")
-		pprofMem   = flag.String("pprof-mem", "", "write a heap profile after the analysis to this file")
+		appName        = flag.String("app", "", "named dataset app (see -list)")
+		fdroid         = flag.Int("fdroid", -1, "generated dataset app index (0..173)")
+		file           = flag.String("file", "", "textual .app file to analyze")
+		batchGlob      = flag.String("batch", "", "analyze every .app file matching this glob on a worker pool")
+		jobs           = flag.Int("jobs", 0, "batch worker count (0 = GOMAXPROCS)")
+		jobTimeout     = flag.Duration("job-timeout", 0, "per-file analysis deadline in batch mode (0 = none)")
+		cacheDir       = flag.String("cache-dir", "", "cache batch results in this directory, keyed by file digest + options")
+		policy         = flag.String("policy", "as", "context policy: as | hybrid | 2obj | 2cfa | insensitive")
+		ptaSolver      = flag.String("pta-solver", "delta", "points-to fixpoint solver: delta | exhaustive (identical results; delta is faster)")
+		compare        = flag.Bool("compare", false, "also report racy pairs without action sensitivity")
+		noRefute       = flag.Bool("no-refute", false, "skip symbolic refutation")
+		refuteMaxPaths = flag.Int("refute-max-paths", 5000, "refutation path budget per query (the paper's 5,000)")
+		refuteMaxDepth = flag.Int("refute-max-depth", 6, "refutation call-inlining depth bound (the paper's 6)")
+		refuteJobs     = flag.Int("refute-jobs", 1, "per-pair refutation workers within one app (1 = sequential shared-memo refuter)")
+		list           = flag.Bool("list", false, "list named dataset apps and exit")
+		verbose        = flag.Bool("v", false, "print every report plus the observability breakdown")
+		verifyN        = flag.Int("verify", 0, "dynamically confirm the top N reports via schedule search (§6.4)")
+		stats          = flag.String("stats", "", "write the observability snapshot (spans + counters) as JSON to this file")
+		pprofCPU       = flag.String("pprof-cpu", "", "write a CPU profile of the analysis to this file")
+		pprofMem       = flag.String("pprof-mem", "", "write a heap profile after the analysis to this file")
 	)
 	flag.Parse()
 
@@ -110,7 +111,8 @@ func main() {
 			solver:     solver,
 			compare:    *compare,
 			noRefute:   *noRefute,
-			maxPaths:   *maxPaths,
+			maxPaths:   *refuteMaxPaths,
+			maxDepth:   *refuteMaxDepth,
 			refuteJobs: *refuteJobs,
 			stats:      *stats,
 		})
@@ -148,7 +150,7 @@ func main() {
 		Policy:          pol,
 		CompareContexts: *compare,
 		SkipRefutation:  *noRefute,
-		Refuter:         symexec.Config{MaxPaths: *maxPaths, Jobs: *refuteJobs},
+		Refuter:         symexec.Config{MaxPaths: *refuteMaxPaths, MaxDepth: *refuteMaxDepth, Jobs: *refuteJobs},
 		PTASolver:       solver,
 		Obs:             tr,
 	})
@@ -209,6 +211,11 @@ func main() {
 		}
 		fmt.Println("\nobservability breakdown:")
 		fmt.Print(obs.Format(tr.Snapshot()))
+		if capped := tr.Counter("refute.entry_stores_capped"); capped > 0 {
+			fmt.Printf("\nnote: %d A-walk constraint stores were dropped at the %d-store cap;\n"+
+				"affected pairs are over-approximated (reported rather than refuted).\n",
+				capped, symexec.EntryStoreCap)
+		}
 	}
 
 	if *verifyN > 0 {

@@ -3,6 +3,7 @@ package actions
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sierra/internal/apk"
 	"sierra/internal/frontend"
@@ -37,6 +38,13 @@ type Registry struct {
 	looperIDs  map[pointer.Obj]Looper
 	nextLooper Looper
 	nextSynth  int
+	// instMu guards instMemo, the per-Result ActionInstances cache.
+	// The attribution is a pure function of (registry, result) and the
+	// pipeline asks for it at least twice per app (access collection and
+	// refuter construction), so recomputing the reachability closures
+	// each time was a measurable share of refuter setup.
+	instMu   sync.Mutex
+	instMemo map[*pointer.Result]map[int][]pointer.MKey
 }
 
 // NewRegistry creates the registry and the upfront actions: one harness
@@ -509,7 +517,15 @@ func (r *Registry) scopeOf(id int) int {
 // id); under insensitive policies method instances shared between
 // actions attribute to all of them — exactly the imprecision action
 // sensitivity removes.
+//
+// The result is memoized per Result and shared: callers must treat the
+// returned map and its slices as read-only.
 func (r *Registry) ActionInstances(res *pointer.Result) map[int][]pointer.MKey {
+	r.instMu.Lock()
+	defer r.instMu.Unlock()
+	if out, ok := r.instMemo[res]; ok {
+		return out
+	}
 	out := make(map[int][]pointer.MKey, len(r.actions))
 	for _, a := range r.actions {
 		roots := append([]pointer.MKey(nil), r.entryKeys[a.ID]...)
@@ -525,10 +541,35 @@ func (r *Registry) ActionInstances(res *pointer.Result) map[int][]pointer.MKey {
 		for mk := range reach {
 			keys = append(keys, mk)
 		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+		// Decorate-sort: render each key once instead of O(n log n)
+		// times inside the comparator (this runs per action and was the
+		// refuter-construction hot spot).
+		names := make([]string, len(keys))
+		for i, mk := range keys {
+			names[i] = mk.String()
+		}
+		sort.Sort(&keysByName{keys: keys, names: names})
 		out[a.ID] = keys
 	}
+	if r.instMemo == nil {
+		r.instMemo = map[*pointer.Result]map[int][]pointer.MKey{}
+	}
+	r.instMemo[res] = out
 	return out
+}
+
+// keysByName sorts MKeys by their pre-rendered String forms, keeping
+// the two slices aligned.
+type keysByName struct {
+	keys  []pointer.MKey
+	names []string
+}
+
+func (s *keysByName) Len() int           { return len(s.keys) }
+func (s *keysByName) Less(i, j int) bool { return s.names[i] < s.names[j] }
+func (s *keysByName) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.names[i], s.names[j] = s.names[j], s.names[i]
 }
 
 // messageWhats extracts constant message codes at a send site: the

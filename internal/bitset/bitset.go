@@ -111,6 +111,26 @@ func (s Set) Intersects(other Set) bool {
 	return false
 }
 
+// Single returns the sole set bit when the set has exactly one element
+// (the strong-update test the refuter's Load/Store transfers make per
+// visit — this avoids materializing a slice just to read one id).
+func (s Set) Single() (int, bool) {
+	idx := -1
+	for w, word := range s {
+		if word == 0 {
+			continue
+		}
+		if idx >= 0 || word&(word-1) != 0 {
+			return -1, false
+		}
+		idx = w<<6 + bits.TrailingZeros64(word)
+	}
+	if idx < 0 {
+		return -1, false
+	}
+	return idx, true
+}
+
 // Count returns the number of set bits.
 func (s Set) Count() int {
 	n := 0

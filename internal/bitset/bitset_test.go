@@ -237,3 +237,62 @@ func TestOrTrimsTrailingZeroWords(t *testing.T) {
 		t.Fatalf("receiver grew to %d words for all-zero source tail", small.Words())
 	}
 }
+
+// TestSingleAgainstReference Single must return (id, true) exactly when
+// the set has one element, for any population — including elements past
+// the first word and sets with trailing zero words.
+func TestSingleAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Set
+		r := ref{}
+		for n := rng.Intn(4); n > 0; n-- {
+			i := rng.Intn(300)
+			s.Add(i)
+			r[i] = true
+		}
+		// Occasionally force trailing zero words.
+		if rng.Intn(2) == 0 {
+			i := rng.Intn(300)
+			s.Add(i)
+			s.Clear(i)
+			delete(r, i)
+		}
+		id, ok := s.Single()
+		if len(r) == 1 {
+			return ok && id == r.slice()[0]
+		}
+		return !ok && id == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleEdgeCases pins the boundary shapes: empty set, bit 0, bit
+// 63/64 (word boundary), two bits in one word, two bits across words.
+func TestSingleEdgeCases(t *testing.T) {
+	var empty Set
+	if _, ok := empty.Single(); ok {
+		t.Error("empty set reported a single element")
+	}
+	for _, bit := range []int{0, 63, 64, 200} {
+		var s Set
+		s.Add(bit)
+		if id, ok := s.Single(); !ok || id != bit {
+			t.Errorf("Single() = (%d, %v) for {%d}", id, ok, bit)
+		}
+	}
+	var sameWord Set
+	sameWord.Add(3)
+	sameWord.Add(7)
+	if _, ok := sameWord.Single(); ok {
+		t.Error("{3,7} reported a single element")
+	}
+	var crossWord Set
+	crossWord.Add(3)
+	crossWord.Add(100)
+	if _, ok := crossWord.Single(); ok {
+		t.Error("{3,100} reported a single element")
+	}
+}

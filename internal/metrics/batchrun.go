@@ -37,12 +37,24 @@ type BatchOptions struct {
 // k=2 with the hybrid comparison rerun), so the corpus digest plus
 // these parts fully determine the result.
 func fingerprint(opts Options) []string {
+	// Refuter knobs are keyed by their effective values (0 means the
+	// paper defaults), so explicit -refute-max-paths=5000 and the
+	// default share one cache entry.
+	maxPaths, maxDepth := opts.RefuteMaxPaths, opts.RefuteMaxDepth
+	if maxPaths == 0 {
+		maxPaths = 5000
+	}
+	if maxDepth == 0 {
+		maxDepth = 6
+	}
 	return []string{
 		"row",
 		fmt.Sprintf("dynamic=%t", opts.WithDynamic),
 		fmt.Sprintf("schedules=%d", opts.Schedules),
 		fmt.Sprintf("events=%d", opts.EventsPerSchedule),
 		"solver=" + string(opts.Solver),
+		fmt.Sprintf("refutepaths=%d", maxPaths),
+		fmt.Sprintf("refutedepth=%d", maxDepth),
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"sierra/internal/eventracer"
 	"sierra/internal/obs"
 	"sierra/internal/pointer"
+	"sierra/internal/symexec"
 )
 
 // Row is one measured app: Table 3's columns plus Table 4's timings and
@@ -56,6 +57,10 @@ type Options struct {
 	// pointer.SolverDelta). Both solvers produce identical tables; the
 	// exhaustive one is the slow reference kept for parity checking.
 	Solver pointer.Solver
+	// RefuteMaxPaths / RefuteMaxDepth bound the refuter's backward
+	// exploration (0 = the paper's defaults, 5000 paths and depth 6).
+	RefuteMaxPaths int
+	RefuteMaxDepth int
 	// Obs, when non-nil, absorbs each measured app's effort counters
 	// (the per-app trace snapshot) — the batch runners point this at a
 	// shared trace so `-stats`-style aggregates survive fan-out. Safe
@@ -77,7 +82,12 @@ func EvaluateApp(name string, factory func() (*apk.App, *corpus.GroundTruth), op
 func EvaluateAppContext(ctx context.Context, name string, factory func() (*apk.App, *corpus.GroundTruth), opts Options) Row {
 	app, gt := factory()
 	tr := obs.New(name)
-	res := core.AnalyzeContext(ctx, app, core.Options{CompareContexts: true, PTASolver: opts.Solver, Obs: tr})
+	res := core.AnalyzeContext(ctx, app, core.Options{
+		CompareContexts: true,
+		PTASolver:       opts.Solver,
+		Refuter:         symexec.Config{MaxPaths: opts.RefuteMaxPaths, MaxDepth: opts.RefuteMaxDepth},
+		Obs:             tr,
+	})
 
 	row := Row{
 		Name:       name,

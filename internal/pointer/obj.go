@@ -253,6 +253,19 @@ func (s ObjSet) Words() int {
 	return s.d.bits.Words()
 }
 
+// Single returns the set's sole object when it has exactly one —
+// the singleton strong-update test, without the Slice allocation.
+func (s ObjSet) Single() (Obj, bool) {
+	if s.d == nil {
+		return Obj{}, false
+	}
+	id, ok := s.d.bits.Single()
+	if !ok {
+		return Obj{}, false
+	}
+	return s.d.in.snapshot()[id], true
+}
+
 // Slice returns the objects in deterministic order (the same
 // site/view/ctx/class order the map representation produced, so
 // downstream event firing and action numbering are unchanged).

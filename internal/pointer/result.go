@@ -2,6 +2,7 @@ package pointer
 
 import (
 	"sort"
+	"sync"
 
 	"sierra/internal/ir"
 )
@@ -23,6 +24,12 @@ type Result struct {
 	callees   map[siteKey][]MKey
 	entryKeys []MKey
 	passes    int
+
+	// cmOnce/cmByPos back CalleeMethods: the context-insensitive
+	// pos → sorted-methods view is a pure function of the (immutable)
+	// callee map, computed once per Result and shared read-only.
+	cmOnce  sync.Once
+	cmByPos map[ir.Pos][]*ir.Method
 }
 
 // NewObjSet returns an empty mutable set in this result's dense-id
@@ -130,29 +137,35 @@ func (r *Result) ReachableFrom(roots ...MKey) map[MKey]bool {
 // Passes reports how many global fixpoint passes the analysis took.
 func (r *Result) Passes() int { return r.passes }
 
-// CalleeMethods flattens CalleesAt to methods — the shape the ICFG needs.
+// CalleeMethods flattens CalleesAt to methods — the shape the ICFG
+// needs. The pos → sorted-methods view is computed once per Result
+// (every refuter built over the same analysis shares it read-only).
 func (r *Result) CalleeMethods() func(ir.Pos) []*ir.Method {
-	// Precompute: pos -> methods (context-insensitively joined).
-	byPos := make(map[ir.Pos]map[*ir.Method]bool)
-	for sk, callees := range r.callees {
-		set := byPos[sk.Pos]
-		if set == nil {
-			set = make(map[*ir.Method]bool)
-			byPos[sk.Pos] = set
+	r.cmOnce.Do(func() {
+		// Precompute: pos -> methods (context-insensitively joined).
+		byPos := make(map[ir.Pos]map[*ir.Method]bool)
+		for sk, callees := range r.callees {
+			set := byPos[sk.Pos]
+			if set == nil {
+				set = make(map[*ir.Method]bool)
+				byPos[sk.Pos] = set
+			}
+			for _, c := range callees {
+				set[c.M] = true
+			}
 		}
-		for _, c := range callees {
-			set[c.M] = true
+		r.cmByPos = make(map[ir.Pos][]*ir.Method, len(byPos))
+		for p, set := range byPos {
+			out := make([]*ir.Method, 0, len(set))
+			for m := range set {
+				out = append(out, m)
+			}
+			sort.Slice(out, func(i, j int) bool {
+				return out[i].QualifiedName() < out[j].QualifiedName()
+			})
+			r.cmByPos[p] = out
 		}
-	}
-	return func(p ir.Pos) []*ir.Method {
-		set := byPos[p]
-		out := make([]*ir.Method, 0, len(set))
-		for m := range set {
-			out = append(out, m)
-		}
-		sort.Slice(out, func(i, j int) bool {
-			return out[i].QualifiedName() < out[j].QualifiedName()
-		})
-		return out
-	}
+	})
+	byPos := r.cmByPos
+	return func(p ir.Pos) []*ir.Method { return byPos[p] }
 }

@@ -60,6 +60,13 @@ type inode struct {
 	synthDst, synthSrc string
 	isSynth            bool
 	isEntry            bool
+	// stmt caches pos.Stmt() for real statements so the walker's inner
+	// loop skips the block/index lookup.
+	stmt ir.Stmt
+	// qdst/qsrc/qcond are the statement's frame-qualified variable
+	// names, resolved once at build time — the reverse transfer
+	// functions would otherwise concatenate them on every path visit.
+	qdst, qsrc, qcond string
 }
 
 // pred is a backward edge with its branch label.
@@ -105,7 +112,46 @@ func buildIGraph(root *ir.Method, callees func(ir.Pos) []*ir.Method, lim igraphL
 	entry, exits := b.inline(root, 0, map[*ir.Method]bool{root: true})
 	b.g.entry = entry
 	b.g.exits = exits
+	b.g.precompute()
 	return b.g
+}
+
+// precompute resolves every node's statement and frame-qualified names
+// once, keeping the walker's per-visit work free of lookups and string
+// building.
+func (g *igraph) precompute() {
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		if n.isSynth || n.isEntry || n.pos.Method == nil {
+			continue
+		}
+		n.stmt = n.pos.Stmt()
+		f := n.frame
+		switch s := n.stmt.(type) {
+		case *ir.Const:
+			n.qdst = f.qvar(s.Dst)
+		case *ir.Move:
+			n.qdst, n.qsrc = f.qvar(s.Dst), f.qvar(s.Src)
+		case *ir.New:
+			n.qdst = f.qvar(s.Dst)
+		case *ir.Load:
+			n.qdst = f.qvar(s.Dst)
+		case *ir.Store:
+			n.qsrc = f.qvar(s.Src)
+		case *ir.StaticLoad:
+			n.qdst = f.qvar(s.Dst)
+		case *ir.StaticStore:
+			n.qsrc = f.qvar(s.Src)
+		case *ir.Invoke:
+			if s.Dst != "" {
+				n.qdst = f.qvar(s.Dst)
+			}
+		case *ir.BinOp:
+			n.qdst = f.qvar(s.Dst)
+		case *ir.If:
+			n.qcond = f.qvar(s.A)
+		}
+	}
 }
 
 type igBuilder struct {

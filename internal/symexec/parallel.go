@@ -70,6 +70,7 @@ func CheckAll(reg *actions.Registry, res *pointer.Result, cfg Config, pairs []ra
 	type result struct {
 		v        Verdict
 		pruned   int64
+		capped   int64
 		panicked bool
 		done     bool
 	}
@@ -93,8 +94,8 @@ func CheckAll(reg *actions.Registry, res *pointer.Result, cfg Config, pairs []ra
 							}
 						}
 					}()
-					v, pruned := base.fork().check(pairs[i])
-					return result{v: v, pruned: pruned, done: true}
+					v, pruned, capped := base.fork().check(pairs[i])
+					return result{v: v, pruned: pruned, capped: capped, done: true}
 				}()
 			}
 		}()
@@ -115,7 +116,7 @@ func CheckAll(reg *actions.Registry, res *pointer.Result, cfg Config, pairs []ra
 	// done prefix is contiguous. Emit it in pair order.
 	verdicts := make([]Verdict, 0, fed)
 	for i := 0; i < len(results) && results[i].done; i++ {
-		recordVerdict(tr, pairs[i], results[i].v, results[i].pruned)
+		recordVerdict(tr, pairs[i], results[i].v, results[i].pruned, results[i].capped)
 		if results[i].panicked && tr != nil {
 			tr.Count("refute.pair_panics", 1)
 		}
@@ -129,8 +130,10 @@ func CheckAll(reg *actions.Registry, res *pointer.Result, cfg Config, pairs []ra
 
 // fork returns a refuter sharing the receiver's read-only prebuilt
 // state (callee map, action instances, inlined graphs) with private
-// memo tables and pruned tally — the isolation that makes a pair's
-// verdict independent of which other pairs ran first.
+// memo tables, walker scratch, and pruned/capped tallies — the
+// isolation that makes a pair's verdict independent of which other
+// pairs ran first. Every keyed memo (entry, witness, points-to, seed)
+// starts fresh so no fork observes another pair's cached state.
 func (r *Refuter) fork() *Refuter {
 	return &Refuter{
 		Reg:         r.Reg,
@@ -139,7 +142,10 @@ func (r *Refuter) fork() *Refuter {
 		callees:     r.callees,
 		insts:       r.insts,
 		graphs:      r.graphs,
-		entryMemo:   map[string]*entryResult{},
-		witnessMemo: map[string]bool{},
+		entryMemo:   map[entryKey]*entryResult{},
+		witnessMemo: map[witnessKey][]witnessEntry{},
+		ptsMemo:     map[ptsKey]pointer.ObjSet{},
+		seedMemo:    map[int][]*store{},
+		cancelled:   r.cancelled,
 	}
 }

@@ -2,7 +2,6 @@ package symexec
 
 import (
 	"context"
-	"fmt"
 
 	"sierra/internal/actions"
 	"sierra/internal/ir"
@@ -30,7 +29,7 @@ type Config struct {
 	// MaxPaths bounds backward path exploration per query (the paper
 	// uses 5,000).
 	MaxPaths int
-	// MaxDepth bounds call inlining depth.
+	// MaxDepth bounds call inlining depth (the paper uses 6).
 	MaxDepth int
 	// DisableCache turns off cross-query memoization (for the ablation
 	// benchmark).
@@ -41,7 +40,7 @@ type Config struct {
 	// Above 1, each pair is refuted independently on a bounded worker
 	// pool with private memo tables over shared read-only graphs, so
 	// every verdict is a pure function of its pair: deterministic for
-	// any job count, but budget accounting can differ from the
+	// any worker count, but budget accounting can differ from the
 	// memo-amplified sequential path.
 	Jobs int
 	// Obs, when non-nil, receives the refutation effort counters and the
@@ -52,6 +51,49 @@ type Config struct {
 	// done the walk bails as if its path budget ran out, so interrupted
 	// pairs keep the paper's over-approximate "report anyway" verdict.
 	Ctx context.Context
+
+	// cloneWalker switches the walker to the clone-per-predecessor
+	// reference implementation retained for the parity property test.
+	// Unexported on purpose: only in-package tests drive it; shipped
+	// callers always get the allocation-free trail walker.
+	cloneWalker bool
+}
+
+// EntryStoreCap bounds the distinct constraint stores one A-walk may
+// collect; stores beyond it are dropped (a sound over-approximation
+// surfaced by the refute.entry_stores_capped counter). Exported so
+// front ends can explain the counter in user-facing notes.
+const EntryStoreCap = 64
+
+// entryKey memoizes A-walks per (action, access, seed index).
+type entryKey struct {
+	action  int
+	pos     ir.Pos
+	seedIdx int
+}
+
+// witnessKey buckets E-walk memo entries by (action, access, store
+// hash); entries within a bucket are disambiguated by storesEqual.
+type witnessKey struct {
+	action int
+	pos    ir.Pos
+	h      uint64
+}
+
+// witnessEntry is one memoized E-walk result, keeping the initial store
+// so hash collisions verify instead of aliasing.
+type witnessEntry struct {
+	st *store
+	ok bool
+}
+
+// ptsKey memoizes per-action points-to resolution. Resolution depends
+// only on the frame's method (the union spans the action's instances of
+// it), never on the inline frame id.
+type ptsKey struct {
+	action int
+	m      *ir.Method
+	v      string
 }
 
 // Refuter performs backward symbolic execution over actions.
@@ -65,11 +107,36 @@ type Refuter struct {
 	graphs  map[int][]*igraph
 	// entryMemo caches A-walk results: the constraint stores required at
 	// the later action's entry to reach the access.
-	entryMemo map[string]*entryResult
-	// witnessMemo caches E-walk results per (action, access, store).
-	witnessMemo map[string]bool
+	entryMemo map[entryKey]*entryResult
+	// witnessMemo caches E-walk results per (action, access, store),
+	// hash-bucketed with structural verification on lookup.
+	witnessMemo map[witnessKey][]witnessEntry
+	// ptsMemo caches resolved points-to unions per (action, method, var)
+	// so the E-walk stops re-unioning ObjSets on every Load/Store
+	// transfer.
+	ptsMemo map[ptsKey]pointer.ObjSet
+	// seedMemo caches whatSeeds per action (the seeds are read-only).
+	seedMemo map[int][]*store
 	// pruned accumulates dead (contradiction/bound) paths across walks.
 	pruned int64
+	// entryCapped counts stores dropped by entryStoreCap across walks.
+	entryCapped int64
+	// walkVisits, walkTrail, walkStore, and walkScratch are the trail
+	// walker's reusable scratch: visit counts return to zero after every
+	// balanced walk, the trail's backing array survives across queries,
+	// beginWalk resets walkStore instead of cloning, and the walker
+	// struct itself is recycled (the refuter runs one walk at a time) —
+	// so steady-state walks allocate nothing.
+	walkVisits  []uint8
+	walkTrail   trail
+	walkStore   store
+	walkScratch walker
+	// feasInit is feasible's reusable seed-merge scratch (the E-walk's
+	// initial store); the witness memo clones what it retains.
+	feasInit store
+	// cancelled is the walk cancellation probe (nil when Cfg.Ctx is),
+	// built once so walker construction does not allocate a closure.
+	cancelled func() bool
 }
 
 type entryResult struct {
@@ -86,34 +153,40 @@ func NewRefuter(reg *actions.Registry, res *pointer.Result, cfg Config) *Refuter
 	if cfg.MaxDepth == 0 {
 		cfg.MaxDepth = 6
 	}
-	return &Refuter{
+	r := &Refuter{
 		Reg:         reg,
 		Res:         res,
 		Cfg:         cfg,
 		callees:     res.CalleeMethods(),
 		insts:       reg.ActionInstances(res),
 		graphs:      map[int][]*igraph{},
-		entryMemo:   map[string]*entryResult{},
-		witnessMemo: map[string]bool{},
+		entryMemo:   map[entryKey]*entryResult{},
+		witnessMemo: map[witnessKey][]witnessEntry{},
+		ptsMemo:     map[ptsKey]pointer.ObjSet{},
+		seedMemo:    map[int][]*store{},
 	}
+	r.cancelled = r.cancelPoll()
+	return r
 }
 
 // Check decides whether the candidate pair survives refutation: a pair
 // is a true positive iff a feasible path witnesses it in both orderings
 // of the two actions (§5).
 func (r *Refuter) Check(p race.Pair) Verdict {
-	v, pruned := r.check(p)
-	recordVerdict(r.Cfg.Obs, p, v, pruned)
+	v, pruned, capped := r.check(p)
+	recordVerdict(r.Cfg.Obs, p, v, pruned, capped)
 	return v
 }
 
 // check is Check without observability: it returns the verdict plus
-// the pruned-path delta so callers that defer obs recording (the
-// parallel pool's in-order emitter) can replay it later.
-func (r *Refuter) check(p race.Pair) (Verdict, int64) {
+// the pruned-path and capped-store deltas so callers that defer obs
+// recording (the parallel pool's in-order emitter) can replay them
+// later.
+func (r *Refuter) check(p race.Pair) (Verdict, int64, int64) {
 	v := Verdict{}
 	budget := r.Cfg.MaxPaths
 	prunedBefore := r.pruned
+	cappedBefore := r.entryCapped
 
 	abFeasible, used1, b1 := r.feasible(p.A, p.B, budget)
 	v.Paths += used1
@@ -132,14 +205,14 @@ func (r *Refuter) check(p race.Pair) (Verdict, int64) {
 		v.RefutedOrders = append(v.RefutedOrders, "B<A")
 	}
 	v.TruePositive = abFeasible && baFeasible
-	return v, r.pruned - prunedBefore
+	return v, r.pruned - prunedBefore, r.entryCapped - cappedBefore
 }
 
 // recordVerdict emits one pair's refutation counters and its
 // refute.pair_paths sample (nil Trace = no-op). Sequential Check calls
 // it inline; CheckAll's parallel path calls it from the in-order
 // emitter so counter and series order match the sequential run.
-func recordVerdict(tr *obs.Trace, p race.Pair, v Verdict, pruned int64) {
+func recordVerdict(tr *obs.Trace, p race.Pair, v Verdict, pruned, capped int64) {
 	if tr == nil {
 		return
 	}
@@ -155,6 +228,9 @@ func recordVerdict(tr *obs.Trace, p race.Pair, v Verdict, pruned int64) {
 	tr.Count("refute.pairs", 1)
 	tr.Count("refute.paths", int64(v.Paths))
 	tr.Count("refute.paths_pruned", pruned)
+	if capped > 0 {
+		tr.Count("refute.entry_stores_capped", capped)
+	}
 	if v.BudgetExhausted {
 		tr.Count("refute.budget_exhausted", 1)
 	}
@@ -186,22 +262,25 @@ func (r *Refuter) feasible(first, second race.Access, budget int) (bool, int, bo
 	used := 0
 	// Disjunction over the second action's possible message codes.
 	for wi, wseed := range r.whatSeeds(second.Action) {
-		er := r.entryConstraints(second, wi, wseed, budget-used)
-		used += er.explored
-		if er.budget {
+		stores, bhit, explored := r.entryConstraints(second, wi, wseed, budget-used)
+		used += explored
+		if bhit {
 			return true, used, true
 		}
-		if len(er.stores) == 0 {
+		if len(stores) == 0 {
 			continue // this code makes the access unreachable
 		}
 		remaining := budget - used
 		if remaining <= 0 {
 			return true, used, true
 		}
-		for _, st := range er.stores {
+		for _, st := range stores {
 			// Disjunction over the first action's codes too.
 			for _, fseed := range r.whatSeeds(first.Action) {
-				init := st.clone()
+				// Reusable scratch: the witness memo clones the store
+				// if it decides to retain it.
+				init := &r.feasInit
+				init.resetTo(st)
 				if !mergeStores(init, fseed) {
 					continue
 				}
@@ -223,11 +302,21 @@ func (r *Refuter) feasible(first, second race.Access, budget int) (bool, int, bo
 	return false, used, false
 }
 
-// whatSeeds returns the initial constraint stores for an action: one per
-// constant message code observed at its send sites (constraining the
-// message objects' what field), or a single empty store when the action
-// is not a constant-coded message.
+// whatSeeds returns (and memoizes — the stores are read-only) the
+// initial constraint stores for an action: one per constant message
+// code observed at its send sites (constraining the message objects'
+// what field), or a single empty store when the action is not a
+// constant-coded message.
 func (r *Refuter) whatSeeds(aid int) []*store {
+	if seeds, ok := r.seedMemo[aid]; ok {
+		return seeds
+	}
+	seeds := r.computeWhatSeeds(aid)
+	r.seedMemo[aid] = seeds
+	return seeds
+}
+
+func (r *Refuter) computeWhatSeeds(aid int) []*store {
 	a := r.Reg.Get(aid)
 	if a.Kind != actions.KindMessage || len(a.MsgWhats) == 0 {
 		return []*store{newStore()}
@@ -240,7 +329,7 @@ func (r *Refuter) whatSeeds(aid int) []*store {
 			if len(root.Params) == 0 {
 				continue
 			}
-			msgObjs := r.ptsResolver(aid)(&frame{id: 0, m: root}, root.Params[0])
+			msgObjs := r.resolvePts(aid, &frame{id: 0, m: root}, root.Params[0])
 			for _, o := range msgObjs.Slice() {
 				if !mergeLoc(st, locKey{obj: o, field: "what"}, mustEq(intVal(w))) {
 					consistent = false
@@ -276,33 +365,66 @@ func mergeStores(dst, src *store) bool {
 	return true
 }
 
+// newWalker recycles the refuter's walker scratch for a walk over g,
+// wiring in the reusable dense-visit array, trail, and walk store (the
+// refuter runs one walk at a time, so sharing is safe; forks carry
+// their own scratch).
+func (r *Refuter) newWalker(g *igraph, aid, budget int) *walker {
+	w := &r.walkScratch
+	*w = walker{
+		g:         g,
+		ref:       r,
+		aid:       aid,
+		budget:    budget,
+		cloneRef:  r.Cfg.cloneWalker,
+		cancelled: r.cancelled,
+	}
+	if !w.cloneRef {
+		if len(r.walkVisits) < len(g.nodes) {
+			r.walkVisits = make([]uint8, len(g.nodes))
+		}
+		w.visits = r.walkVisits
+		w.tr = &r.walkTrail
+		w.scratch = &r.walkStore
+	}
+	return w
+}
+
 // entryConstraints runs (and memoizes) the A-walk: backward from the
 // access to its action's entry under an initial seed store, yielding the
-// distinct constraint stores under which the access is reachable.
-func (r *Refuter) entryConstraints(acc race.Access, seedIdx int, seed *store, budget int) *entryResult {
-	key := fmt.Sprintf("%d@%v#%d", acc.Action, acc.Pos, seedIdx)
+// distinct constraint stores under which the access is reachable, plus
+// whether the budget ran out and how many paths the call itself
+// explored (0 on a memo hit — cached stores cost nothing to reuse).
+func (r *Refuter) entryConstraints(acc race.Access, seedIdx int, seed *store, budget int) (stores []*store, budgetHit bool, explored int) {
+	key := entryKey{action: acc.Action, pos: acc.Pos, seedIdx: seedIdx}
 	if !r.Cfg.DisableCache {
 		if have, ok := r.entryMemo[key]; ok {
-			return &entryResult{stores: have.stores, budget: have.budget}
+			return have.stores, have.budget, 0
 		}
 	}
 	res := &entryResult{}
-	seen := map[string]bool{}
-	for _, g := range r.actionGraphs(acc.Action) {
-		w := &walker{
-			g:         g,
-			pts:       r.ptsResolver(acc.Action),
-			budget:    budget - res.explored,
-			cancelled: r.cancelPoll(),
+	seen := map[uint64][]*store{}
+	// One sink for every walk of the query: dedup against all stores
+	// seen so far (hash-then-verify), clone only what is kept.
+	sink := func(st *store) {
+		h := st.hash()
+		for _, prev := range seen[h] {
+			if storesEqual(prev, st) {
+				return
+			}
 		}
+		if len(res.stores) >= EntryStoreCap {
+			r.entryCapped++
+			return
+		}
+		cp := st.clone()
+		seen[h] = append(seen[h], cp)
+		res.stores = append(res.stores, cp)
+	}
+	for _, g := range r.actionGraphs(acc.Action) {
+		w := r.newWalker(g, acc.Action, budget-res.explored)
 		for _, start := range g.byPos[acc.Pos] {
-			w.collectEntryFrom(start, seed, func(st *store) {
-				k := st.key()
-				if !seen[k] && len(res.stores) < 64 {
-					seen[k] = true
-					res.stores = append(res.stores, st.clone())
-				}
-			})
+			w.collectEntryFrom(start, seed, sink)
 		}
 		res.explored += w.paths
 		r.pruned += int64(w.pruned)
@@ -314,27 +436,26 @@ func (r *Refuter) entryConstraints(acc race.Access, seedIdx int, seed *store, bu
 	if !r.Cfg.DisableCache {
 		r.entryMemo[key] = res
 	}
-	return res
+	return res.stores, res.budget, res.explored
 }
 
 // witness runs the E-walk: backward through the first action from its
 // exits to its entry, requiring the path to execute the access, under
 // the given initial constraints.
 func (r *Refuter) witness(acc race.Access, init *store, budget int) (ok bool, used int, budgetHit bool) {
-	key := fmt.Sprintf("%d@%v|%s", acc.Action, acc.Pos, init.key())
-	if !r.Cfg.DisableCache {
-		if have, cached := r.witnessMemo[key]; cached {
-			return have, 0, false
+	useCache := !r.Cfg.DisableCache
+	var wkey witnessKey
+	if useCache {
+		wkey = witnessKey{action: acc.Action, pos: acc.Pos, h: init.hash()}
+		for _, e := range r.witnessMemo[wkey] {
+			if storesEqual(e.st, init) {
+				return e.ok, 0, false
+			}
 		}
 	}
 	for _, g := range r.actionGraphs(acc.Action) {
-		w := &walker{
-			g:         g,
-			pts:       r.ptsResolver(acc.Action),
-			budget:    budget - used,
-			target:    acc.Pos,
-			cancelled: r.cancelPoll(),
-		}
+		w := r.newWalker(g, acc.Action, budget-used)
+		w.target = acc.Pos
 		hit := w.findWitness(init)
 		used += w.paths
 		r.pruned += int64(w.pruned)
@@ -342,8 +463,9 @@ func (r *Refuter) witness(acc race.Access, init *store, budget int) (ok bool, us
 			return true, used, true
 		}
 		if hit {
-			if !r.Cfg.DisableCache {
-				r.witnessMemo[key] = true
+			if useCache {
+				// Clone: init is the caller's reusable scratch.
+				r.witnessMemo[wkey] = append(r.witnessMemo[wkey], witnessEntry{st: init.clone(), ok: true})
 			}
 			return true, used, false
 		}
@@ -351,8 +473,8 @@ func (r *Refuter) witness(acc race.Access, init *store, budget int) (ok bool, us
 			return true, used, true
 		}
 	}
-	if !r.Cfg.DisableCache {
-		r.witnessMemo[key] = false
+	if useCache {
+		r.witnessMemo[wkey] = append(r.witnessMemo[wkey], witnessEntry{st: init.clone(), ok: false})
 	}
 	return false, used, false
 }
@@ -383,17 +505,22 @@ func (r *Refuter) actionGraphs(aid int) []*igraph {
 	return gs
 }
 
-// ptsResolver resolves a frame variable's points-to set within an
-// action: the union over the action's instances of that method.
-func (r *Refuter) ptsResolver(aid int) func(f *frame, v string) pointer.ObjSet {
-	keys := r.insts[aid]
-	return func(f *frame, v string) pointer.ObjSet {
-		out := r.Res.NewObjSet()
-		for _, mk := range keys {
-			if mk.M == f.m {
-				out.AddAll(r.Res.PointsTo(mk.M, mk.Ctx, v))
-			}
-		}
-		return out
+// resolvePts resolves a frame variable's points-to set within an
+// action — the union over the action's instances of that method —
+// memoized per (action, method, var) so repeated Load/Store transfers
+// on the walk spine hit a map instead of re-unioning ObjSets. The
+// returned sets are shared and must be treated as read-only.
+func (r *Refuter) resolvePts(aid int, f *frame, v string) pointer.ObjSet {
+	k := ptsKey{action: aid, m: f.m, v: v}
+	if s, ok := r.ptsMemo[k]; ok {
+		return s
 	}
+	out := r.Res.NewObjSet()
+	for _, mk := range r.insts[aid] {
+		if mk.M == f.m {
+			out.AddAll(r.Res.PointsTo(mk.M, mk.Ctx, v))
+		}
+	}
+	r.ptsMemo[k] = out
+	return out
 }

@@ -175,10 +175,17 @@ func (l locKey) String() string {
 }
 
 // store is a path-constraint store over variables (frame-qualified) and
-// heap locations. Stores are copied on branch.
+// heap locations. The trail-based walker mutates one shared store and
+// rolls its trail back when the DFS retreats; the clone-based reference
+// walker copies the store on branch instead (tr stays nil and every
+// mutation is final).
 type store struct {
 	vars map[string]constraint
 	locs map[locKey]constraint
+	// tr, when non-nil, records the inverse of every mutation so
+	// rollback can restore the store to an earlier mark. Clones never
+	// inherit the trail.
+	tr *trail
 }
 
 func newStore() *store {
@@ -196,7 +203,110 @@ func (s *store) clone() *store {
 	return out
 }
 
-// key renders a canonical fingerprint for memoization.
+// resetTo overwrites s with init's contents, reusing s's map storage —
+// the allocation-free clone the trail walker's scratch store and the
+// feasibility check's seed-merge scratch use. Writes bypass the trail
+// (callers reset the trail alongside).
+func (s *store) resetTo(init *store) {
+	if s.vars == nil {
+		s.vars = map[string]constraint{}
+		s.locs = map[locKey]constraint{}
+	}
+	clear(s.vars)
+	clear(s.locs)
+	for k, v := range init.vars {
+		s.vars[k] = v
+	}
+	for k, v := range init.locs {
+		s.locs[k] = v
+	}
+}
+
+// undo is one inverse op on the trail: restore (or re-delete) a single
+// var or loc entry.
+type undo struct {
+	key   string // var name when !isLoc
+	lkey  locKey // loc key when isLoc
+	old   constraint
+	had   bool
+	isLoc bool
+}
+
+// trail is the mutation log shared by every store the trail walker
+// touches within one query; its backing array is reused across walks.
+type trail struct {
+	ops []undo
+}
+
+// mark returns the current trail position for a later rollback.
+func (t *trail) mark() int { return len(t.ops) }
+
+// setVar writes a var constraint, logging the displaced state.
+func (s *store) setVar(name string, c constraint) {
+	if s.tr != nil {
+		old, had := s.vars[name]
+		s.tr.ops = append(s.tr.ops, undo{key: name, old: old, had: had})
+	}
+	s.vars[name] = c
+}
+
+// delVar removes a var constraint (no-op and no log entry when absent).
+func (s *store) delVar(name string) {
+	old, had := s.vars[name]
+	if !had {
+		return
+	}
+	if s.tr != nil {
+		s.tr.ops = append(s.tr.ops, undo{key: name, old: old, had: true})
+	}
+	delete(s.vars, name)
+}
+
+// setLoc writes a loc constraint, logging the displaced state.
+func (s *store) setLoc(lk locKey, c constraint) {
+	if s.tr != nil {
+		old, had := s.locs[lk]
+		s.tr.ops = append(s.tr.ops, undo{lkey: lk, old: old, had: had, isLoc: true})
+	}
+	s.locs[lk] = c
+}
+
+// delLoc removes a loc constraint (no-op and no log entry when absent).
+func (s *store) delLoc(lk locKey) {
+	old, had := s.locs[lk]
+	if !had {
+		return
+	}
+	if s.tr != nil {
+		s.tr.ops = append(s.tr.ops, undo{lkey: lk, old: old, had: true, isLoc: true})
+	}
+	delete(s.locs, lk)
+}
+
+// rollback undoes every mutation logged after mark, newest first,
+// restoring the store to its state when mark was taken.
+func (s *store) rollback(mark int) {
+	ops := s.tr.ops
+	for i := len(ops) - 1; i >= mark; i-- {
+		u := &ops[i]
+		switch {
+		case u.isLoc && u.had:
+			s.locs[u.lkey] = u.old
+		case u.isLoc:
+			delete(s.locs, u.lkey)
+		case u.had:
+			s.vars[u.key] = u.old
+		default:
+			delete(s.vars, u.key)
+		}
+	}
+	s.tr.ops = ops[:mark]
+}
+
+// key renders a canonical fingerprint. Retained as the readable
+// reference the hash/equality pair below is property-tested against;
+// the memo hot path uses hash() + storesEqual instead of building
+// strings.
 func (s *store) key() string {
 	parts := make([]string, 0, len(s.vars)+len(s.locs))
 	for k, v := range s.vars {
@@ -209,6 +319,118 @@ func (s *store) key() string {
 	return strings.Join(parts, ";")
 }
 
+// FNV-1a, accumulated manually so hashing never allocates.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func fnvStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+func fnvU64(h uint64, v uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ (v >> i & 0xff)) * fnvPrime
+	}
+	return h
+}
+
+func hashValue(h uint64, v value) uint64 {
+	h = fnvByte(h, byte(v.kind))
+	h = fnvU64(h, uint64(v.i))
+	if v.b {
+		return fnvByte(h, 1)
+	}
+	return fnvByte(h, 0)
+}
+
+func hashConstraint(h uint64, c constraint) uint64 {
+	if c.eq != nil {
+		h = hashValue(fnvByte(h, 1), *c.eq)
+	} else {
+		h = fnvByte(h, 0)
+	}
+	for _, n := range c.ne {
+		h = hashValue(h, n)
+	}
+	return h
+}
+
+// hash is the order-independent store fingerprint: per-entry FNV-1a
+// hashes XORed together, so insertion (= map iteration) order cannot
+// matter. Collisions are resolved by the caller with storesEqual —
+// hash-then-verify, never hash-and-trust.
+func (s *store) hash() uint64 {
+	var acc uint64
+	for k, c := range s.vars {
+		acc ^= hashConstraint(fnvStr(fnvByte(fnvOffset, 'v'), k), c)
+	}
+	for lk, c := range s.locs {
+		h := fnvByte(fnvOffset, 'l')
+		h = fnvU64(h, uint64(int64(lk.obj.Site)))
+		h = fnvStr(h, lk.obj.Ctx)
+		h = fnvU64(h, uint64(int64(lk.obj.ViewID)))
+		h = fnvStr(h, lk.obj.Class)
+		h = fnvStr(h, lk.field)
+		if lk.static {
+			h = fnvByte(h, 1)
+		} else {
+			h = fnvByte(h, 0)
+		}
+		h = fnvStr(h, lk.class)
+		acc ^= hashConstraint(h, c)
+	}
+	return acc
+}
+
+// constraintsEqual is structural identity: same eq presence and value,
+// same ne sequence in order — exactly the equivalence the rendered
+// key() strings induced, so the hash-based dedup partitions stores the
+// way the string-based one did.
+func constraintsEqual(a, b constraint) bool {
+	if (a.eq == nil) != (b.eq == nil) {
+		return false
+	}
+	if a.eq != nil && *a.eq != *b.eq {
+		return false
+	}
+	if len(a.ne) != len(b.ne) {
+		return false
+	}
+	for i := range a.ne {
+		if a.ne[i] != b.ne[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// storesEqual reports structural equality of two stores.
+func storesEqual(a, b *store) bool {
+	if len(a.vars) != len(b.vars) || len(a.locs) != len(b.locs) {
+		return false
+	}
+	for k, ca := range a.vars {
+		cb, ok := b.vars[k]
+		if !ok || !constraintsEqual(ca, cb) {
+			return false
+		}
+	}
+	for k, ca := range a.locs {
+		cb, ok := b.locs[k]
+		if !ok || !constraintsEqual(ca, cb) {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *store) empty() bool { return len(s.vars) == 0 && len(s.locs) == 0 }
 
 // constrainVarEq asserts var == v, reporting satisfiability.
@@ -217,7 +439,7 @@ func (s *store) constrainVarEq(name string, v value) bool {
 	if !ok {
 		return false
 	}
-	s.vars[name] = c
+	s.setVar(name, c)
 	return true
 }
 
@@ -227,6 +449,6 @@ func (s *store) constrainVarNe(name string, v value) bool {
 	if !ok {
 		return false
 	}
-	s.vars[name] = c
+	s.setVar(name, c)
 	return true
 }

@@ -2,15 +2,32 @@ package symexec
 
 import (
 	"sierra/internal/ir"
-	"sierra/internal/pointer"
 )
 
 // walker enumerates backward paths over an inlined action graph,
 // applying reverse transfer functions to a constraint store and pruning
 // contradictions.
+//
+// Two interchangeable walk strategies produce bit-for-bit identical
+// verdicts, path counts, and pruned tallies:
+//
+//   - the trail walker (the default) mutates one shared store and rolls
+//     a mutation trail back when the DFS retreats, so the enumeration
+//     spine allocates nothing per predecessor;
+//   - the clone walker (cloneRef, the reference the parity property
+//     test drives) copies the store per predecessor like the original
+//     implementation, with its original map-based visit counting.
+//
+// Both visit predecessors in the same order and apply identical
+// branch/transfer mutations, so the exploration — and therefore every
+// observable count — is the same by construction.
 type walker struct {
-	g   *igraph
-	pts func(f *frame, v string) pointer.ObjSet
+	g *igraph
+	// ref/aid route Load/Store points-to resolution to the refuter's
+	// per-(action, method, var) memo — a method call instead of a
+	// closure allocated per walker.
+	ref *Refuter
+	aid int
 	// budget is the remaining path allowance; each completed or pruned
 	// path consumes one.
 	budget    int
@@ -22,8 +39,22 @@ type walker struct {
 	pruned int
 	// target, when set, is the access the path must execute (E-walk).
 	target ir.Pos
-	// visits tracks per-path node occurrences (loop unrolling bound).
-	visits map[int]int
+	// cloneRef selects the clone-per-predecessor reference walk.
+	cloneRef bool
+	// visits tracks per-path node occurrences (loop unrolling bound),
+	// dense-indexed by igraph node id. Increments and decrements are
+	// balanced on every walk, so the slice returns to all-zero and is
+	// reused across walks without resetting.
+	visits []uint8
+	// visitsRef is the reference walker's original map-based counter.
+	visitsRef map[int]int
+	// tr is the shared mutation trail (trail walk only); its backing
+	// array is reused across walks.
+	tr *trail
+	// scratch is the trail walk's reusable walk store: beginWalk resets
+	// it to the initial constraints instead of cloning them, so a walk
+	// root allocates nothing in steady state.
+	scratch *store
 	// cancelled, when non-nil, is polled every ctxPollStride paths; a
 	// true return bails the walk through the budget-exhaustion path.
 	cancelled func() bool
@@ -39,7 +70,9 @@ const ctxPollStride = 64
 
 // collectEntry runs the A-walk: backward from the access node (its own
 // transfer skipped — the access is the query's sink) to the root entry,
-// reporting each consistent store via sink.
+// reporting each consistent store via sink. Trail walk: the store
+// handed to sink is the shared mutable store — sink must clone what it
+// keeps.
 func (w *walker) collectEntry(accessNode int, sink func(*store)) {
 	w.collectEntryFrom(accessNode, newStore(), sink)
 }
@@ -47,8 +80,8 @@ func (w *walker) collectEntry(accessNode int, sink func(*store)) {
 // collectEntryFrom is collectEntry with an initial constraint store
 // (e.g. the on-demand constant propagation's message-code seed).
 func (w *walker) collectEntryFrom(accessNode int, init *store, sink func(*store)) {
-	w.visits = map[int]int{}
-	w.walkPreds(accessNode, init.clone(), false, func(st *store, _ bool) {
+	st := w.beginWalk(init)
+	w.walkPreds(accessNode, st, false, func(st *store, _ bool) {
 		sink(st)
 	})
 }
@@ -61,16 +94,30 @@ func (w *walker) findWitness(init *store) bool {
 		if found || w.budgetHit {
 			break
 		}
-		w.visits = map[int]int{}
 		// Process the exit node itself (a Return; no-op transfer) then
 		// walk its predecessors.
-		w.walk(exit, init.clone(), false, func(_ *store, saw bool) {
+		w.walk(exit, w.beginWalk(init), false, func(_ *store, saw bool) {
 			if saw {
 				found = true
 			}
 		})
 	}
 	return found
+}
+
+// beginWalk prepares one walk root: a private copy of init (both modes
+// mutate their store) with per-mode bookkeeping reset. The trail walk
+// reuses its scratch store across walks instead of cloning.
+func (w *walker) beginWalk(init *store) *store {
+	if w.cloneRef {
+		w.visitsRef = map[int]int{}
+		return init.clone()
+	}
+	st := w.scratch
+	st.resetTo(init)
+	w.tr.ops = w.tr.ops[:0]
+	st.tr = w.tr
+	return st
 }
 
 // walk processes node's reverse transfer then recurses into its
@@ -90,6 +137,8 @@ func (w *walker) walk(node int, st *store, saw bool, atEntry func(*store, bool))
 	}
 	ok := w.transfer(n, st)
 	if !ok {
+		// Trail walk: partial mutations of the failed transfer are on
+		// the trail; the caller's per-predecessor rollback undoes them.
 		w.prunePath()
 		return
 	}
@@ -112,22 +161,48 @@ func (w *walker) walkPreds(node int, st *store, saw bool, atEntry func(*store, b
 		if w.budgetHit {
 			return
 		}
-		if w.visits[p.node] >= maxVisitsPerNode {
+		if w.visitCount(p.node) >= maxVisitsPerNode {
 			w.prunePath()
 			continue
 		}
-		branchSt := st.clone()
+		if w.cloneRef {
+			branchSt := st.clone()
+			if p.br != branchNone {
+				pn := &w.g.nodes[p.node]
+				iff, okIf := pn.stmt.(*ir.If)
+				if okIf && !w.applyBranch(pn, iff, p.br == branchTrue, branchSt) {
+					w.prunePath()
+					continue
+				}
+			}
+			w.visitsRef[p.node]++
+			w.walk(p.node, branchSt, saw, atEntry)
+			w.visitsRef[p.node]--
+			continue
+		}
+		mark := w.tr.mark()
 		if p.br != branchNone {
-			iff, okIf := w.g.nodes[p.node].pos.Stmt().(*ir.If)
-			if okIf && !w.applyBranch(w.g.nodes[p.node].frame, iff, p.br == branchTrue, branchSt) {
+			pn := &w.g.nodes[p.node]
+			iff, okIf := pn.stmt.(*ir.If)
+			if okIf && !w.applyBranch(pn, iff, p.br == branchTrue, st) {
+				st.rollback(mark)
 				w.prunePath()
 				continue
 			}
 		}
 		w.visits[p.node]++
-		w.walk(p.node, branchSt, saw, atEntry)
+		w.walk(p.node, st, saw, atEntry)
 		w.visits[p.node]--
+		st.rollback(mark)
 	}
+}
+
+// visitCount reads the per-path occurrence count of a node.
+func (w *walker) visitCount(node int) int {
+	if w.cloneRef {
+		return w.visitsRef[node]
+	}
+	return int(w.visits[node])
 }
 
 func (w *walker) endPath() {
@@ -148,7 +223,7 @@ func (w *walker) prunePath() {
 
 // applyBranch strengthens the store with an If condition taken in the
 // given polarity; false means the path is infeasible.
-func (w *walker) applyBranch(f *frame, iff *ir.If, taken bool, st *store) bool {
+func (w *walker) applyBranch(n *inode, iff *ir.If, taken bool, st *store) bool {
 	op := iff.Op
 	if !taken {
 		op = op.Negate()
@@ -167,22 +242,23 @@ func (w *walker) applyBranch(f *frame, iff *ir.If, taken bool, st *store) bool {
 	default:
 		return true
 	}
-	name := f.qvar(iff.A)
 	switch op {
 	case ir.CmpEQ:
-		return st.constrainVarEq(name, v)
+		return st.constrainVarEq(n.qcond, v)
 	case ir.CmpNE:
 		if v.kind == vNull {
-			return st.constrainVarEq(name, nonNullVal())
+			return st.constrainVarEq(n.qcond, nonNullVal())
 		}
-		return st.constrainVarNe(name, v)
+		return st.constrainVarNe(n.qcond, v)
 	default:
 		return true // <, <=, >, >= — untracked, assume satisfiable
 	}
 }
 
 // transfer applies the reverse transfer function of one node. Returns
-// false when the store becomes unsatisfiable.
+// false when the store becomes unsatisfiable. All mutations go through
+// the store's trail-aware helpers, so both walk strategies share one
+// transfer implementation verbatim.
 func (w *walker) transfer(n *inode, st *store) bool {
 	if n.isEntry {
 		return true // non-root frame entry: no effect
@@ -191,14 +267,13 @@ func (w *walker) transfer(n *inode, st *store) bool {
 		return w.moveVar(st, n.synthDst, n.synthSrc)
 	}
 	f := n.frame
-	switch s := n.pos.Stmt().(type) {
+	switch s := n.stmt.(type) {
 	case *ir.Const:
-		q := f.qvar(s.Dst)
-		c, ok := st.vars[q]
+		c, ok := st.vars[n.qdst]
 		if !ok {
 			return true
 		}
-		delete(st.vars, q)
+		st.delVar(n.qdst)
 		var v value
 		switch s.Kind {
 		case ir.ConstInt:
@@ -212,53 +287,44 @@ func (w *walker) transfer(n *inode, st *store) bool {
 		}
 		return c.satisfiedBy(v)
 	case *ir.Move:
-		return w.moveVar(st, f.qvar(s.Dst), f.qvar(s.Src))
+		return w.moveVar(st, n.qdst, n.qsrc)
 	case *ir.New:
-		q := f.qvar(s.Dst)
-		c, ok := st.vars[q]
+		c, ok := st.vars[n.qdst]
 		if !ok {
 			return true
 		}
-		delete(st.vars, q)
+		st.delVar(n.qdst)
 		return c.satisfiedBy(nonNullVal())
 	case *ir.Load:
-		q := f.qvar(s.Dst)
-		c, ok := st.vars[q]
+		c, ok := st.vars[n.qdst]
 		if !ok {
 			return true
 		}
-		delete(st.vars, q)
-		objs := w.pts(f, s.Obj)
-		if objs.Len() == 1 {
-			for _, o := range objs.Slice() {
-				return mergeLoc(st, locKey{obj: o, field: s.Field}, c)
-			}
+		st.delVar(n.qdst)
+		if o, single := w.ref.resolvePts(w.aid, f, s.Obj).Single(); single {
+			return mergeLoc(st, locKey{obj: o, field: s.Field}, c)
 		}
 		return true // ambiguous base: drop the constraint (sound)
 	case *ir.Store:
-		objs := w.pts(f, s.Obj)
-		if objs.Len() != 1 {
+		o, single := w.ref.resolvePts(w.aid, f, s.Obj).Single()
+		if !single {
 			return true // weak update: the store may not hit our location
 		}
-		for _, o := range objs.Slice() {
-			lk := locKey{obj: o, field: s.Field}
-			c, ok := st.locs[lk]
-			if !ok {
-				return true
-			}
-			delete(st.locs, lk)
-			// Strong update: the stored value must satisfy the
-			// requirement — move the constraint onto the source var.
-			return mergeVar(st, f.qvar(s.Src), c)
-		}
-		return true
-	case *ir.StaticLoad:
-		q := f.qvar(s.Dst)
-		c, ok := st.vars[q]
+		lk := locKey{obj: o, field: s.Field}
+		c, ok := st.locs[lk]
 		if !ok {
 			return true
 		}
-		delete(st.vars, q)
+		st.delLoc(lk)
+		// Strong update: the stored value must satisfy the
+		// requirement — move the constraint onto the source var.
+		return mergeVar(st, n.qsrc, c)
+	case *ir.StaticLoad:
+		c, ok := st.vars[n.qdst]
+		if !ok {
+			return true
+		}
+		st.delVar(n.qdst)
 		return mergeLoc(st, locKey{static: true, class: s.Class, field: s.Field}, c)
 	case *ir.StaticStore:
 		lk := locKey{static: true, class: s.Class, field: s.Field}
@@ -266,16 +332,16 @@ func (w *walker) transfer(n *inode, st *store) bool {
 		if !ok {
 			return true
 		}
-		delete(st.locs, lk)
-		return mergeVar(st, f.qvar(s.Src), c)
+		st.delLoc(lk)
+		return mergeVar(st, n.qsrc, c)
 	case *ir.Invoke:
 		if s.Dst != "" {
 			// Un-inlined call: result unknown, drop the constraint.
-			delete(st.vars, f.qvar(s.Dst))
+			st.delVar(n.qdst)
 		}
 		return true
 	case *ir.BinOp:
-		delete(st.vars, f.qvar(s.Dst))
+		st.delVar(n.qdst)
 		return true
 	default:
 		return true
@@ -288,7 +354,7 @@ func (w *walker) moveVar(st *store, dst, src string) bool {
 	if !ok {
 		return true
 	}
-	delete(st.vars, dst)
+	st.delVar(dst)
 	return mergeVar(st, src, c)
 }
 
@@ -322,6 +388,6 @@ func mergeLoc(st *store, lk locKey, c constraint) bool {
 		}
 		have = merged
 	}
-	st.locs[lk] = have
+	st.setLoc(lk, have)
 	return true
 }

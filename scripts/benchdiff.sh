@@ -1,0 +1,119 @@
+#!/usr/bin/env sh
+# benchdiff.sh — run the kernel benchmarks (BenchmarkKernel*) and compare
+# HEAD against a baseline ref.
+#
+#   ./scripts/benchdiff.sh -smoke        one iteration of every kernel bench
+#                                        (the tier-1 clause: catches perf-path
+#                                        code that only compiles under -bench)
+#   ./scripts/benchdiff.sh <ref>         bench HEAD and <ref> (via a throwaway
+#                                        git worktree) and print a per-kernel
+#                                        ns/op + allocs/op delta as JSON in the
+#                                        BENCH_kernels.json before/after shape
+#
+# Environment:
+#   BENCH_COUNT    -count for the comparison runs (default 3)
+#   BENCH_PATTERN  bench regexp (default BenchmarkKernel)
+set -eu
+
+PATTERN="${BENCH_PATTERN:-BenchmarkKernel}"
+COUNT="${BENCH_COUNT:-3}"
+
+usage() {
+    echo "usage: $0 -smoke | $0 <git-ref>" >&2
+    exit 2
+}
+
+[ $# -eq 1 ] || usage
+
+repo_root=$(git rev-parse --show-toplevel)
+cd "$repo_root"
+
+if [ "$1" = "-smoke" ]; then
+    exec go test -run '^$' -bench "$PATTERN" -benchtime=1x .
+fi
+
+ref="$1"
+git rev-parse --verify --quiet "$ref^{commit}" >/dev/null || {
+    echo "benchdiff: not a commit: $ref" >&2
+    exit 1
+}
+
+# run_bench <dir> <outfile>: full -benchmem runs, raw `go test` output.
+run_bench() {
+    (cd "$1" && go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" .) >"$2"
+}
+
+tmp=$(mktemp -d)
+wt="$tmp/baseline"
+cleanup() {
+    git worktree remove --force "$wt" >/dev/null 2>&1 || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "benchdiff: benching HEAD ($(git rev-parse --short HEAD))..." >&2
+run_bench "$repo_root" "$tmp/head.txt"
+
+echo "benchdiff: benching $ref ($(git rev-parse --short "$ref"))..." >&2
+git worktree add --detach "$wt" "$ref" >/dev/null
+run_bench "$wt" "$tmp/base.txt"
+
+# Reduce each raw output to "name ns_op bytes_op allocs_op" medians and
+# join the two runs into before/after JSON.
+awk -v baseline="$tmp/base.txt" -v head="$tmp/head.txt" '
+function median(arr, n,    i, j, tmpv, half) {
+    for (i = 2; i <= n; i++) {
+        tmpv = arr[i]
+        for (j = i - 1; j >= 1 && arr[j] > tmpv; j--) arr[j + 1] = arr[j]
+        arr[j + 1] = tmpv
+    }
+    half = int((n + 1) / 2)
+    return arr[half]
+}
+function slurp(file, ns, by, al, cnt,    line, f, name, n, k) {
+    while ((getline line < file) > 0) {
+        n = split(line, f, /[ \t]+/)
+        if (f[1] !~ /^Benchmark/ || n < 4) continue
+        # Benchmark lines interleave custom metrics ("231.0 actions")
+        # with the standard ones, so locate values by their unit label.
+        sub(/-[0-9]+$/, "", f[1])
+        name = f[1]
+        cnt[name]++
+        for (k = 3; k <= n; k++) {
+            if (f[k] == "ns/op")     ns[name, cnt[name]] = f[k-1] + 0
+            if (f[k] == "B/op")      by[name, cnt[name]] = f[k-1] + 0
+            if (f[k] == "allocs/op") al[name, cnt[name]] = f[k-1] + 0
+        }
+    }
+    close(file)
+}
+function med3(src, name, n,    i, tmpa) {
+    for (i = 1; i <= n; i++) tmpa[i] = src[name, i]
+    return median(tmpa, n)
+}
+BEGIN {
+    slurp(baseline, bns, bby, bal, bcnt)
+    slurp(head, hns, hby, hal, hcnt)
+    printf "{\n  \"schema\": \"sierra-kernel-benchdiff/v1\",\n  \"kernels\": {\n"
+    first = 1
+    for (name in hcnt) names[++nn] = name
+    # stable output order
+    for (i = 1; i <= nn; i++)
+        for (j = i + 1; j <= nn; j++)
+            if (names[j] < names[i]) { t = names[i]; names[i] = names[j]; names[j] = t }
+    for (i = 1; i <= nn; i++) {
+        name = names[i]
+        if (!(name in bcnt)) continue
+        b_ns = med3(bns, name, bcnt[name]); h_ns = med3(hns, name, hcnt[name])
+        b_al = med3(bal, name, bcnt[name]); h_al = med3(hal, name, hcnt[name])
+        b_by = med3(bby, name, bcnt[name]); h_by = med3(hby, name, hcnt[name])
+        if (!first) printf ",\n"
+        first = 0
+        printf "    \"%s\": {\n", name
+        printf "      \"before\": {\"ns_op\": %d, \"bytes_op\": %d, \"allocs_op\": %d},\n", b_ns, b_by, b_al
+        printf "      \"after\":  {\"ns_op\": %d, \"bytes_op\": %d, \"allocs_op\": %d},\n", h_ns, h_by, h_al
+        printf "      \"speedup\": %.2f,\n", (h_ns > 0 ? b_ns / h_ns : 0)
+        printf "      \"allocs_ratio\": %.2f\n    }", (h_al > 0 ? b_al / h_al : 0)
+    }
+    printf "\n  }\n}\n"
+}' </dev/null
