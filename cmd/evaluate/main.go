@@ -14,6 +14,11 @@
 // are byte-identical to a sequential run for any worker count. With
 // -cache-dir, results are cached by app digest + options fingerprint
 // and a re-run of an unchanged corpus is near-free.
+//
+// Live telemetry (see README.md "Live telemetry"): -events-out streams
+// sierra-events/1 JSONL flight-recorder events and -debug-addr serves
+// /metrics, /progress, /events, /healthz, and /debug/pprof while the
+// evaluation runs.
 package main
 
 import (
@@ -21,15 +26,20 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"sierra/internal/batch"
 	"sierra/internal/corpus"
 	"sierra/internal/metrics"
 	"sierra/internal/obs"
+	"sierra/internal/obs/eventlog"
+	"sierra/internal/obs/export"
 	"sierra/internal/pointer"
 )
 
@@ -48,6 +58,8 @@ func main() {
 		refPaths   = flag.Int("refute-max-paths", 5000, "refutation path budget per query (the paper's 5,000)")
 		refDepth   = flag.Int("refute-max-depth", 6, "refutation call-inlining depth bound (the paper's 6)")
 		benchJSON  = flag.String("bench-json", "", "write per-stage timings + effort counters for the 20-app dataset as JSON to this file and exit (e.g. BENCH_sierra.json)")
+		eventsOut  = flag.String("events-out", "", "stream sierra-events/1 flight-recorder events as JSONL to this file (-events is taken by the dynamic baseline)")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /progress, /events, /healthz, and /debug/pprof on this address while the evaluation runs")
 		pprofCPU   = flag.String("pprof-cpu", "", "write a CPU profile of the evaluation to this file")
 		pprofMem   = flag.String("pprof-mem", "", "write a heap profile after the evaluation to this file")
 	)
@@ -96,8 +108,64 @@ func main() {
 		bopts.Cache = c
 	}
 
+	// Live telemetry (shared with cmd/sierra; see README.md "Live
+	// telemetry"): a flight recorder behind -events-out / -debug-addr,
+	// a progress tracker the batch engine updates, and the debug server.
+	var rec *eventlog.Recorder
+	if *eventsOut != "" || *debugAddr != "" {
+		var sink io.Writer
+		if *eventsOut != "" {
+			f, err := os.Create(*eventsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "evaluate: -events-out:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			sink = f
+		}
+		rec = eventlog.New(sink, eventlog.DefaultRingCap)
+		bopts.Events = rec
+		bopts.Tracker = &batch.Tracker{}
+	}
+	defer rec.DumpOnPanic(os.Stderr)
+	if *debugAddr != "" {
+		if bopts.Obs == nil {
+			bopts.Obs = obs.New("evaluate")
+		}
+		srv, err := export.Serve(*debugAddr, export.Options{
+			Trace:    bopts.Obs,
+			Events:   rec,
+			Progress: func() any { return bopts.Tracker.Snapshot() },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate: -debug-addr:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "evaluate: debug server on http://%s\n", srv.Addr())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if rec != nil {
+		stop := rec.NotifySignals(os.Stderr, cancel)
+		defer stop()
+		rec.Emit(eventlog.Event{Type: "run_start", Fields: map[string]any{
+			"table":   *table,
+			"jobs":    *jobs,
+			"solver":  *ptaSolver,
+			"dynamic": *dynamic,
+			"cache":   *cacheDir != "",
+			"git_sha": gitSHA(),
+		}})
+		defer func() {
+			rec.Emit(eventlog.Event{Type: "run_end",
+				Fields: map[string]any{"progress": bopts.Tracker.Snapshot()}})
+			rec.Flush()
+		}()
+	}
+
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *quiet, solver, bopts); err != nil {
+		if err := writeBenchJSON(ctx, *benchJSON, *quiet, solver, bopts); err != nil {
 			fmt.Fprintln(os.Stderr, "evaluate:", err)
 			os.Exit(1)
 		}
@@ -133,7 +201,7 @@ func main() {
 		rows := corpus.PaperRows()
 		b := bopts
 		b.Progress = progress(len(rows))
-		named, _ = metrics.EvaluateNamedBatch(context.Background(), rows, opts, b)
+		named, _ = metrics.EvaluateNamedBatch(ctx, rows, opts, b)
 	}
 	if want("3") {
 		fmt.Println(metrics.FormatTable3(named))
@@ -151,7 +219,7 @@ func main() {
 				}
 			}
 		}
-		rows, sizes, _ := metrics.EvaluateFDroidBatch(context.Background(), *nFDroid,
+		rows, sizes, _ := metrics.EvaluateFDroidBatch(ctx, *nFDroid,
 			metrics.Options{Solver: solver, RefuteMaxPaths: *refPaths, RefuteMaxDepth: *refDepth}, b)
 		fmt.Println(metrics.FormatTable5(rows, sizes))
 	}
@@ -164,7 +232,12 @@ func main() {
 // effort counters, so CI can track the perf trajectory from one
 // artifact.
 type benchReport struct {
-	Schema string        `json:"schema"`
+	Schema string `json:"schema"`
+	// GitSHA is the commit the binary was built from (empty when the
+	// working tree is not a git checkout), so a BENCH_*.json artifact
+	// and the trajectory entries benchdiff.sh appends are attributable
+	// to a revision.
+	GitSHA string        `json:"git_sha,omitempty"`
 	Apps   []metrics.Row `json:"apps"`
 	Median metrics.Row   `json:"median"`
 	// Jobs is the worker count the batch ran with.
@@ -180,26 +253,41 @@ type benchReport struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
+// gitSHA resolves the checkout's HEAD commit, empty when git or the
+// repository is unavailable (the artifact is then simply unattributed).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 // writeBenchJSON measures the 20-app dataset (static pipeline only — no
 // dynamic baseline, so the artifact is deterministic and fast) and
 // writes the benchReport.
-func writeBenchJSON(path string, quiet bool, solver pointer.Solver, bopts metrics.BatchOptions) error {
+func writeBenchJSON(ctx context.Context, path string, quiet bool, solver pointer.Solver, bopts metrics.BatchOptions) error {
 	rows := corpus.PaperRows()
 	if bopts.Jobs <= 0 {
 		bopts.Jobs = runtime.GOMAXPROCS(0)
 	}
-	bopts.Obs = obs.New("bench")
+	// Keep an Obs wired by -debug-addr (the server holds the pointer);
+	// otherwise make one for the cache counters the report embeds.
+	if bopts.Obs == nil {
+		bopts.Obs = obs.New("bench")
+	}
 	if !quiet {
 		bopts.Progress = func(i int, r batch.Result) {
 			fmt.Fprintf(os.Stderr, "[%2d/%d] %s (%s)\n", i+1, len(rows), r.Name, r.Status)
 		}
 	}
 	start := time.Now()
-	measured, results := metrics.EvaluateNamedBatch(context.Background(), rows, metrics.Options{Solver: solver}, bopts)
+	measured, results := metrics.EvaluateNamedBatch(ctx, rows, metrics.Options{Solver: solver}, bopts)
 	sum := batch.Summarize(results, time.Since(start))
 
 	report := benchReport{
 		Schema:        "sierra-bench/v1",
+		GitSHA:        gitSHA(),
 		Apps:          measured,
 		Median:        metrics.MedianRow(measured),
 		Jobs:          bopts.Jobs,

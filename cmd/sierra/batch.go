@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -14,6 +15,8 @@ import (
 	"sierra/internal/batch"
 	"sierra/internal/core"
 	"sierra/internal/obs"
+	"sierra/internal/obs/eventlog"
+	"sierra/internal/obs/export"
 	"sierra/internal/pointer"
 	"sierra/internal/symexec"
 )
@@ -33,6 +36,8 @@ type batchConfig struct {
 	maxDepth   int
 	refuteJobs int
 	stats      string
+	events     string
+	debugAddr  string
 }
 
 // appSummary is the cached per-file verdict: the headline numbers a
@@ -63,6 +68,30 @@ func runBatch(cfg batchConfig) int {
 		return 1
 	}
 	sort.Strings(files)
+
+	// Flight recorder: the ring exists whenever anyone can look at it
+	// (-events mirrors it to a JSONL file, -debug-addr serves its tail).
+	var rec *eventlog.Recorder
+	if cfg.events != "" || cfg.debugAddr != "" {
+		var sink io.Writer
+		if cfg.events != "" {
+			f, err := os.Create(cfg.events)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sierra: -events:", err)
+				return 1
+			}
+			defer f.Close()
+			sink = f
+		}
+		rec = eventlog.New(sink, eventlog.DefaultRingCap)
+	}
+	defer rec.DumpOnPanic(os.Stderr)
+
+	// Per-job pipeline observability (stage counters, histograms) is
+	// absorbed into the shared trace only when someone consumes it; a
+	// plain batch run keeps the jobs' zero-cost nil-trace path.
+	liveObs := cfg.stats != "" || cfg.debugAddr != ""
+	tr := obs.New("sierra:batch")
 
 	fingerprint := []string{
 		"report",
@@ -96,13 +125,21 @@ func runBatch(cfg batchConfig) int {
 				if err != nil {
 					return nil, fmt.Errorf("parsing %s: %w", path, err)
 				}
+				var jobTr *obs.Trace
+				if liveObs {
+					jobTr = obs.New("sierra:" + app.Name)
+				}
 				res := core.AnalyzeContext(jctx, app, core.Options{
 					Policy:          cfg.policy,
 					CompareContexts: cfg.compare,
 					SkipRefutation:  cfg.noRefute,
 					Refuter:         symexec.Config{MaxPaths: cfg.maxPaths, MaxDepth: cfg.maxDepth, Jobs: cfg.refuteJobs},
 					PTASolver:       cfg.solver,
+					Obs:             jobTr,
 				})
+				if jobTr != nil {
+					tr.Absorb(jobTr.Snapshot())
+				}
 				return json.Marshal(appSummary{
 					App:          app.Name,
 					Harnesses:    res.NumHarnesses(),
@@ -117,13 +154,54 @@ func runBatch(cfg batchConfig) int {
 		}
 	}
 
-	tr := obs.New("sierra:batch")
+	// The run is cancellable so the signal handler can wind it down as a
+	// graceful cancellation after dumping the flight-recorder tail.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if rec != nil {
+		stop := rec.NotifySignals(os.Stderr, cancel)
+		defer stop()
+	}
+
+	tk := &batch.Tracker{}
+	if cfg.debugAddr != "" {
+		srv, err := export.Serve(cfg.debugAddr, export.Options{
+			Trace:    tr,
+			Events:   rec,
+			Progress: func() any { return tk.Snapshot() },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sierra: -debug-addr:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sierra: debug server on http://%s\n", srv.Addr())
+	}
+
+	rec.Emit(eventlog.Event{Type: "run_start", Fields: map[string]any{
+		"glob":        cfg.glob,
+		"files":       len(files),
+		"jobs":        cfg.jobs,
+		"job_timeout": cfg.timeout.String(),
+		"policy":      cfg.policyID,
+		"solver":      string(cfg.solver),
+		"compare":     cfg.compare,
+		"refute":      !cfg.noRefute,
+		"max_paths":   cfg.maxPaths,
+		"max_depth":   cfg.maxDepth,
+		"refute_jobs": cfg.refuteJobs,
+		"cache":       cfg.cacheDir != "",
+	}})
+
 	opts := batch.Options{
 		Workers: cfg.jobs,
 		Timeout: cfg.timeout,
 		Obs:     tr,
+		Events:  rec,
+		Tracker: tk,
 		OnResult: func(i int, r batch.Result) {
 			printBatchLine(i, len(files), r)
+			emitVerdict(rec, i, r)
 		},
 	}
 	if cfg.cacheDir != "" {
@@ -136,9 +214,24 @@ func runBatch(cfg batchConfig) int {
 	}
 
 	start := time.Now()
-	results := batch.Run(context.Background(), jobs, opts)
+	results := batch.Run(ctx, jobs, opts)
 	sum := batch.Summarize(results, time.Since(start))
 	fmt.Println(sum.String())
+
+	rec.Emit(eventlog.Event{Type: "run_end", Fields: map[string]any{
+		"jobs":         sum.Jobs,
+		"ok":           sum.OK,
+		"cached":       sum.Cached,
+		"failed":       sum.Failed,
+		"panics":       sum.Panics,
+		"timeouts":     sum.Timeouts,
+		"canceled":     sum.Canceled,
+		"wall_seconds": sum.WallSecs,
+	}})
+	if err := rec.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "sierra: flushing -events:", err)
+		return 1
+	}
 
 	if cfg.stats != "" {
 		raw, err := tr.Snapshot().JSON()
@@ -155,6 +248,30 @@ func runBatch(cfg batchConfig) int {
 		return 1
 	}
 	return 0
+}
+
+// emitVerdict mirrors one finished job's headline numbers into the
+// flight-recorder stream as a job_verdict event: replaying the JSONL
+// reconstructs the per-app verdict tallies without the batch output.
+func emitVerdict(rec *eventlog.Recorder, i int, r batch.Result) {
+	if rec == nil {
+		return
+	}
+	e := eventlog.Event{Type: "job_verdict", Job: r.Name, Index: i, Status: string(r.Status)}
+	var s appSummary
+	if len(r.Value) > 0 && json.Unmarshal(r.Value, &s) == nil {
+		e.Fields = map[string]any{
+			"app":         s.App,
+			"harnesses":   s.Harnesses,
+			"actions":     s.Actions,
+			"hb_edges":    s.HBEdges,
+			"racy_pairs":  s.RacyPairs,
+			"races":       s.Races,
+			"interrupted": s.Interrupted,
+		}
+		e.DurMS = s.TotalSeconds * 1e3
+	}
+	rec.Emit(e)
 }
 
 // printBatchLine renders one result. Lines arrive in input order (the

@@ -11,25 +11,38 @@
 //	sierra -app K-9Mail -policy hybrid -compare -v
 //	sierra -app OpenSudoku -stats out.json      # machine-readable effort snapshot
 //	sierra -app OpenSudoku -pprof-cpu cpu.out   # CPU profile of the run
+//	sierra -batch 'models/*.app' -events run.jsonl -debug-addr :6060
 //
 // Batch mode fans the matched .app files out across -jobs workers with
 // per-file deadlines (-job-timeout), panic isolation, and an optional
 // digest-keyed result cache (-cache-dir); one summary line per file is
 // printed in glob order regardless of completion order.
+//
+// Live telemetry (see README.md "Live telemetry"): -events streams
+// sierra-events/1 JSONL flight-recorder events (run config, per-job
+// start/end, verdicts) and -debug-addr serves /metrics, /progress,
+// /events, /healthz, and /debug/pprof while the run executes. On
+// SIGINT/SIGTERM or a panic the last events in the in-memory ring are
+// dumped to stderr before the process winds down.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"sierra/internal/apk"
 	"sierra/internal/appfile"
 	"sierra/internal/core"
 	"sierra/internal/corpus"
 	"sierra/internal/obs"
+	"sierra/internal/obs/eventlog"
+	"sierra/internal/obs/export"
 	"sierra/internal/pointer"
 	"sierra/internal/report"
 	"sierra/internal/symexec"
@@ -56,6 +69,8 @@ func main() {
 		verbose        = flag.Bool("v", false, "print every report plus the observability breakdown")
 		verifyN        = flag.Int("verify", 0, "dynamically confirm the top N reports via schedule search (§6.4)")
 		stats          = flag.String("stats", "", "write the observability snapshot (spans + counters) as JSON to this file")
+		events         = flag.String("events", "", "stream sierra-events/1 flight-recorder events as JSONL to this file")
+		debugAddr      = flag.String("debug-addr", "", "serve /metrics, /progress, /events, /healthz, and /debug/pprof on this address while the run executes")
 		pprofCPU       = flag.String("pprof-cpu", "", "write a CPU profile of the analysis to this file")
 		pprofMem       = flag.String("pprof-mem", "", "write a heap profile after the analysis to this file")
 	)
@@ -115,6 +130,8 @@ func main() {
 			maxDepth:   *refuteMaxDepth,
 			refuteJobs: *refuteJobs,
 			stats:      *stats,
+			events:     *events,
+			debugAddr:  *debugAddr,
 		})
 		os.Exit(code)
 	}
@@ -139,14 +156,60 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	// Observability is on whenever someone will look at it (-stats or
-	// -v); otherwise the pipeline runs with a nil trace at zero cost.
+	// Observability is on whenever someone will look at it (-stats, -v,
+	// or a live -debug-addr scrape); otherwise the pipeline runs with a
+	// nil trace at zero cost.
 	var tr *obs.Trace
-	if *stats != "" || *verbose {
+	if *stats != "" || *verbose || *debugAddr != "" {
 		tr = obs.New("sierra:" + app.Name)
 	}
 
-	res := core.Analyze(app, core.Options{
+	// Flight recorder: the ring exists whenever anyone can look at it
+	// (-events mirrors it to a JSONL file, -debug-addr serves its tail);
+	// on SIGINT/SIGTERM or a panic its tail is dumped to stderr.
+	var rec *eventlog.Recorder
+	if *events != "" || *debugAddr != "" {
+		var sink io.Writer
+		if *events != "" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sierra: -events:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			sink = f
+		}
+		rec = eventlog.New(sink, eventlog.DefaultRingCap)
+	}
+	defer rec.DumpOnPanic(os.Stderr)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if rec != nil {
+		stop := rec.NotifySignals(os.Stderr, cancel)
+		defer stop()
+	}
+	if *debugAddr != "" {
+		srv, err := export.Serve(*debugAddr, export.Options{Trace: tr, Events: rec})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sierra: -debug-addr:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sierra: debug server on http://%s\n", srv.Addr())
+	}
+
+	rec.Emit(eventlog.Event{Type: "run_start", Job: app.Name, Fields: map[string]any{
+		"policy":      *policy,
+		"solver":      string(solver),
+		"compare":     *compare,
+		"refute":      !*noRefute,
+		"max_paths":   *refuteMaxPaths,
+		"max_depth":   *refuteMaxDepth,
+		"refute_jobs": *refuteJobs,
+	}})
+
+	res := core.AnalyzeContext(ctx, app, core.Options{
 		Policy:          pol,
 		CompareContexts: *compare,
 		SkipRefutation:  *noRefute,
@@ -154,6 +217,37 @@ func main() {
 		PTASolver:       solver,
 		Obs:             tr,
 	})
+
+	if rec != nil {
+		for _, st := range []struct {
+			name string
+			d    time.Duration
+		}{
+			{"cg_pa", res.Timing.CGPA},
+			{"hbg", res.Timing.HBG},
+			{"pairs", res.Timing.Pairs},
+			{"compare", res.Timing.Compare},
+			{"refutation", res.Timing.Refutation},
+		} {
+			rec.Emit(eventlog.Event{Type: "stage", Job: app.Name,
+				DurMS:  float64(st.d) / 1e6,
+				Fields: map[string]any{"stage": st.name}})
+		}
+		rec.Emit(eventlog.Event{Type: "run_end", Job: app.Name,
+			DurMS: float64(res.Timing.Total) / 1e6,
+			Fields: map[string]any{
+				"harnesses":   res.NumHarnesses(),
+				"actions":     res.NumActions(),
+				"hb_edges":    res.HBEdges(),
+				"racy_pairs":  len(res.RacyPairs),
+				"races":       res.TrueRaces(),
+				"interrupted": res.Interrupted,
+			}})
+		if err := rec.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "sierra: flushing -events:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *stats != "" {
 		raw, err := tr.Snapshot().JSON()

@@ -30,10 +30,12 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
 	"sierra/internal/obs"
+	"sierra/internal/obs/eventlog"
 )
 
 // Status classifies one job's outcome.
@@ -101,8 +103,22 @@ type Options struct {
 	Cache Cache
 	// Obs, when non-nil, receives the engine's counters — batch.jobs,
 	// per-status batch.<status> counts, batch.cache_hits/_misses, the
-	// batch.latency_ms.* histogram, and the per-job batch.job_ms series.
+	// batch.latency_ms.* bucket counters, the batch.job_duration_ms
+	// histogram, and the per-job batch.job_ms series. Per-result values
+	// are recorded live as each job completes (the `-debug-addr`
+	// /metrics endpoint reads them mid-run); totals are identical to a
+	// post-hoc accounting.
 	Obs *obs.Trace
+	// Events, when non-nil, receives the engine's flight-recorder
+	// events: job_start when a worker picks a job up, job_end when it
+	// completes (status, cache hit/miss, digest, duration). Emitted
+	// live from the workers, so the stream interleaves in completion
+	// order, not input order.
+	Events *eventlog.Recorder
+	// Tracker, when non-nil, is live progress accounting: begun at Run
+	// entry, updated per completion, readable concurrently via
+	// Tracker.Snapshot (the /progress endpoint).
+	Tracker *Tracker
 	// OnResult, when non-nil, observes every result in input order as
 	// the completed prefix grows (job i is reported only after jobs
 	// 0..i-1). Called from the Run goroutine, never concurrently.
@@ -125,6 +141,7 @@ func Run(ctx context.Context, jobs []Job, o Options) []Result {
 		workers = len(jobs)
 	}
 	start := time.Now()
+	o.Tracker.begin(len(jobs))
 	results := make([]Result, len(jobs))
 	if len(jobs) == 0 {
 		return results
@@ -142,7 +159,7 @@ func Run(ctx context.Context, jobs []Job, o Options) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				resCh <- indexed{i, runJob(ctx, jobs[i], o)}
+				resCh <- indexed{i, runJob(ctx, i, jobs[i], o)}
 			}
 		}()
 	}
@@ -176,6 +193,8 @@ func Run(ctx context.Context, jobs []Job, o Options) []Result {
 	for ir := range resCh {
 		results[ir.i] = ir.r
 		done[ir.i] = true
+		o.Tracker.observe(ir.r)
+		recordResult(o.Obs, ir.r)
 		emit()
 	}
 	// Jobs never dispatched (run cancelled): mark and emit the rest.
@@ -183,36 +202,61 @@ func Run(ctx context.Context, jobs []Job, o Options) []Result {
 		if !done[i] {
 			results[i] = Result{Name: jobs[i].Name, Status: StatusCanceled}
 			done[i] = true
+			o.Tracker.observe(results[i])
+			recordResult(o.Obs, results[i])
+			o.Events.Emit(eventlog.Event{Type: "job_end", Job: jobs[i].Name, Index: i,
+				Status: string(StatusCanceled)})
 		}
 	}
 	emit()
-	record(o.Obs, results, time.Since(start), workers)
+	recordRun(o.Obs, len(results), time.Since(start), workers)
 	return results
 }
 
 // runJob executes one job on the calling worker: cache probe, deadline,
-// panic isolation, status classification.
-func runJob(ctx context.Context, j Job, o Options) Result {
-	r := Result{Name: j.Name}
+// panic isolation, status classification, flight-recorder emission.
+func runJob(ctx context.Context, index int, j Job, o Options) (r Result) {
+	r = Result{Name: j.Name}
 	start := time.Now()
-	defer func() { r.Latency = time.Since(start) }()
+	var digest, cacheOutcome string
+	defer func() {
+		r.Latency = time.Since(start)
+		if o.Events != nil {
+			e := eventlog.Event{Type: "job_end", Job: j.Name, Index: index,
+				Status: string(r.Status), Digest: digest, Cache: cacheOutcome,
+				DurMS: float64(r.Latency) / 1e6}
+			switch {
+			case r.Err != "":
+				e.Err = r.Err
+			case r.Panic != "":
+				e.Err = firstLine(r.Panic)
+			}
+			o.Events.Emit(e)
+		}
+	}()
 	if ctx.Err() != nil {
 		r.Status = StatusCanceled
 		return r
 	}
+	o.Events.Emit(eventlog.Event{Type: "job_start", Job: j.Name, Index: index})
 
 	var key string
-	if j.KeyFn != nil && o.Cache != nil {
+	if j.KeyFn != nil && (o.Cache != nil || o.Events != nil) {
 		if k, err := j.KeyFn(); err == nil {
 			key = k
-			if v, ok := o.Cache.Get(key); ok {
-				o.Obs.Count("batch.cache_hits", 1)
-				r.Status = StatusCached
-				r.Value = v
-				return r
-			}
-			o.Obs.Count("batch.cache_misses", 1)
+			digest = keyDigest(k)
 		}
+	}
+	if key != "" && o.Cache != nil {
+		if v, ok := o.Cache.Get(key); ok {
+			o.Obs.Count("batch.cache_hits", 1)
+			cacheOutcome = "hit"
+			r.Status = StatusCached
+			r.Value = v
+			return r
+		}
+		o.Obs.Count("batch.cache_misses", 1)
+		cacheOutcome = "miss"
 	}
 
 	jctx := ctx
@@ -238,11 +282,31 @@ func runJob(ctx context.Context, j Job, o Options) Result {
 	default:
 		r.Status = StatusOK
 		r.Value = value
-		if key != "" {
+		if key != "" && o.Cache != nil {
 			o.Cache.Put(key, value)
 		}
 	}
 	return r
+}
+
+// keyDigest extracts the content-digest component of a cache key built
+// by Key (epoch|digest|options...), falling back to the whole key for
+// foreign formats.
+func keyDigest(key string) string {
+	parts := strings.SplitN(key, "|", 3)
+	if len(parts) >= 2 {
+		return parts[1]
+	}
+	return key
+}
+
+// firstLine truncates a multi-line message (a recovered panic with its
+// stack) to its headline for event streams.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // safeRun invokes fn with panic isolation: a panicking job becomes a

@@ -1,0 +1,107 @@
+package batch
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracker is the engine's live progress accounting: Run updates it as
+// results complete, and the `-debug-addr` server's /progress endpoint
+// reads it mid-run. The zero value is ready to use; all methods are
+// safe for concurrent use and no-ops on a nil receiver, matching the
+// obs conventions. A Tracker may be reused across sequential Runs (the
+// evaluate tables): each Run re-begins it.
+type Tracker struct {
+	mu       sync.Mutex
+	start    time.Time
+	total    int
+	done     int
+	ok       int
+	cached   int
+	failed   int
+	panics   int
+	timeouts int
+	canceled int
+}
+
+// begin resets the tracker for a run of total jobs.
+func (t *Tracker) begin(total int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.start = time.Now()
+	t.total = total
+	t.done, t.ok, t.cached, t.failed, t.panics, t.timeouts, t.canceled = 0, 0, 0, 0, 0, 0, 0
+	t.mu.Unlock()
+}
+
+// observe folds one completed result in.
+func (t *Tracker) observe(r Result) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.done++
+	switch r.Status {
+	case StatusOK:
+		t.ok++
+	case StatusCached:
+		t.cached++
+	case StatusFailed:
+		t.failed++
+	case StatusPanic:
+		t.panics++
+	case StatusTimeout:
+		t.timeouts++
+	case StatusCanceled:
+		t.canceled++
+	}
+	t.mu.Unlock()
+}
+
+// Progress is one tracker reading — the /progress JSON schema.
+type Progress struct {
+	JobsTotal int `json:"jobs_total"`
+	JobsDone  int `json:"jobs_done"`
+	OK        int `json:"ok"`
+	Cached    int `json:"cached"`
+	Failed    int `json:"failed"`
+	Panics    int `json:"panics"`
+	Timeouts  int `json:"timeouts"`
+	Canceled  int `json:"canceled"`
+	// ElapsedSeconds is wall-clock since the run began.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// JobsPerSec is completed jobs (cached included) over elapsed time.
+	JobsPerSec float64 `json:"jobs_per_second"`
+	// CacheHitRate is cached over cached+ok so far (0 when nothing ran).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// ETASeconds extrapolates the remaining jobs at the current rate
+	// (0 when done or before the first completion — always finite).
+	ETASeconds float64 `json:"eta_seconds"`
+}
+
+// Snapshot reads the tracker's current state.
+func (t *Tracker) Snapshot() Progress {
+	if t == nil {
+		return Progress{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := Progress{
+		JobsTotal: t.total, JobsDone: t.done,
+		OK: t.ok, Cached: t.cached, Failed: t.failed,
+		Panics: t.panics, Timeouts: t.timeouts, Canceled: t.canceled,
+	}
+	if !t.start.IsZero() {
+		p.ElapsedSeconds = time.Since(t.start).Seconds()
+	}
+	if p.ElapsedSeconds > 0 && p.JobsDone > 0 {
+		p.JobsPerSec = float64(p.JobsDone) / p.ElapsedSeconds
+		p.ETASeconds = float64(p.JobsTotal-p.JobsDone) / p.JobsPerSec
+	}
+	if probed := p.Cached + p.OK; probed > 0 {
+		p.CacheHitRate = float64(p.Cached) / float64(probed)
+	}
+	return p
+}

@@ -12,30 +12,41 @@ import (
 // publishes as batch.latency_ms.le_* counters.
 var latencyBucketsMS = []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
 
-// record publishes one run's aggregate counters to the engine trace:
-// job totals per status, the latency histogram, the per-job
-// batch.job_ms series, and wall-clock/throughput gauges.
-func record(tr *obs.Trace, results []Result, wall time.Duration, workers int) {
+// recordResult publishes one completed job's counters to the engine
+// trace as it lands — status count, latency bucket counters, the
+// batch.job_ms series sample, and the batch.job_duration_ms histogram
+// (per-app wall time) — so a mid-run /metrics scrape sees the work
+// done so far. Counter totals are order-independent, and the snapshot
+// serializer sorts series, so the final trace is identical to the old
+// end-of-run accounting for any worker count.
+func recordResult(tr *obs.Trace, r Result) {
 	if tr == nil {
 		return
 	}
-	tr.Count("batch.jobs", int64(len(results)))
-	for _, r := range results {
-		tr.Count("batch."+string(r.Status), 1)
-		ms := r.Latency.Milliseconds()
-		tr.Series("batch.job_ms", r.Name, ms)
-		for _, le := range latencyBucketsMS {
-			if ms <= le {
-				tr.Count(fmt.Sprintf("batch.latency_ms.le_%d", le), 1)
-			}
+	tr.Count("batch.jobs", 1)
+	tr.Count("batch."+string(r.Status), 1)
+	ms := r.Latency.Milliseconds()
+	tr.Series("batch.job_ms", r.Name, ms)
+	tr.Observe("batch.job_duration_ms", float64(r.Latency)/1e6)
+	for _, le := range latencyBucketsMS {
+		if ms <= le {
+			tr.Count(fmt.Sprintf("batch.latency_ms.le_%d", le), 1)
 		}
-		tr.Count("batch.latency_ms.le_inf", 1)
-		tr.Count("batch.latency_ms.sum", ms)
+	}
+	tr.Count("batch.latency_ms.le_inf", 1)
+	tr.Count("batch.latency_ms.sum", ms)
+}
+
+// recordRun publishes a finished run's wall-clock and throughput
+// gauges.
+func recordRun(tr *obs.Trace, jobs int, wall time.Duration, workers int) {
+	if tr == nil {
+		return
 	}
 	tr.Gauge("batch.workers", float64(workers))
 	tr.Gauge("batch.wall_ms", float64(wall.Milliseconds()))
 	if secs := wall.Seconds(); secs > 0 {
-		tr.Gauge("batch.jobs_per_sec", float64(len(results))/secs)
+		tr.Gauge("batch.jobs_per_sec", float64(jobs)/secs)
 	}
 }
 

@@ -1,0 +1,181 @@
+package batch_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"sierra/internal/batch"
+	"sierra/internal/obs"
+	"sierra/internal/obs/eventlog"
+)
+
+// TestTrackerAndEvents runs a mixed batch with the full telemetry
+// stack wired and checks that (a) the tracker's final reading matches
+// the summary, (b) every job leaves a job_start/job_end event pair
+// with the right status, cache outcome, and digest, and (c) the
+// engine's live-recorded counters and histogram agree with the result
+// set.
+func TestTrackerAndEvents(t *testing.T) {
+	const n = 12
+	cache := batch.NewMemCache()
+	// Pre-warm one key so a cache hit shows up.
+	warmKey := batch.Key("d-03", "opts")
+	cache.Put(warmKey, []byte("warm"))
+
+	jobs := make([]batch.Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = batch.Job{
+			Name: fmt.Sprintf("job-%02d", i),
+			KeyFn: func() (string, error) {
+				return batch.Key(fmt.Sprintf("d-%02d", i), "opts"), nil
+			},
+			Fn: func(ctx context.Context) ([]byte, error) {
+				switch {
+				case i == 5:
+					return nil, errors.New("boom")
+				case i == 7:
+					panic("kaboom")
+				default:
+					return []byte("v"), nil
+				}
+			},
+		}
+	}
+
+	tr := obs.New("batch")
+	rec := eventlog.New(nil, 64)
+	var tk batch.Tracker
+	results := batch.Run(context.Background(), jobs, batch.Options{
+		Workers: 4,
+		Cache:   cache,
+		Obs:     tr,
+		Events:  rec,
+		Tracker: &tk,
+	})
+
+	p := tk.Snapshot()
+	sum := batch.Summarize(results, time.Second)
+	if p.JobsDone != n || p.JobsTotal != n {
+		t.Fatalf("tracker = %+v", p)
+	}
+	if p.OK != sum.OK || p.Cached != sum.Cached || p.Failed != sum.Failed || p.Panics != sum.Panics {
+		t.Fatalf("tracker %+v disagrees with summary %+v", p, sum)
+	}
+	if p.Cached != 1 {
+		t.Fatalf("cached = %d, want 1", p.Cached)
+	}
+	if p.ETASeconds != 0 {
+		t.Fatalf("finished run must have zero ETA, got %v", p.ETASeconds)
+	}
+	if p.CacheHitRate <= 0 {
+		t.Fatalf("cache hit rate = %v", p.CacheHitRate)
+	}
+
+	// Event accounting: one job_start per dispatched job, one job_end
+	// per job, statuses reconstructable from the stream alone.
+	events := rec.Tail(0)
+	starts, ends := 0, map[string]eventlog.Event{}
+	for _, e := range events {
+		switch e.Type {
+		case "job_start":
+			starts++
+		case "job_end":
+			ends[e.Job] = e
+		}
+	}
+	if starts != n || len(ends) != n {
+		t.Fatalf("starts=%d ends=%d, want %d", starts, len(ends), n)
+	}
+	tally := map[string]int{}
+	for _, e := range ends {
+		tally[e.Status]++
+	}
+	if tally["ok"] != sum.OK || tally["cached"] != sum.Cached ||
+		tally["failed"] != sum.Failed || tally["panic"] != sum.Panics {
+		t.Fatalf("event tally %v disagrees with summary %+v", tally, sum)
+	}
+	if e := ends["job-03"]; e.Cache != "hit" || e.Digest != "d-03" {
+		t.Fatalf("cached job event = %+v", e)
+	}
+	if e := ends["job-00"]; e.Cache != "miss" || e.Digest != "d-00" || e.DurMS < 0 {
+		t.Fatalf("fresh job event = %+v", e)
+	}
+	if e := ends["job-05"]; e.Err != "boom" {
+		t.Fatalf("failed job event = %+v", e)
+	}
+	if e := ends["job-07"]; e.Err == "" {
+		t.Fatalf("panicking job event = %+v", e)
+	}
+
+	// Live-recorded counters and histogram match the result set.
+	if got := tr.Counter("batch.jobs"); got != n {
+		t.Fatalf("batch.jobs = %d", got)
+	}
+	if got := tr.Counter("batch.ok"); got != int64(sum.OK) {
+		t.Fatalf("batch.ok = %d, want %d", got, sum.OK)
+	}
+	snap := tr.Snapshot()
+	if h := snap.Histograms["batch.job_duration_ms"]; h.Count != n {
+		t.Fatalf("batch.job_duration_ms count = %d, want %d", h.Count, n)
+	}
+}
+
+// TestTrackerMidRun reads progress while jobs are still executing: the
+// snapshot must be internally consistent and the ETA finite.
+func TestTrackerMidRun(t *testing.T) {
+	const n = 8
+	release := make(chan struct{})
+	jobs := make([]batch.Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = batch.Job{
+			Name: fmt.Sprintf("job-%d", i),
+			Fn: func(ctx context.Context) ([]byte, error) {
+				if i >= n/2 {
+					<-release
+				}
+				return []byte("v"), nil
+			},
+		}
+	}
+	var tk batch.Tracker
+	done := make(chan []batch.Result, 1)
+	go func() {
+		done <- batch.Run(context.Background(), jobs, batch.Options{Workers: 2, Tracker: &tk})
+	}()
+	// Wait until the unblocked half has landed.
+	deadline := time.After(5 * time.Second)
+	for {
+		p := tk.Snapshot()
+		if p.JobsDone >= n/2 {
+			if p.JobsTotal != n || p.JobsDone > n {
+				t.Fatalf("inconsistent mid-run progress %+v", p)
+			}
+			if p.JobsPerSec <= 0 || p.ETASeconds < 0 {
+				t.Fatalf("rate/ETA not live: %+v", p)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("stuck at %+v", p)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	<-done
+	if p := tk.Snapshot(); p.JobsDone != n {
+		t.Fatalf("final progress %+v", p)
+	}
+}
+
+func TestNilTracker(t *testing.T) {
+	var tk *batch.Tracker
+	if p := tk.Snapshot(); p != (batch.Progress{}) {
+		t.Fatalf("nil tracker snapshot = %+v", p)
+	}
+}

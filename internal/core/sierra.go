@@ -223,6 +223,7 @@ func AnalyzeContext(ctx context.Context, app *apk.App, opts Options) *Result {
 	res.Timing.Refutation = time.Since(t4)
 	res.Timing.Total = time.Since(start)
 	tr.Count("core.reports", int64(len(res.Reports)))
+	tr.Observe("core.analyze_ms", float64(res.Timing.Total)/1e6)
 	if res.Interrupted {
 		tr.Count("core.interrupted", 1)
 	}

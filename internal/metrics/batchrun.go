@@ -10,6 +10,7 @@ import (
 	"sierra/internal/batch"
 	"sierra/internal/corpus"
 	"sierra/internal/obs"
+	"sierra/internal/obs/eventlog"
 )
 
 // BatchOptions configures the concurrent evaluation runners: how the
@@ -28,6 +29,12 @@ type BatchOptions struct {
 	// Obs, when non-nil, receives the engine counters (batch.*) and each
 	// executed app's absorbed effort counters.
 	Obs *obs.Trace
+	// Events, when non-nil, receives the engine's job_start/job_end
+	// flight-recorder events (see internal/obs/eventlog).
+	Events *eventlog.Recorder
+	// Tracker, when non-nil, is updated live as jobs complete — the
+	// `-debug-addr` /progress source.
+	Tracker *batch.Tracker
 	// Progress, when non-nil, observes results in input order.
 	Progress func(index int, r batch.Result)
 }
@@ -91,6 +98,8 @@ func EvaluateNamedBatch(ctx context.Context, rows []corpus.PaperRow, opts Option
 		Timeout:  b.JobTimeout,
 		Cache:    b.Cache,
 		Obs:      b.Obs,
+		Events:   b.Events,
+		Tracker:  b.Tracker,
 		OnResult: b.Progress,
 	})
 	out := make([]Row, len(rows))
@@ -141,6 +150,8 @@ func EvaluateFDroidBatch(ctx context.Context, n int, opts Options, b BatchOption
 		Timeout:  b.JobTimeout,
 		Cache:    b.Cache,
 		Obs:      b.Obs,
+		Events:   b.Events,
+		Tracker:  b.Tracker,
 		OnResult: b.Progress,
 	})
 	rowsOut := make([]Row, n)

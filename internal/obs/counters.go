@@ -1,15 +1,19 @@
 package obs
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Counters is a concurrency-safe set of named monotonic counters,
-// gauges, and labelled series. The zero value is ready to use; all
-// methods are no-ops on a nil receiver.
+// gauges, labelled series, and histograms. The zero value is ready to
+// use; all methods are no-ops on a nil receiver.
 type Counters struct {
 	mu     sync.Mutex
 	counts map[string]int64
 	gauges map[string]float64
 	series map[string][]SeriesPoint
+	hists  map[string]*Histogram
 }
 
 // SeriesPoint is one labelled sample of a series.
@@ -57,6 +61,32 @@ func (c *Counters) Append(series, label string, v int64) {
 	c.mu.Unlock()
 }
 
+// Hist returns the named histogram, creating it on first use. The
+// returned handle is stable, so hot paths can look it up once and
+// Observe through it without further map traffic. Nil receiver returns
+// a nil (no-op) histogram.
+func (c *Counters) Hist(name string) *Histogram {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hists == nil {
+		c.hists = make(map[string]*Histogram)
+	}
+	h := c.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		c.hists[name] = h
+	}
+	return h
+}
+
+// Observe records one sample into the named histogram.
+func (c *Counters) Observe(name string, v float64) {
+	c.Hist(name).Observe(v)
+}
+
 // Get reads a counter (0 if absent).
 func (c *Counters) Get(name string) int64 {
 	if c == nil {
@@ -79,8 +109,8 @@ func (c *Counters) GaugeValue(name string) float64 {
 
 // absorb merges frozen counter state into this set: counters sum,
 // gauges keep the maximum (the aggregate of peak-style gauges like
-// pointer.pts_max), series append.
-func (c *Counters) absorb(counts map[string]int64, gauges map[string]float64, series map[string][]SeriesPoint) {
+// pointer.pts_max), series append, histograms merge bucket-wise.
+func (c *Counters) absorb(counts map[string]int64, gauges map[string]float64, series map[string][]SeriesPoint, hists map[string]HistogramSnapshot) {
 	if c == nil {
 		return
 	}
@@ -106,12 +136,26 @@ func (c *Counters) absorb(counts map[string]int64, gauges map[string]float64, se
 	for k, pts := range series {
 		c.series[k] = append(c.series[k], pts...)
 	}
+	if len(hists) > 0 && c.hists == nil {
+		c.hists = make(map[string]*Histogram)
+	}
+	for k, hs := range hists {
+		h := c.hists[k]
+		if h == nil {
+			h = &Histogram{}
+			c.hists[k] = h
+		}
+		h.merge(hs)
+	}
 }
 
-// snapshot deep-copies the current state.
-func (c *Counters) snapshot() (counts map[string]int64, gauges map[string]float64, series map[string][]SeriesPoint) {
+// snapshot deep-copies the current state. Series points are sorted by
+// (label, value) so snapshots from parallel workers — whose absorb
+// order depends on scheduling — serialize byte-identically for any
+// worker count (the `-jobs N` determinism guarantee).
+func (c *Counters) snapshot() (counts map[string]int64, gauges map[string]float64, series map[string][]SeriesPoint, hists map[string]HistogramSnapshot) {
 	if c == nil {
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -130,8 +174,21 @@ func (c *Counters) snapshot() (counts map[string]int64, gauges map[string]float6
 	if len(c.series) > 0 {
 		series = make(map[string][]SeriesPoint, len(c.series))
 		for k, v := range c.series {
-			series[k] = append([]SeriesPoint(nil), v...)
+			pts := append([]SeriesPoint(nil), v...)
+			sort.SliceStable(pts, func(i, j int) bool {
+				if pts[i].Label != pts[j].Label {
+					return pts[i].Label < pts[j].Label
+				}
+				return pts[i].Value < pts[j].Value
+			})
+			series[k] = pts
 		}
 	}
-	return counts, gauges, series
+	if len(c.hists) > 0 {
+		hists = make(map[string]HistogramSnapshot, len(c.hists))
+		for k, h := range c.hists {
+			hists[k] = h.snapshot()
+		}
+	}
+	return counts, gauges, series, hists
 }

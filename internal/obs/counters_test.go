@@ -22,6 +22,7 @@ func TestCountersConcurrency(t *testing.T) {
 				c.Add("hits", 1)
 				c.Gauge("last", float64(i))
 				c.Append("samples", fmt.Sprintf("w%d", w), int64(i))
+				c.Observe("lat_ms", float64(i))
 				_ = c.Get("hits")
 				_ = c.GaugeValue("last")
 			}
@@ -31,7 +32,7 @@ func TestCountersConcurrency(t *testing.T) {
 	if got := c.Get("hits"); got != workers*perWorker {
 		t.Fatalf("hits = %d, want %d", got, workers*perWorker)
 	}
-	counts, gauges, series := c.snapshot()
+	counts, gauges, series, hists := c.snapshot()
 	if counts["hits"] != workers*perWorker {
 		t.Fatalf("snapshot counts = %v", counts)
 	}
@@ -40,6 +41,9 @@ func TestCountersConcurrency(t *testing.T) {
 	}
 	if len(series["samples"]) != workers*perWorker {
 		t.Fatalf("snapshot series len = %d", len(series["samples"]))
+	}
+	if hists["lat_ms"].Count != workers*perWorker {
+		t.Fatalf("snapshot histogram count = %d", hists["lat_ms"].Count)
 	}
 }
 
@@ -71,7 +75,9 @@ func TestNilCounters(t *testing.T) {
 	c.Add("x", 1)
 	c.Gauge("x", 1)
 	c.Append("x", "l", 1)
-	if c.Get("x") != 0 || c.GaugeValue("x") != 0 {
+	c.Observe("x", 1)
+	c.Hist("x").Observe(1)
+	if c.Get("x") != 0 || c.GaugeValue("x") != 0 || c.Hist("x").Count() != 0 {
 		t.Fatal("nil Counters must read zeros")
 	}
 }

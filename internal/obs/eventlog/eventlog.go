@@ -1,0 +1,268 @@
+// Package eventlog is the pipeline's flight recorder: a bounded
+// in-memory ring of structured events, optionally mirrored live to a
+// JSONL stream (the `sierra-events/1` format behind the `-events`
+// flag). Like the rest of internal/obs it is zero-dependency and
+// nil-safe — every method on a nil *Recorder is a no-op, so emission
+// sites need no guards and cost one nil check when the recorder is off.
+//
+// The ring is the crash-forensics half of the design: however a run
+// dies — panic, signal, deadline — the last RingCap events are still in
+// memory and can be dumped (WriteTail, DumpOnPanic, NotifySignals), so
+// a 10k-app batch that explodes at app 9,731 leaves a trail of what it
+// was doing, not just a stack.
+package eventlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Schema identifies the JSONL event format. The first event of every
+// stream carries it in its "schema" field; Decode rejects streams that
+// declare a different one.
+const Schema = "sierra-events/1"
+
+// DefaultRingCap is the ring size both cmds use: large enough to cover
+// the recent history of a wide batch (hundreds of jobs in flight),
+// small enough to be dumped wholesale to a terminal.
+const DefaultRingCap = 512
+
+// Event is one structured telemetry record. Fixed fields cover the
+// common shapes (job lifecycle, timing, cache outcome); Fields carries
+// event-type-specific payloads (run config, stage summaries, verdict
+// tallies) as free-form JSON.
+type Event struct {
+	// Schema is set on the first event of a stream (Decode keys on it).
+	Schema string `json:"schema,omitempty"`
+	// Seq is the recorder-assigned sequence number, from 0.
+	Seq int64 `json:"seq"`
+	// TimeNS is the emission wall-clock time (Unix nanoseconds).
+	TimeNS int64 `json:"t_ns"`
+	// Type names the event: run_start, job_start, job_end, job_verdict,
+	// stage, signal, run_end (the set is open — consumers must skip
+	// unknown types).
+	Type string `json:"type"`
+	// Job names the job (batch input path / app name) for job events.
+	Job string `json:"job,omitempty"`
+	// Index is the job's input position for job events (-1 otherwise).
+	Index int `json:"index,omitempty"`
+	// Status is the job outcome (batch.Status string) for job_end.
+	Status string `json:"status,omitempty"`
+	// Digest is the job's cache key digest, when one was computed.
+	Digest string `json:"digest,omitempty"`
+	// Cache is "hit" or "miss" when the job consulted the result cache.
+	Cache string `json:"cache,omitempty"`
+	// DurMS is the event's duration in milliseconds, when it has one.
+	DurMS float64 `json:"dur_ms,omitempty"`
+	// Err carries the failure or panic headline for failed jobs.
+	Err string `json:"err,omitempty"`
+	// Fields carries type-specific payload (config, tallies, timings).
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Recorder accumulates events in a bounded ring and, when constructed
+// with a sink, mirrors each event to it as one JSON line. All methods
+// are safe for concurrent use and no-ops on a nil receiver.
+type Recorder struct {
+	mu      sync.Mutex
+	sink    *bufio.Writer
+	ring    []Event
+	start   int // index of the oldest ring entry
+	n       int // live ring entries
+	seq     int64
+	dropped int64 // events evicted from the ring (still on the sink)
+	now     func() time.Time
+}
+
+// New builds a recorder with the given ring capacity (0 or negative
+// selects DefaultRingCap). sink, when non-nil, receives every event as
+// one JSON line; call Flush (or Close the underlying file) when done.
+func New(sink io.Writer, ringCap int) *Recorder {
+	if ringCap <= 0 {
+		ringCap = DefaultRingCap
+	}
+	r := &Recorder{ring: make([]Event, 0, ringCap), now: time.Now}
+	if sink != nil {
+		r.sink = bufio.NewWriter(sink)
+	}
+	return r
+}
+
+// Emit records one event, filling Seq, TimeNS, and (on the first event)
+// Schema. The caller's Event is taken by value; fixed fields the caller
+// set are preserved.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.Seq = r.seq
+	if r.seq == 0 {
+		e.Schema = Schema
+	} else {
+		e.Schema = ""
+	}
+	r.seq++
+	e.TimeNS = r.now().UnixNano()
+	if r.n < cap(r.ring) {
+		r.ring = append(r.ring, e)
+		r.n++
+	} else {
+		r.ring[r.start] = e
+		r.start = (r.start + 1) % cap(r.ring)
+		r.dropped++
+	}
+	if r.sink != nil {
+		raw, err := json.Marshal(e)
+		if err == nil {
+			r.sink.Write(raw)
+			r.sink.WriteByte('\n')
+		}
+	}
+}
+
+// Len returns the number of events emitted so far (including any the
+// ring has since evicted).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int(r.seq)
+}
+
+// Dropped returns how many events the ring has evicted (they remain on
+// the JSONL sink when one is configured).
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Tail returns copies of the most recent n ring events in emission
+// order (all of them when n <= 0 or n exceeds the ring).
+func (r *Recorder) Tail(n int) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > r.n {
+		n = r.n
+	}
+	out := make([]Event, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.ring[(r.start+r.n-n+i)%cap(r.ring)]
+	}
+	return out
+}
+
+// Flush drains the buffered JSONL sink (no-op without one).
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sink == nil {
+		return nil
+	}
+	return r.sink.Flush()
+}
+
+// WriteTail dumps the most recent n ring events (all when n <= 0) to w
+// as JSON lines — the panic/signal forensics path.
+func (r *Recorder) WriteTail(w io.Writer, n int) error {
+	for _, e := range r.Tail(n) {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(raw, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpOnPanic is meant to be deferred at a run's top level: on panic it
+// dumps the ring tail to w, flushes the sink, and re-panics so the
+// process still dies loudly with the original stack.
+func (r *Recorder) DumpOnPanic(w io.Writer) {
+	if p := recover(); p != nil {
+		if r != nil {
+			fmt.Fprintf(w, "panic: %v — flight recorder tail (%d events):\n", p, len(r.Tail(0)))
+			r.WriteTail(w, 0)
+			r.Flush()
+		}
+		panic(p)
+	}
+}
+
+// NotifySignals installs a SIGINT/SIGTERM handler that dumps the ring
+// tail to w, flushes the sink, and then invokes then (typically a
+// context cancel, so the run winds down as a graceful cancellation).
+// A second signal exits immediately. Returns a stop func that
+// uninstalls the handler.
+func (r *Recorder) NotifySignals(w io.Writer, then func()) (stop func()) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		fmt.Fprintf(w, "\n%v — flight recorder tail (%d events):\n", sig, len(r.Tail(0)))
+		r.WriteTail(w, 0)
+		r.Flush()
+		if then != nil {
+			then()
+		}
+		if _, ok := <-ch; ok {
+			os.Exit(130)
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(ch)
+	}
+}
+
+// Decode reads a sierra-events/1 JSONL stream back into events,
+// validating the schema header on the first line. Unknown fields are
+// ignored, so newer streams decode under older readers.
+func Decode(rd io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Event
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("event %d: %w", len(out), err)
+		}
+		if len(out) == 0 && e.Schema != Schema {
+			return nil, fmt.Errorf("stream schema %q, want %q", e.Schema, Schema)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package eventlog
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock makes emission deterministic for the golden test.
+func fixedClock(r *Recorder) {
+	var n int64
+	r.now = func() time.Time {
+		n++
+		return time.Unix(1700000000, n)
+	}
+}
+
+// TestJSONLGolden pins the sierra-events/1 wire format byte-for-byte:
+// schema header on the first line only, stable field order, omitted
+// zero fields.
+func TestJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf, 8)
+	fixedClock(r)
+	r.Emit(Event{Type: "run_start", Fields: map[string]any{"jobs": 4}})
+	r.Emit(Event{Type: "job_start", Job: "a.app", Index: 0})
+	r.Emit(Event{Type: "job_end", Job: "a.app", Index: 0, Status: "ok",
+		Digest: "d3adb33f", Cache: "miss", DurMS: 1.5})
+	r.Emit(Event{Type: "run_end", Fields: map[string]any{"races": 3}})
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`{"schema":"sierra-events/1","seq":0,"t_ns":1700000000000000001,"type":"run_start","fields":{"jobs":4}}`,
+		`{"seq":1,"t_ns":1700000000000000002,"type":"job_start","job":"a.app"}`,
+		`{"seq":2,"t_ns":1700000000000000003,"type":"job_end","job":"a.app","status":"ok","digest":"d3adb33f","cache":"miss","dur_ms":1.5}`,
+		`{"seq":3,"t_ns":1700000000000000004,"type":"run_end","fields":{"races":3}}`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("JSONL drift:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestRoundTrip decodes an encoded stream back and compares events.
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf, 16)
+	fixedClock(r)
+	r.Emit(Event{Type: "run_start", Fields: map[string]any{"glob": "corpus/*.app"}})
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Type: "job_end", Job: fmt.Sprintf("app%d", i), Index: i,
+			Status: "ok", DurMS: float64(i), Fields: map[string]any{"races": float64(i)}})
+	}
+	r.Flush()
+
+	events, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("decoded %d events, want 6", len(events))
+	}
+	if events[0].Schema != Schema || events[0].Type != "run_start" {
+		t.Fatalf("header = %+v", events[0])
+	}
+	var races float64
+	for _, e := range events[1:] {
+		if e.Type != "job_end" || e.Status != "ok" {
+			t.Fatalf("event = %+v", e)
+		}
+		races += e.Fields["races"].(float64)
+	}
+	if races != 0+1+2+3+4 {
+		t.Fatalf("replayed races = %v", races)
+	}
+}
+
+func TestDecodeRejectsForeignSchema(t *testing.T) {
+	in := strings.NewReader(`{"schema":"other/9","seq":0,"t_ns":1,"type":"x"}` + "\n")
+	if _, err := Decode(in); err == nil {
+		t.Fatal("foreign schema must not decode")
+	}
+}
+
+// TestRingBounded verifies eviction order and the dropped tally.
+func TestRingBounded(t *testing.T) {
+	r := New(nil, 4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Type: "e", Index: i})
+	}
+	tail := r.Tail(0)
+	if len(tail) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(tail))
+	}
+	for i, e := range tail {
+		if e.Index != 6+i || e.Seq != int64(6+i) {
+			t.Fatalf("tail[%d] = %+v", i, e)
+		}
+	}
+	if r.Dropped() != 6 || r.Len() != 10 {
+		t.Fatalf("dropped=%d len=%d", r.Dropped(), r.Len())
+	}
+	if got := r.Tail(2); len(got) != 2 || got[1].Index != 9 {
+		t.Fatalf("Tail(2) = %+v", got)
+	}
+}
+
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.Emit(Event{Type: "x"})
+	if r.Tail(0) != nil || r.Len() != 0 || r.Dropped() != 0 || r.Flush() != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+	if err := r.WriteTail(&bytes.Buffer{}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecorderStress hammers one ring from 16 goroutines (the -race
+// concurrency contract shared with obs.Histogram).
+func TestRecorderStress(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf, 64)
+	const workers = 16
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Emit(Event{Type: "job_end", Job: fmt.Sprintf("w%d", w), Index: i})
+				_ = r.Tail(8)
+				_ = r.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != workers*perWorker {
+		t.Fatalf("len = %d, want %d", r.Len(), workers*perWorker)
+	}
+	r.Flush()
+	events, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != workers*perWorker {
+		t.Fatalf("sink holds %d events, want %d", len(events), workers*perWorker)
+	}
+	for i, e := range events {
+		if e.Seq != int64(i) {
+			t.Fatalf("sink event %d has seq %d", i, e.Seq)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"sierra/internal/obs"
+	"sierra/internal/obs/eventlog"
+)
+
+// TestWriteMetricsGolden pins the Prometheus text exposition format:
+// sorted families, mangled names, cumulative histogram buckets.
+func TestWriteMetricsGolden(t *testing.T) {
+	tr := obs.New("run")
+	tr.Count("refute.pairs", 42)
+	tr.Count("shbg.edges.inter-proc", 7)
+	tr.Gauge("pointer.pts_max", 12)
+	tr.Observe("core.analyze_ms", 0.4) // bucket le=0.5
+	tr.Observe("core.analyze_ms", 3)   // bucket le=4
+	tr.Observe("core.analyze_ms", 1e9) // +Inf bucket
+
+	var b strings.Builder
+	WriteMetrics(&b, tr.Snapshot())
+	got := b.String()
+
+	bounds := obs.HistogramBounds()
+	var h strings.Builder
+	fmt.Fprintf(&h, "# TYPE sierra_core_analyze_ms histogram\n")
+	cum := 0
+	for _, le := range bounds {
+		if le >= 0.5 && cum == 0 {
+			cum = 1
+		}
+		if le >= 4 && cum == 1 {
+			cum = 2
+		}
+		fmt.Fprintf(&h, "sierra_core_analyze_ms_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	h.WriteString("sierra_core_analyze_ms_bucket{le=\"+Inf\"} 3\n")
+	h.WriteString("sierra_core_analyze_ms_sum 1.0000000034e+09\n")
+	h.WriteString("sierra_core_analyze_ms_count 3\n")
+
+	want := h.String() +
+		"# TYPE sierra_pointer_pts_max gauge\nsierra_pointer_pts_max 12\n" +
+		"# TYPE sierra_refute_pairs counter\nsierra_refute_pairs 42\n" +
+		"# TYPE sierra_shbg_edges_inter_proc counter\nsierra_shbg_edges_inter_proc 7\n"
+	if got != want {
+		t.Fatalf("exposition drift:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteMetricsNil(t *testing.T) {
+	var b strings.Builder
+	WriteMetrics(&b, nil)
+	WriteMetrics(&b, (*obs.Trace)(nil).Snapshot())
+	if b.String() != "" {
+		t.Fatalf("nil snapshot wrote %q", b.String())
+	}
+}
+
+// TestServerEndpoints drives a live server end to end.
+func TestServerEndpoints(t *testing.T) {
+	tr := obs.New("run")
+	tr.Count("batch.jobs", 3)
+	tr.Observe("batch.job_duration_ms", 2)
+	rec := eventlog.New(nil, 8)
+	rec.Emit(eventlog.Event{Type: "run_start"})
+	rec.Emit(eventlog.Event{Type: "job_end", Job: "a.app", Status: "ok"})
+
+	srv, err := Serve("127.0.0.1:0", Options{
+		Trace:  tr,
+		Events: rec,
+		Progress: func() any {
+			return map[string]any{"jobs_done": 1, "jobs_total": 3}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+
+	if got := get("/healthz"); got != "ok\n" {
+		t.Fatalf("/healthz = %q", got)
+	}
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"# TYPE sierra_batch_jobs counter\nsierra_batch_jobs 3\n",
+		"# TYPE sierra_batch_job_duration_ms histogram\n",
+		`sierra_batch_job_duration_ms_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	var prog struct {
+		Progress map[string]any   `json:"progress"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(get("/progress")), &prog); err != nil {
+		t.Fatal(err)
+	}
+	if prog.Progress["jobs_done"].(float64) != 1 || prog.Counters["batch.jobs"] != 3 {
+		t.Fatalf("/progress = %+v", prog)
+	}
+
+	var events []eventlog.Event
+	if err := json.Unmarshal([]byte(get("/events?n=1")), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Type != "job_end" {
+		t.Fatalf("/events tail = %+v", events)
+	}
+
+	if got := get("/debug/pprof/cmdline"); got == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+// TestServerEmptySources: every endpoint stays valid with nil sources.
+func TestServerEmptySources(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/progress", "/events", "/healthz"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+}

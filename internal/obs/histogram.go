@@ -1,0 +1,123 @@
+package obs
+
+import "sync"
+
+// histBounds are the shared bucket upper bounds of every Histogram:
+// fixed exponential buckets, 0.5 doubling to 0.5·2²³ ≈ 4.19e6, plus an
+// implicit +Inf bucket. One layout serves every observed quantity —
+// millisecond wall times (0.5 ms .. ~70 min), walk path counts (1 ..
+// 4M), closure iteration counts — so snapshots merge bucket-wise
+// without negotiation and the exposition format needs no per-metric
+// metadata. The bounds are non-cumulative here; cumulative ("le")
+// counts are derived at snapshot/exposition time.
+const numHistBounds = 24
+
+var histBounds = func() []float64 {
+	b := make([]float64, numHistBounds)
+	v := 0.5
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// HistogramBounds returns the shared bucket upper bounds (excluding the
+// implicit +Inf bucket). Callers must not mutate the result.
+func HistogramBounds() []float64 { return histBounds }
+
+// Histogram is a concurrency-safe distribution recorder over the shared
+// fixed exponential bucket layout. The zero value is ready to use; all
+// methods are no-ops on a nil receiver, so hot paths can thread a
+// possibly-nil *Histogram obtained from a possibly-nil *Trace without
+// guards.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [numHistBounds + 1]int64 // per-bucket (non-cumulative); last is +Inf
+	sum    float64
+	n      int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := bucketIndex(v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// bucketIndex locates v's bucket by binary search over histBounds
+// (index len(histBounds) is the +Inf bucket).
+func bucketIndex(v float64) int {
+	lo, hi := 0, len(histBounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= histBounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Count returns the number of samples observed so far.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// HistogramSnapshot is a histogram frozen for serialization. Counts are
+// per-bucket (non-cumulative), aligned with HistogramBounds() plus a
+// final +Inf bucket; the JSON form is part of the `-stats` contract.
+type HistogramSnapshot struct {
+	Counts []int64 `json:"counts"`
+	Sum    float64 `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// snapshot deep-copies the histogram's current state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Counts: append([]int64(nil), h.counts[:]...),
+		Sum:    h.sum,
+		Count:  h.n,
+	}
+}
+
+// merge folds a frozen histogram into this one (bucket-wise sum). A
+// snapshot with a foreign bucket count is ignored rather than
+// misaligned — it can only come from a different obs version.
+func (h *Histogram) merge(s HistogramSnapshot) {
+	if h == nil || len(s.Counts) != len(h.counts) {
+		return
+	}
+	h.mu.Lock()
+	for i, c := range s.Counts {
+		h.counts[i] += c
+	}
+	h.sum += s.Sum
+	h.n += s.Count
+	h.mu.Unlock()
+}

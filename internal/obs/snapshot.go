@@ -9,12 +9,17 @@ import (
 )
 
 // Snapshot is a trace frozen for serialization: the span tree plus all
-// counters, gauges, and series. Its JSON form is the `-stats` contract.
+// counters, gauges, series, and histograms. Its JSON form is the
+// `-stats` contract. HistogramLE carries the shared bucket upper
+// bounds every HistogramSnapshot's counts align with (plus a final
+// +Inf bucket); it is present iff Histograms is.
 type Snapshot struct {
-	Trace    *SpanSnapshot            `json:"trace,omitempty"`
-	Counters map[string]int64         `json:"counters,omitempty"`
-	Gauges   map[string]float64       `json:"gauges,omitempty"`
-	Series   map[string][]SeriesPoint `json:"series,omitempty"`
+	Trace       *SpanSnapshot                `json:"trace,omitempty"`
+	Counters    map[string]int64             `json:"counters,omitempty"`
+	Gauges      map[string]float64           `json:"gauges,omitempty"`
+	Series      map[string][]SeriesPoint     `json:"series,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	HistogramLE []float64                    `json:"histogram_le,omitempty"`
 }
 
 // SpanSnapshot is one node of the frozen span tree.
@@ -34,8 +39,12 @@ func (t *Trace) Snapshot() *Snapshot {
 	t.mu.Lock()
 	root := freezeSpan(t.root)
 	t.mu.Unlock()
-	counts, gauges, series := t.c.snapshot()
-	return &Snapshot{Trace: root, Counters: counts, Gauges: gauges, Series: series}
+	counts, gauges, series, hists := t.c.snapshot()
+	s := &Snapshot{Trace: root, Counters: counts, Gauges: gauges, Series: series, Histograms: hists}
+	if len(hists) > 0 {
+		s.HistogramLE = HistogramBounds()
+	}
+	return s
 }
 
 func freezeSpan(s *Span) *SpanSnapshot {
@@ -90,6 +99,17 @@ func Format(s *Snapshot) string {
 				total += p.Value
 			}
 			fmt.Fprintf(&b, "  %-36s %6d samples, total %d\n", k, len(pts), total)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintf(&b, "histograms\n")
+		for _, k := range sortedKeys(s.Histograms) {
+			h := s.Histograms[k]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Fprintf(&b, "  %-36s %6d samples, sum %.2f, mean %.2f\n", k, h.Count, h.Sum, mean)
 		}
 	}
 	return b.String()

@@ -140,16 +140,36 @@ func (t *Trace) Series(series, label string, v int64) {
 	t.c.Append(series, label, v)
 }
 
-// Absorb merges a snapshot's counters, gauges, and series into the
-// trace: counters sum, gauges keep the maximum, series append. Span
-// trees are not merged (spans describe one run's timeline; absorbed
-// snapshots typically come from sibling runs, e.g. batch jobs). Safe
-// for concurrent use; no-op when t or s is nil.
+// Observe records one sample into the named histogram (see Histogram
+// for the shared bucket layout).
+func (t *Trace) Observe(name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.c.Observe(name, v)
+}
+
+// Hist returns the named histogram, creating it on first use, so hot
+// paths can resolve the handle once and Observe through it. Nil trace
+// returns a nil (no-op) histogram.
+func (t *Trace) Hist(name string) *Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.c.Hist(name)
+}
+
+// Absorb merges a snapshot's counters, gauges, series, and histograms
+// into the trace: counters sum, gauges keep the maximum, series append,
+// histograms merge bucket-wise. Span trees are not merged (spans
+// describe one run's timeline; absorbed snapshots typically come from
+// sibling runs, e.g. batch jobs). Safe for concurrent use; no-op when
+// t or s is nil.
 func (t *Trace) Absorb(s *Snapshot) {
 	if t == nil || s == nil {
 		return
 	}
-	t.c.absorb(s.Counters, s.Gauges, s.Series)
+	t.c.absorb(s.Counters, s.Gauges, s.Series, s.Histograms)
 }
 
 // Counter reads a counter's current value (0 if absent or t is nil).

@@ -238,6 +238,7 @@ func (a *analyzer) reportObs() {
 		tr.Count("pointer.interrupted", 1)
 	}
 	tr.Count("pointer.worklist_iterations", a.stats.iterations)
+	tr.Observe("pointer.solve_iterations", float64(a.stats.iterations))
 	if a.d != nil {
 		tr.Count("pointer.dirty_instances", a.stats.dirtyInstances)
 		tr.Count("pointer.transfer_skips", a.stats.transferSkips)

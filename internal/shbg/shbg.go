@@ -181,6 +181,7 @@ func Build(reg *actions.Registry, res *pointer.Result, opts Options) *Graph {
 		}
 		tr.Count("shbg.edges_closed", int64(g.NumEdges()))
 		tr.Count("shbg.closure_rounds", int64(rounds))
+		tr.Observe("shbg.closure_iterations", float64(rounds))
 		tr.Count("shbg.reach_queries", int64(g.reachQueries))
 		if g.Interrupted {
 			tr.Count("shbg.interrupted", 1)

@@ -3,6 +3,7 @@ package symexec
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"sierra/internal/actions"
 	"sierra/internal/pointer"
@@ -71,6 +72,7 @@ func CheckAll(reg *actions.Registry, res *pointer.Result, cfg Config, pairs []ra
 		v        Verdict
 		pruned   int64
 		capped   int64
+		durMS    float64
 		panicked bool
 		done     bool
 	}
@@ -83,6 +85,10 @@ func CheckAll(reg *actions.Registry, res *pointer.Result, cfg Config, pairs []ra
 			defer wg.Done()
 			for i := range idxCh {
 				results[i] = func() (r result) {
+					var t0 time.Time
+					if tr != nil {
+						t0 = time.Now()
+					}
 					defer func() {
 						if rec := recover(); rec != nil {
 							// Over-approximate, like budget exhaustion:
@@ -92,6 +98,11 @@ func CheckAll(reg *actions.Registry, res *pointer.Result, cfg Config, pairs []ra
 								panicked: true,
 								done:     true,
 							}
+						}
+						if tr != nil {
+							r.durMS = float64(time.Since(t0)) / 1e6
+						} else {
+							r.durMS = -1
 						}
 					}()
 					v, pruned, capped := base.fork().check(pairs[i])
@@ -116,7 +127,7 @@ func CheckAll(reg *actions.Registry, res *pointer.Result, cfg Config, pairs []ra
 	// done prefix is contiguous. Emit it in pair order.
 	verdicts := make([]Verdict, 0, fed)
 	for i := 0; i < len(results) && results[i].done; i++ {
-		recordVerdict(tr, pairs[i], results[i].v, results[i].pruned, results[i].capped)
+		recordVerdict(tr, pairs[i], results[i].v, results[i].pruned, results[i].capped, results[i].durMS)
 		if results[i].panicked && tr != nil {
 			tr.Count("refute.pair_panics", 1)
 		}

@@ -2,6 +2,7 @@ package symexec
 
 import (
 	"context"
+	"time"
 
 	"sierra/internal/actions"
 	"sierra/internal/ir"
@@ -171,10 +172,17 @@ func NewRefuter(reg *actions.Registry, res *pointer.Result, cfg Config) *Refuter
 
 // Check decides whether the candidate pair survives refutation: a pair
 // is a true positive iff a feasible path witnesses it in both orderings
-// of the two actions (§5).
+// of the two actions (§5). Per-pair wall time is measured only when a
+// trace is attached, so the telemetry-off path pays nothing.
 func (r *Refuter) Check(p race.Pair) Verdict {
+	var t0 time.Time
+	if r.Cfg.Obs != nil {
+		t0 = time.Now()
+	}
 	v, pruned, capped := r.check(p)
-	recordVerdict(r.Cfg.Obs, p, v, pruned, capped)
+	if r.Cfg.Obs != nil {
+		recordVerdict(r.Cfg.Obs, p, v, pruned, capped, float64(time.Since(t0))/1e6)
+	}
 	return v
 }
 
@@ -208,11 +216,13 @@ func (r *Refuter) check(p race.Pair) (Verdict, int64, int64) {
 	return v, r.pruned - prunedBefore, r.entryCapped - cappedBefore
 }
 
-// recordVerdict emits one pair's refutation counters and its
-// refute.pair_paths sample (nil Trace = no-op). Sequential Check calls
-// it inline; CheckAll's parallel path calls it from the in-order
-// emitter so counter and series order match the sequential run.
-func recordVerdict(tr *obs.Trace, p race.Pair, v Verdict, pruned, capped int64) {
+// recordVerdict emits one pair's refutation counters, its
+// refute.pair_paths sample, and the refute.pair_ms / refute.walk_paths
+// histogram observations (nil Trace = no-op; durMS < 0 means the pair
+// was not timed). Sequential Check calls it inline; CheckAll's
+// parallel path calls it from the in-order emitter so counter and
+// series order match the sequential run.
+func recordVerdict(tr *obs.Trace, p race.Pair, v Verdict, pruned, capped int64, durMS float64) {
 	if tr == nil {
 		return
 	}
@@ -245,6 +255,10 @@ func recordVerdict(tr *obs.Trace, p race.Pair, v Verdict, pruned, capped int64) 
 		tr.Count("refute.verdict.refuted_ba", 1)
 	}
 	tr.Series("refute.pair_paths", p.Key(), int64(v.Paths))
+	tr.Observe("refute.walk_paths", float64(v.Paths))
+	if durMS >= 0 {
+		tr.Observe("refute.pair_ms", durMS)
+	}
 }
 
 // feasible checks the ordering "first's action completes, then second's

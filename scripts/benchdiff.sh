@@ -10,9 +10,16 @@
 #                                        ns/op + allocs/op delta as JSON in the
 #                                        BENCH_kernels.json before/after shape
 #
+# Every comparison run also appends one entry — UTC date, HEAD SHA,
+# baseline ref/SHA, and the per-kernel HEAD medians — to a cumulative
+# trajectory file, so the kernels' perf history accretes alongside the
+# BENCH_*.json artifacts.
+#
 # Environment:
-#   BENCH_COUNT    -count for the comparison runs (default 3)
-#   BENCH_PATTERN  bench regexp (default BenchmarkKernel)
+#   BENCH_COUNT       -count for the comparison runs (default 3)
+#   BENCH_PATTERN     bench regexp (default BenchmarkKernel)
+#   BENCH_TRAJECTORY  trajectory file (default BENCH_trajectory.json at
+#                     the repo root; set empty to skip the append)
 set -eu
 
 PATTERN="${BENCH_PATTERN:-BenchmarkKernel}"
@@ -58,9 +65,17 @@ echo "benchdiff: benching $ref ($(git rev-parse --short "$ref"))..." >&2
 git worktree add --detach "$wt" "$ref" >/dev/null
 run_bench "$wt" "$tmp/base.txt"
 
+TRAJ="${BENCH_TRAJECTORY-$repo_root/BENCH_trajectory.json}"
+
 # Reduce each raw output to "name ns_op bytes_op allocs_op" medians and
-# join the two runs into before/after JSON.
-awk -v baseline="$tmp/base.txt" -v head="$tmp/head.txt" '
+# join the two runs into before/after JSON; the HEAD medians also go to
+# the one-line trajectory entry.
+awk -v baseline="$tmp/base.txt" -v head="$tmp/head.txt" \
+    -v entry="$tmp/entry.json" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v head_sha="$(git rev-parse HEAD)" \
+    -v base_ref="$ref" \
+    -v base_sha="$(git rev-parse "$ref^{commit}")" '
 function median(arr, n,    i, j, tmpv, half) {
     for (i = 2; i <= n; i++) {
         tmpv = arr[i]
@@ -101,6 +116,7 @@ BEGIN {
     for (i = 1; i <= nn; i++)
         for (j = i + 1; j <= nn; j++)
             if (names[j] < names[i]) { t = names[i]; names[i] = names[j]; names[j] = t }
+    ekernels = ""
     for (i = 1; i <= nn; i++) {
         name = names[i]
         if (!(name in bcnt)) continue
@@ -114,6 +130,25 @@ BEGIN {
         printf "      \"after\":  {\"ns_op\": %d, \"bytes_op\": %d, \"allocs_op\": %d},\n", h_ns, h_by, h_al
         printf "      \"speedup\": %.2f,\n", (h_ns > 0 ? b_ns / h_ns : 0)
         printf "      \"allocs_ratio\": %.2f\n    }", (h_al > 0 ? b_al / h_al : 0)
+        if (ekernels != "") ekernels = ekernels ","
+        ekernels = ekernels sprintf("\"%s\":{\"ns_op\":%d,\"bytes_op\":%d,\"allocs_op\":%d}", \
+                                    name, h_ns, h_by, h_al)
     }
     printf "\n  }\n}\n"
+    printf "{\"date\":\"%s\",\"head_sha\":\"%s\",\"base_ref\":\"%s\",\"base_sha\":\"%s\",\"kernels\":{%s}}\n", \
+           date, head_sha, base_ref, base_sha, ekernels > entry
 }' </dev/null
+
+# Append the entry to the cumulative trajectory array (one entry per
+# line, so `git diff` shows one added line per run).
+if [ -n "$TRAJ" ] && [ -s "$tmp/entry.json" ]; then
+    if [ -s "$TRAJ" ]; then
+        sed '$d' "$TRAJ" >"$tmp/traj"       # drop the closing ]
+        sed '$s/$/,/' "$tmp/traj" >"$TRAJ"  # comma after the last entry
+    else
+        printf '[\n' >"$TRAJ"
+    fi
+    cat "$tmp/entry.json" >>"$TRAJ"
+    printf ']\n' >>"$TRAJ"
+    echo "benchdiff: appended trajectory entry to $TRAJ" >&2
+fi
