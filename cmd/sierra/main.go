@@ -38,6 +38,7 @@ import (
 
 	"sierra/internal/apk"
 	"sierra/internal/appfile"
+	"sierra/internal/batch"
 	"sierra/internal/core"
 	"sierra/internal/corpus"
 	"sierra/internal/obs"
@@ -45,11 +46,18 @@ import (
 	"sierra/internal/obs/export"
 	"sierra/internal/pointer"
 	"sierra/internal/report"
+	"sierra/internal/serve"
 	"sierra/internal/symexec"
 	"sierra/internal/verify"
 )
 
 func main() {
+	// Subcommands dispatch before flag parsing; everything else is the
+	// classic one-shot CLI.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(runServe(os.Args[2:]))
+	}
+
 	var (
 		appName        = flag.String("app", "", "named dataset app (see -list)")
 		fdroid         = flag.Int("fdroid", -1, "generated dataset app index (0..173)")
@@ -73,6 +81,7 @@ func main() {
 		debugAddr      = flag.String("debug-addr", "", "serve /metrics, /progress, /events, /healthz, and /debug/pprof on this address while the run executes")
 		pprofCPU       = flag.String("pprof-cpu", "", "write a CPU profile of the analysis to this file")
 		pprofMem       = flag.String("pprof-mem", "", "write a heap profile after the analysis to this file")
+		reportJSON     = flag.String("report-json", "", "write the canonical sierra-report/1 document to this file ('-' = stdout); byte-identical to what `sierra serve` stores for the same bytes and config")
 	)
 	flag.Parse()
 
@@ -140,6 +149,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sierra:", err)
 		os.Exit(1)
+	}
+
+	// The report digest keys the canonical document exactly as `sierra
+	// serve` would key this submission: the raw file bytes for -file,
+	// the canonical rendering otherwise. Computed up front — harness
+	// generation extends the program during analysis.
+	var reportDigest string
+	if *reportJSON != "" {
+		raw, err := os.ReadFile(*file)
+		if *file == "" {
+			raw, err = appfile.Bytes(app)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sierra: -report-json:", err)
+			os.Exit(1)
+		}
+		reportDigest = batch.RawDigest(raw)
 	}
 
 	if *pprofCPU != "" {
@@ -249,6 +275,20 @@ func main() {
 		}
 	}
 
+	if *reportJSON != "" {
+		if res.Interrupted {
+			fmt.Fprintf(os.Stderr, "sierra: -report-json: analysis interrupted at %q; no report written\n", res.InterruptedStage)
+			os.Exit(1)
+		}
+		doc := serve.RenderReport(reportDigest, res)
+		if *reportJSON == "-" {
+			os.Stdout.Write(doc)
+		} else if err := os.WriteFile(*reportJSON, doc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sierra: -report-json:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *stats != "" {
 		raw, err := tr.Snapshot().JSON()
 		if err == nil {
@@ -270,6 +310,12 @@ func main() {
 			os.Exit(1)
 		}
 		f.Close()
+	}
+
+	// With the canonical document on stdout, the human summary would
+	// corrupt it; stdout carries exactly the report bytes.
+	if *reportJSON == "-" {
+		return
 	}
 
 	fmt.Printf("app            %s\n", app.Name)

@@ -171,6 +171,12 @@ func writeClass(w io.Writer, c *ir.Class) {
 	}
 }
 
+// StmtLine renders one statement in the canonical .app syntax — the
+// exact line Write emits. Exported for internal/incremental, whose
+// per-method fingerprints are hashes over these canonical lines (so the
+// fingerprint and the serialized form can never drift apart).
+func StmtLine(s ir.Stmt) string { return stmtLine(s) }
+
 func stmtLine(s ir.Stmt) string {
 	orUnderscore := func(v string) string {
 		if v == "" {

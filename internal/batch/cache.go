@@ -1,10 +1,12 @@
 package batch
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -16,48 +18,87 @@ type Cache interface {
 	Put(key string, val []byte)
 }
 
-// MemCache is an in-process Cache (a run-local map). Useful for warm
-// reruns within one process and for tests.
+// MemCache is an in-process Cache. Unbounded by default (a CLI run's
+// working set), it can be capped for daemon life: with a cap, entries
+// are evicted least-recently-used once the cap is exceeded, where
+// "used" means touched by Get or Put.
 type MemCache struct {
-	mu sync.RWMutex
-	m  map[string][]byte
+	mu  sync.Mutex
+	max int
+	m   map[string]*list.Element
+	// lru orders entries most-recently-used first; evictions pop the
+	// back. Entries are *memEntry values.
+	lru list.List
 }
 
-// NewMemCache returns an empty in-memory cache.
-func NewMemCache() *MemCache { return &MemCache{m: make(map[string][]byte)} }
+// memEntry is one cached value with its key (needed to unmap on
+// eviction).
+type memEntry struct {
+	key string
+	val []byte
+}
 
-// Get returns the cached value for key.
+// NewMemCache returns an empty, unbounded in-memory cache.
+func NewMemCache() *MemCache { return NewMemCacheCap(0) }
+
+// NewMemCacheCap returns an empty in-memory cache holding at most max
+// entries (max <= 0 = unbounded). Exceeding the cap evicts the
+// least-recently-used entry, so a long-running process keeps its hot
+// working set without growing forever.
+func NewMemCacheCap(max int) *MemCache {
+	return &MemCache{max: max, m: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value for key, marking it most recently used.
 func (c *MemCache) Get(key string) ([]byte, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	v, ok := c.m[key]
-	return v, ok
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*memEntry).val, true
 }
 
 // Put stores val under key (value is copied; callers may reuse the
-// slice).
+// slice) and evicts the least-recently-used entries beyond the cap.
 func (c *MemCache) Put(key string, val []byte) {
+	cp := append([]byte(nil), val...)
 	c.mu.Lock()
-	c.m[key] = append([]byte(nil), val...)
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*memEntry).val = cp
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&memEntry{key: key, val: cp})
+	for c.max > 0 && c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.m, oldest.Value.(*memEntry).key)
+	}
 }
 
 // Len reports the number of cached entries.
 func (c *MemCache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return len(c.m)
 }
 
 // DirCache is a directory-backed Cache: one file per key, named by the
 // key's SHA-256 (keys may contain arbitrary bytes; filenames may not).
 // It is what makes a re-run of an unchanged corpus near-free across
-// processes. Entries never expire — the key embeds the app digest and
-// the options fingerprint, so stale entries are simply never asked for;
-// clear the directory to reclaim space or after changing the analysis
-// in ways the fingerprint does not capture.
+// processes. Entries never expire on their own — the key embeds the app
+// digest and the options fingerprint, so stale entries are simply never
+// asked for — but a long-lived process can bound the directory's size
+// with Sweep.
 type DirCache struct {
 	dir string
+	// sweepMu serializes Sweep passes (concurrent Get/Put stay
+	// lock-free; a swept-away entry is just a miss).
+	sweepMu sync.Mutex
 }
 
 // NewDirCache creates (if needed) and opens a directory cache.
@@ -67,6 +108,9 @@ func NewDirCache(dir string) (*DirCache, error) {
 	}
 	return &DirCache{dir: dir}, nil
 }
+
+// Dir returns the cache's backing directory.
+func (c *DirCache) Dir() string { return c.dir }
 
 func (c *DirCache) path(key string) string {
 	sum := sha256.Sum256([]byte(key))
@@ -101,4 +145,61 @@ func (c *DirCache) Put(key string, val []byte) {
 	if err := os.Rename(name, dst); err != nil {
 		os.Remove(name)
 	}
+}
+
+// Sweep is the best-effort size-budgeted GC for daemon life: when the
+// cache's total byte size exceeds maxBytes, the oldest entries (by
+// modification time — Put rewrites a refreshed entry's file, bumping
+// it) are removed until the total fits. maxBytes <= 0 is a no-op.
+// Returns entries removed and bytes freed. Failures are skipped, never
+// fatal: a sweep that races a concurrent Put simply frees a little
+// less, and a swept entry costs its next reader one cache miss.
+func (c *DirCache) Sweep(maxBytes int64) (removed int, freed int64) {
+	if maxBytes <= 0 {
+		return 0, 0
+	}
+	c.sweepMu.Lock()
+	defer c.sweepMu.Unlock()
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, 0
+	}
+	type fileInfo struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var files []fileInfo
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, fileInfo{
+			path:  filepath.Join(c.dir, e.Name()),
+			size:  fi.Size(),
+			mtime: fi.ModTime().UnixNano(),
+		})
+		total += fi.Size()
+	}
+	if total <= maxBytes {
+		return 0, 0
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, f := range files {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.Remove(f.path); err != nil {
+			continue
+		}
+		total -= f.size
+		freed += f.size
+		removed++
+	}
+	return removed, freed
 }

@@ -1,0 +1,100 @@
+package batch
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestMemCacheLRU(t *testing.T) {
+	c := NewMemCacheCap(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	// Touch k0 so k1 becomes the LRU entry.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	c.Put("k3", []byte{3})
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted as LRU")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	// Re-putting an existing key must update in place, not evict.
+	c.Put("k2", []byte{42})
+	if v, ok := c.Get("k2"); !ok || v[0] != 42 {
+		t.Fatalf("k2 after overwrite = %v, %t", v, ok)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len after overwrite = %d, want 3", c.Len())
+	}
+}
+
+func TestMemCacheUnbounded(t *testing.T) {
+	c := NewMemCache()
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if c.Len() != 100 {
+		t.Fatalf("unbounded cache evicted: Len = %d", c.Len())
+	}
+}
+
+func TestDirCacheSweep(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five 100-byte entries with strictly increasing mtimes (the
+	// filesystem's mtime granularity can be coarse, so set them
+	// explicitly instead of sleeping).
+	val := make([]byte, 100)
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.Put(key, val)
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(c.path(key), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, freed := c.Sweep(250)
+	if removed != 3 || freed != 300 {
+		t.Fatalf("Sweep(250) = (%d, %d), want (3, 300)", removed, freed)
+	}
+	// The two newest entries survive; the three oldest are gone.
+	for i := 0; i < 5; i++ {
+		_, ok := c.Get(fmt.Sprintf("k%d", i))
+		if want := i >= 3; ok != want {
+			t.Fatalf("k%d present = %t, want %t", i, ok, want)
+		}
+	}
+	// Under budget: a second sweep is a no-op.
+	if removed, freed := c.Sweep(250); removed != 0 || freed != 0 {
+		t.Fatalf("second Sweep = (%d, %d), want (0, 0)", removed, freed)
+	}
+	// Disabled budget: no-op even over any conceivable size.
+	if removed, _ := c.Sweep(0); removed != 0 {
+		t.Fatal("Sweep(0) must be a no-op")
+	}
+	// Subdirectories are left alone.
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if removed, _ := c.Sweep(1); removed != 2 {
+		t.Fatalf("final sweep removed %d, want 2", removed)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sub")); err != nil {
+		t.Fatal("sweep removed a subdirectory")
+	}
+}

@@ -1,0 +1,128 @@
+package corpus
+
+import "strings"
+
+// IncrDemoEdit selects a variant of the IncrDemo app text.
+type IncrDemoEdit struct {
+	// IfLine overrides Click2.onClick's branch condition. The default
+	// guard "if c == int 1" over "const c int 0" makes the guarded f1
+	// read infeasible (refuted); "if c == int 0" makes it reachable —
+	// an If-operand-only edit, invisible to the fixpoint stages and so
+	// eligible for incremental re-analysis.
+	IfLine string
+	// ExtraStmt appends a statement to Click2.onClick (a
+	// skeleton-visible change: the incremental planner must decline).
+	ExtraStmt string
+	// ExtraField adds an Act0 field declaration (a shape change:
+	// decline).
+	ExtraField string
+}
+
+// IncrDemoText renders the IncrDemo app in canonical .app text: one
+// activity with three buttons. Click1 spawns an AsyncTask writing f1
+// and f2 from the background; Click2 reads f1 behind a constant guard;
+// Click3 reads f2 unguarded. The Task-write/Click2-read pair and the
+// Task-write/Click3-read pair involve disjoint listener callbacks, so
+// an edit inside Click2.onClick must re-refute the f1 pair and reuse
+// the f2 verdict — the fixture the incremental-analysis and service
+// tests are built on.
+func IncrDemoText(ed IncrDemoEdit) []byte {
+	ifLine := ed.IfLine
+	if ifLine == "" {
+		ifLine = "if c == int 1"
+	}
+	var b strings.Builder
+	b.WriteString(`app IncrDemo
+package gen.incrdemo
+activity Act0 layout layout0
+layout layout0
+view layout0 1000 android.view.View -1
+view layout0 1001 android.widget.Button 1000
+view layout0 1002 android.widget.Button 1000
+view layout0 1003 android.widget.Button 1000
+class Act0 extends android.app.Activity
+field Act0 f1
+field Act0 f2
+`)
+	if ed.ExtraField != "" {
+		b.WriteString("field Act0 " + ed.ExtraField + "\n")
+	}
+	b.WriteString(`method Act0 onCreate
+block Act0 onCreate 0
+new l1 Click1
+call p _ l1 Click1 <init> this
+const id1 int 1001
+call v b1 this Act0 findViewById id1
+call v _ b1 android.view.View setOnClickListener l1
+new l2 Click2
+call p _ l2 Click2 <init> this
+const id2 int 1002
+call v b2 this Act0 findViewById id2
+call v _ b2 android.view.View setOnClickListener l2
+new l3 Click3
+call p _ l3 Click3 <init> this
+const id3 int 1003
+call v b3 this Act0 findViewById id3
+call v _ b3 android.view.View setOnClickListener l3
+ret _
+class Click1 extends java.lang.Object implements android.view.View$OnClickListener
+field Click1 act
+method Click1 <init> params a
+block Click1 <init> 0
+store this act a
+ret _
+method Click1 onClick params v
+block Click1 onClick 0
+load a this act
+new t Task1
+call p _ t Task1 <init> a
+call v _ t Task1 execute
+ret _
+class Task1 extends android.os.AsyncTask
+field Task1 act
+method Task1 <init> params a
+block Task1 <init> 0
+store this act a
+ret _
+method Task1 doInBackground
+block Task1 doInBackground 0
+load a this act
+const one int 1
+store a f1 one
+store a f2 one
+ret _
+class Click2 extends java.lang.Object implements android.view.View$OnClickListener
+field Click2 act
+method Click2 <init> params a
+block Click2 <init> 0
+store this act a
+ret _
+method Click2 onClick params v
+block Click2 onClick 0 succ 1,2
+load a this act
+const c int 0
+`)
+	b.WriteString(ifLine + "\n")
+	b.WriteString(`block Click2 onClick 1
+load y a f1
+ret _
+block Click2 onClick 2
+`)
+	if ed.ExtraStmt != "" {
+		b.WriteString(ed.ExtraStmt + "\n")
+	}
+	b.WriteString(`ret _
+class Click3 extends java.lang.Object implements android.view.View$OnClickListener
+field Click3 act
+method Click3 <init> params a
+block Click3 <init> 0
+store this act a
+ret _
+method Click3 onClick params v
+block Click3 onClick 0
+load a this act
+load z a f2
+ret _
+`)
+	return []byte(b.String())
+}

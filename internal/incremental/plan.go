@@ -1,0 +1,44 @@
+package incremental
+
+import "sort"
+
+// Plan is the planner's output: either a proven-safe reuse of every
+// pre-refutation artifact (OK true, Changed listing the skeleton-equal
+// edited methods), or a decline with the reason the proof failed.
+type Plan struct {
+	OK bool
+	// Changed lists the qualified names of methods whose bodies differ
+	// (sorted). Empty with OK means the revision is body-identical.
+	Changed []string
+	// Reason explains a decline: "shape" (declarations, manifest, or
+	// layouts changed), or "skeleton:<method>" (a changed method also
+	// changed statements some fixpoint stage reads).
+	Reason string
+}
+
+// PlanReuse decides whether next can be analyzed incrementally against
+// a baseline with fingerprint base. Reuse is offered only when the
+// shapes match exactly (which pins the class/method sets, so Methods
+// maps have identical keys) and every changed method is skeleton-equal.
+func PlanReuse(base, next *Fingerprint) Plan {
+	if base.Shape != next.Shape {
+		return Plan{Reason: "shape"}
+	}
+	var changed []string
+	for name, nfp := range next.Methods {
+		bfp, ok := base.Methods[name]
+		if !ok {
+			// Equal shapes should make this impossible; fail closed.
+			return Plan{Reason: "shape"}
+		}
+		if bfp.Full == nfp.Full {
+			continue
+		}
+		if bfp.Skeleton != nfp.Skeleton {
+			return Plan{Reason: "skeleton:" + name}
+		}
+		changed = append(changed, name)
+	}
+	sort.Strings(changed)
+	return Plan{OK: true, Changed: changed}
+}

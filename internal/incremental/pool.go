@@ -1,0 +1,75 @@
+package incremental
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Pool holds warm baselines keyed by app name (the lineage key: a CI
+// fleet resubmitting revisions of one app hits the same baseline). It
+// is LRU-bounded — baselines pin a full program plus every analysis
+// artifact in memory, so a daemon keeps only the hottest lineages warm.
+type Pool struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]*list.Element
+	lru list.List // of *Baseline, most-recently-used first
+}
+
+// NewPool returns a pool keeping at most max baselines (max <= 0 picks
+// a small default).
+func NewPool(max int) *Pool {
+	if max <= 0 {
+		max = 8
+	}
+	return &Pool{max: max, m: make(map[string]*list.Element)}
+}
+
+// Lookup returns the warm baseline for an app name, or nil. The caller
+// must take Baseline.Mu before using it — the pool hands out live
+// pointers, not copies.
+func (p *Pool) Lookup(name string) *Baseline {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.m[name]
+	if !ok {
+		return nil
+	}
+	p.lru.MoveToFront(el)
+	return el.Value.(*Baseline)
+}
+
+// Store installs (or replaces) the baseline for b.Name, evicting the
+// least-recently-used lineage beyond the cap.
+func (p *Pool) Store(b *Baseline) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.m[b.Name]; ok {
+		el.Value = b
+		p.lru.MoveToFront(el)
+		return
+	}
+	p.m[b.Name] = p.lru.PushFront(b)
+	for p.lru.Len() > p.max {
+		oldest := p.lru.Back()
+		p.lru.Remove(oldest)
+		delete(p.m, oldest.Value.(*Baseline).Name)
+	}
+}
+
+// Drop removes a lineage (used to discard poisoned baselines).
+func (p *Pool) Drop(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.m[name]; ok {
+		p.lru.Remove(el)
+		delete(p.m, name)
+	}
+}
+
+// Len reports how many baselines are warm.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.m)
+}

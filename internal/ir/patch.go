@@ -1,0 +1,64 @@
+package ir
+
+import "fmt"
+
+// ReplaceBody transplants donor's blocks into m, preserving m's identity
+// (the *Method pointer every analysis artifact keys on) and its
+// allocation-site numbering. It is the mechanism behind incremental
+// re-analysis: when a method body changes in ways no fixpoint stage can
+// observe (see internal/incremental), the new body is spliced into the
+// already-analyzed program instead of re-parsing and re-solving.
+//
+// The donor body must be block-shape compatible: same block count, same
+// per-block statement count, same successor edges, and a New statement
+// wherever the old body has one (the caller guarantees this by checking
+// skeleton equality first). Each transplanted New keeps the *old*
+// statement's Site id, so pointer results that name old site ids remain
+// valid. All statements are re-linked to m. Returns an error — and
+// leaves m untouched — if the shapes disagree.
+func (m *Method) ReplaceBody(donor *Method) error {
+	if len(donor.Blocks) != len(m.Blocks) {
+		return fmt.Errorf("ir: ReplaceBody %s: block count %d != %d",
+			m.QualifiedName(), len(donor.Blocks), len(m.Blocks))
+	}
+	for bi, ob := range m.Blocks {
+		nb := donor.Blocks[bi]
+		if len(nb.Stmts) != len(ob.Stmts) {
+			return fmt.Errorf("ir: ReplaceBody %s: block %d stmt count %d != %d",
+				m.QualifiedName(), bi, len(nb.Stmts), len(ob.Stmts))
+		}
+		if len(nb.Succs) != len(ob.Succs) {
+			return fmt.Errorf("ir: ReplaceBody %s: block %d succ count mismatch",
+				m.QualifiedName(), bi)
+		}
+		for i, s := range ob.Succs {
+			if nb.Succs[i] != s {
+				return fmt.Errorf("ir: ReplaceBody %s: block %d succs differ",
+					m.QualifiedName(), bi)
+			}
+		}
+		for si, os := range ob.Stmts {
+			_, oldNew := os.(*New)
+			_, newNew := nb.Stmts[si].(*New)
+			if oldNew != newNew {
+				return fmt.Errorf("ir: ReplaceBody %s: block %d stmt %d allocation mismatch",
+					m.QualifiedName(), bi, si)
+			}
+		}
+	}
+	for bi, ob := range m.Blocks {
+		nb := donor.Blocks[bi]
+		nb.Index = bi
+		for si, os := range ob.Stmts {
+			ns := nb.Stmts[si]
+			if on, ok := os.(*New); ok {
+				ns.(*New).Site = on.Site
+			}
+			if setter, ok := ns.(interface{ setPos(*Method, int, int) }); ok {
+				setter.setPos(m, bi, si)
+			}
+		}
+		m.Blocks[bi] = nb
+	}
+	return nil
+}

@@ -217,21 +217,45 @@ func (r *Recorder) DumpOnPanic(w io.Writer) {
 // A second signal exits immediately. Returns a stop func that
 // uninstalls the handler.
 func (r *Recorder) NotifySignals(w io.Writer, then func()) (stop func()) {
-	ch := make(chan os.Signal, 2)
+	return r.notifyStages(w, []func(){then})
+}
+
+// NotifyDrain is the long-running-service shape of NotifySignals: the
+// first SIGINT/SIGTERM dumps the ring tail, flushes the sink, and
+// invokes drain (stop accepting work, let in-flight jobs finish); a
+// second signal invokes force (hard-cancel what remains); a third
+// exits 130. The extra stage is what lets `sierra serve` exit 0 after
+// a clean drain while an operator can still escalate a wedged shutdown.
+// Returns a stop func that uninstalls the handler.
+func (r *Recorder) NotifyDrain(w io.Writer, drain, force func()) (stop func()) {
+	return r.notifyStages(w, []func(){drain, force})
+}
+
+// notifyStages runs one stage func per received signal, dumping the
+// ring tail on the first; signals past the last stage exit 130.
+func (r *Recorder) notifyStages(w io.Writer, stages []func()) (stop func()) {
+	ch := make(chan os.Signal, 4)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		sig, ok := <-ch
-		if !ok {
-			return
-		}
-		fmt.Fprintf(w, "\n%v — flight recorder tail (%d events):\n", sig, len(r.Tail(0)))
-		r.WriteTail(w, 0)
-		r.Flush()
-		if then != nil {
-			then()
-		}
-		if _, ok := <-ch; ok {
-			os.Exit(130)
+		for i := 0; ; i++ {
+			sig, ok := <-ch
+			if !ok {
+				return
+			}
+			if i == 0 {
+				fmt.Fprintf(w, "\n%v — flight recorder tail (%d events):\n", sig, len(r.Tail(0)))
+				r.WriteTail(w, 0)
+				r.Flush()
+			}
+			if i >= len(stages) {
+				os.Exit(130)
+			}
+			if i > 0 {
+				fmt.Fprintf(w, "\n%v — escalating shutdown (stage %d)\n", sig, i+1)
+			}
+			if stages[i] != nil {
+				stages[i]()
+			}
 		}
 	}()
 	return func() {

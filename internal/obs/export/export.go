@@ -51,16 +51,13 @@ type Server struct {
 	srv  *http.Server
 }
 
-// Serve starts the debug server on addr (":0" picks a free port; use
-// Addr to discover it). The listener is bound synchronously — a taken
-// port fails here, not later — and requests are served on a background
-// goroutine until Close.
-func Serve(addr string, opts Options) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	s := &Server{opts: opts, ln: ln}
+// Handler returns the debug endpoints (/metrics, /progress, /events,
+// /healthz, /debug/pprof/...) as a ServeMux bound to opts, for callers
+// that host their own HTTP server — `sierra serve` mounts these next to
+// its /v1 API so one port exposes both the service and its telemetry.
+// Serve is a convenience wrapper that binds this handler to a listener.
+func Handler(opts Options) *http.ServeMux {
+	s := &Server{opts: opts}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/progress", s.handleProgress)
@@ -74,7 +71,20 @@ func Serve(addr string, opts Options) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return mux
+}
+
+// Serve starts the debug server on addr (":0" picks a free port; use
+// Addr to discover it). The listener is bound synchronously — a taken
+// port fails here, not later — and requests are served on a background
+// goroutine until Close.
+func Serve(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{opts: opts, ln: ln}
+	s.srv = &http.Server{Handler: Handler(opts), ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(ln)
 	return s, nil
 }

@@ -1,0 +1,32 @@
+package pointer
+
+import "sierra/internal/ir"
+
+// SolverReads reports whether the fixpoint stages of the pipeline —
+// the points-to transfer functions (see analyzer.transfer), action
+// discovery (which resolves message `what` codes and view ids through
+// ir.ConstIntDefs over Const statements), SHBG construction, and race
+// pairing — read any *operand* of statement s.
+//
+// The two statement kinds they never read are If and BinOp: branch
+// conditions and arithmetic exist only for the backward symbolic
+// walker (internal/symexec) and for report ranking, both of which run
+// against the current method bodies every time. A method edit that
+// only rewrites If/BinOp operands therefore cannot perturb the pointer
+// result, the action registry, the happens-before graph, or the racy
+// pair set — which is exactly the reuse window internal/incremental's
+// skeleton fingerprints carve out. Everything else (New, Const, Move,
+// Load, Store, StaticLoad, StaticStore, Invoke, Return) feeds at least
+// one fixpoint stage and must hash fully.
+//
+// Control flow is not in scope here: If determines block successor
+// edges, but those live on Block.Succs, which the skeleton hashes via
+// block lines independently of the If statement's operands.
+func SolverReads(s ir.Stmt) bool {
+	switch s.(type) {
+	case *ir.If, *ir.BinOp:
+		return false
+	default:
+		return true
+	}
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"sierra/internal/core"
+)
+
+// ReportSchema identifies the canonical report document format.
+const ReportSchema = "sierra-report/1"
+
+// ReportDoc is the service's report: everything a client needs about
+// one analyzed revision, and nothing run-dependent. No timings, no
+// worker counts, no cache provenance — the document is a pure function
+// of (app bytes, analysis config), which is what makes "incremental and
+// full runs produce byte-identical reports" a checkable equality and
+// lets GET /v1/reports/{digest} serve cached documents transparently.
+type ReportDoc struct {
+	Schema    string    `json:"schema"`
+	App       string    `json:"app"`
+	Digest    string    `json:"digest"`
+	Harnesses int       `json:"harnesses"`
+	Actions   int       `json:"actions"`
+	HBEdges   int       `json:"hb_edges"`
+	RacyPairs int       `json:"racy_pairs"`
+	Races     []RaceDoc `json:"races"`
+}
+
+// RaceDoc is one ranked surviving race.
+type RaceDoc struct {
+	Rank     int       `json:"rank"`
+	Category string    `json:"category"`
+	Field    string    `json:"field"`
+	RefRace  bool      `json:"ref_race"`
+	Benign   bool      `json:"benign"`
+	A        AccessDoc `json:"a"`
+	B        AccessDoc `json:"b"`
+	// Paths is the refuter's explored-path count — deterministic under
+	// the service's per-pair-pure refutation mode.
+	Paths  int  `json:"paths"`
+	Budget bool `json:"budget_exhausted"`
+}
+
+// AccessDoc is one side of a race.
+type AccessDoc struct {
+	Action     int    `json:"action"`
+	ActionName string `json:"action_name"`
+	Kind       string `json:"kind"`
+	Pos        string `json:"pos"`
+}
+
+// RenderReport renders the canonical report document for a completed
+// (non-interrupted) analysis: deterministic field order, two-space
+// indentation, one trailing newline. Byte-identical inputs produce
+// byte-identical documents.
+func RenderReport(digest string, res *core.Result) []byte {
+	doc := ReportDoc{
+		Schema:    ReportSchema,
+		App:       res.App.Name,
+		Digest:    digest,
+		Harnesses: res.NumHarnesses(),
+		Actions:   res.NumActions(),
+		HBEdges:   res.HBEdges(),
+		RacyPairs: len(res.RacyPairs),
+		Races:     []RaceDoc{},
+	}
+	reg := res.Registry
+	for _, r := range res.Reports {
+		doc.Races = append(doc.Races, RaceDoc{
+			Rank:     r.Rank,
+			Category: r.Category.String(),
+			Field:    r.Pair.A.Location(),
+			RefRace:  r.RefRace,
+			Benign:   r.Benign,
+			A: AccessDoc{
+				Action:     r.Pair.A.Action,
+				ActionName: reg.Get(r.Pair.A.Action).Name(),
+				Kind:       r.Pair.A.Kind.String(),
+				Pos:        r.Pair.A.Pos.String(),
+			},
+			B: AccessDoc{
+				Action:     r.Pair.B.Action,
+				ActionName: reg.Get(r.Pair.B.Action).Name(),
+				Kind:       r.Pair.B.Kind.String(),
+				Pos:        r.Pair.B.Pos.String(),
+			},
+			Paths:  r.Verdict.Paths,
+			Budget: r.Verdict.BudgetExhausted,
+		})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+	return buf.Bytes()
+}

@@ -1,0 +1,72 @@
+// Package serve is the always-on analysis service: an HTTP/JSON API
+// (submit an .app, poll the job, fetch the report) over the
+// internal/batch engine, with a sharded persistent report store and
+// fingerprint-driven incremental re-analysis (internal/incremental)
+// for resubmitted app revisions. It is the daemon behind the `sierra
+// serve` subcommand.
+package serve
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"path/filepath"
+
+	"sierra/internal/batch"
+)
+
+// storeShards is the shard fan-out: 256 DirCache subdirectories keyed
+// by the first byte of the key hash. Sharding keeps per-directory entry
+// counts flat under millions of stored reports (large flat directories
+// degrade on most filesystems) and lets the GC sweep work in
+// budget-bounded slices.
+const storeShards = 256
+
+// Store is the service's persistent report store: a digest-keyed
+// batch.Cache whose entries are canonical report documents, sharded
+// over DirCaches. Get/Put are safe for concurrent use.
+type Store struct {
+	shards [storeShards]*batch.DirCache
+}
+
+// NewStore opens (creating as needed) a sharded store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	s := &Store{}
+	for i := range s.shards {
+		c, err := batch.NewDirCache(filepath.Join(dir, fmt.Sprintf("%02x", i)))
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = c
+	}
+	return s, nil
+}
+
+func (s *Store) shard(key string) *batch.DirCache {
+	sum := sha256.Sum256([]byte(key))
+	return s.shards[sum[0]]
+}
+
+// Get returns the stored report for key.
+func (s *Store) Get(key string) ([]byte, bool) { return s.shard(key).Get(key) }
+
+// Put stores a report (atomic within its shard).
+func (s *Store) Put(key string, val []byte) { s.shard(key).Put(key, val) }
+
+// Sweep bounds the store to roughly maxBytes by running each shard's
+// best-effort LRU-by-mtime sweep with an equal slice of the budget
+// (maxBytes <= 0 disables). Returns entries removed and bytes freed.
+func (s *Store) Sweep(maxBytes int64) (removed int, freed int64) {
+	if maxBytes <= 0 {
+		return 0, 0
+	}
+	per := maxBytes / storeShards
+	if per < 1 {
+		per = 1
+	}
+	for _, sh := range s.shards {
+		r, f := sh.Sweep(per)
+		removed += r
+		freed += f
+	}
+	return removed, freed
+}

@@ -1,0 +1,38 @@
+package shbg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint digests the closed HB relation: action count plus every
+// successor row, word by word. Two graphs over programs with identical
+// action numbering fingerprint equally iff their HB relations are
+// bit-identical. internal/incremental uses this as its reuse witness —
+// the incremental parity tests rebuild the graph cold and assert the
+// reused baseline graph digests to the same value, turning "the SHBG
+// cannot have changed" from an argument into a checked equality.
+func (g *Graph) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.n))
+	h.Write(buf[:])
+	for _, row := range g.hb {
+		// Trailing zero words are representation detail, not relation:
+		// hash up to the last set word so equal relations with different
+		// allocation widths digest equally.
+		last := len(row)
+		for last > 0 && row[last-1] == 0 {
+			last--
+		}
+		binary.LittleEndian.PutUint64(buf[:], uint64(last))
+		h.Write(buf[:])
+		for _, w := range row[:last] {
+			binary.LittleEndian.PutUint64(buf[:], w)
+			h.Write(buf[:])
+		}
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,76 @@
+package symexec
+
+import (
+	"time"
+
+	"sierra/internal/actions"
+	"sierra/internal/obs"
+	"sierra/internal/pointer"
+	"sierra/internal/race"
+)
+
+// Checker refutes individual pairs with per-pair-pure semantics: every
+// Check runs on a fresh memo fork of a shared base refuter, exactly the
+// way CheckAll's parallel pool (cfg.Jobs > 1) runs each pair. A pair's
+// verdict is therefore a pure function of (pair, program, config) —
+// independent of which pairs were checked before it, and bit-identical
+// to the verdict the parallel pool would produce for the same pair.
+//
+// That purity is what internal/incremental leans on: it re-refutes an
+// arbitrary *subset* of a baseline's pairs and splices the fresh
+// verdicts in among reused ones, which is only sound if checking order
+// and company cannot change a verdict. (The sequential shared-memo path
+// deliberately trades that property for warm memos; a Checker never
+// shares memos across pairs.)
+//
+// A Checker is NOT safe for concurrent use: the inlined action graphs
+// are built lazily into a table shared by all forks. Use CheckAll for
+// fan-out; use Checker when the caller picks the pairs one at a time.
+type Checker struct {
+	base *Refuter
+	tr   *obs.Trace
+}
+
+// NewChecker builds a checker over the given registry, pointer result,
+// and refutation config. cfg.Jobs is ignored — a Checker is the
+// single-consumer equivalent of the parallel pool's workers. cfg.Obs is
+// recorded per verdict (same counters and histograms CheckAll emits).
+func NewChecker(reg *actions.Registry, res *pointer.Result, cfg Config) *Checker {
+	tr := cfg.Obs
+	cfg.Obs = nil // forks stay silent; Check records in order
+	cfg.Jobs = 0
+	return &Checker{base: NewRefuter(reg, res, cfg), tr: tr}
+}
+
+// Check refutes one pair on a fresh memo fork and records the verdict's
+// observability (refute.* counters, pair series/histograms). A panic in
+// the walker is isolated to the pair and yields the over-approximate
+// "report anyway" verdict, mirroring the parallel pool.
+func (c *Checker) Check(p race.Pair) Verdict {
+	var t0 time.Time
+	if c.tr != nil {
+		t0 = time.Now()
+	}
+	v, pruned, capped, panicked := c.checkIsolated(p)
+	durMS := -1.0
+	if c.tr != nil {
+		durMS = float64(time.Since(t0)) / 1e6
+	}
+	recordVerdict(c.tr, p, v, pruned, capped, durMS)
+	if panicked && c.tr != nil {
+		c.tr.Count("refute.pair_panics", 1)
+	}
+	return v
+}
+
+func (c *Checker) checkIsolated(p race.Pair) (v Verdict, pruned, capped int64, panicked bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			v = Verdict{TruePositive: true, BudgetExhausted: true}
+			pruned, capped = 0, 0
+			panicked = true
+		}
+	}()
+	v, pruned, capped = c.base.fork().check(p)
+	return v, pruned, capped, false
+}

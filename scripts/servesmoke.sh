@@ -1,0 +1,76 @@
+#!/usr/bin/env sh
+# servesmoke.sh — end-to-end smoke test of the `sierra serve` daemon
+# against the one-shot CLI: boot the daemon on a loopback port, submit
+# a generated corpus app over HTTP, poll the job to completion, fetch
+# the stored report, and require it to be byte-identical to the
+# document `sierra -report-json` renders for the same bytes and
+# refutation config. Then resubmit the identical bytes (must be
+# answered from the store without a new job) and shut the daemon down
+# with SIGTERM, requiring a clean drain (exit 0).
+#
+# Wired into the tier-1 verify line (see ROADMAP.md). No arguments.
+set -eu
+
+repo_root=$(git rev-parse --show-toplevel 2>/dev/null || dirname "$0")/
+cd "$repo_root"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true' EXIT INT TERM
+
+go build -o "$tmp/sierra" ./cmd/sierra
+go run ./cmd/corpusgen -app SuperGenPass -out "$tmp/app.app"
+
+# Pick a free port: bind :0 and read the address the daemon prints.
+"$tmp/sierra" serve -addr 127.0.0.1:0 -store-dir "$tmp/store" \
+    -refute-jobs 2 2>"$tmp/serve.log" &
+pid=$!
+
+base=""
+for i in $(seq 1 50); do
+    base=$(sed -n 's|.*listening on \(http://[0-9.:]*\).*|\1|p' "$tmp/serve.log")
+    [ -n "$base" ] && break
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "servesmoke: daemon never announced its address" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+
+# Submit, poll, fetch.
+curl -sf -X POST --data-binary @"$tmp/app.app" "$base/v1/apps" >"$tmp/submit.json"
+job=$(sed -n 's/.*"job_id": "\([^"]*\)".*/\1/p' "$tmp/submit.json")
+digest=$(sed -n 's/.*"digest": "\([^"]*\)".*/\1/p' "$tmp/submit.json")
+[ -n "$job" ] && [ -n "$digest" ] || { echo "servesmoke: bad submit response:" >&2; cat "$tmp/submit.json" >&2; exit 1; }
+
+status=""
+for i in $(seq 1 300); do
+    status=$(curl -sf "$base/v1/jobs/$job" | sed -n 's/.*"status": "\([^"]*\)".*/\1/p')
+    [ "$status" = done ] && break
+    [ "$status" = failed ] && { echo "servesmoke: job failed" >&2; curl -s "$base/v1/jobs/$job" >&2; exit 1; }
+    sleep 0.1
+done
+[ "$status" = done ] || { echo "servesmoke: job never completed (last: $status)" >&2; exit 1; }
+
+curl -sf "$base/v1/reports/$digest" >"$tmp/daemon-report.json"
+
+# Parity: the one-shot CLI must render the same bytes for the same
+# input and refutation config.
+"$tmp/sierra" -file "$tmp/app.app" -refute-jobs 2 -report-json "$tmp/oneshot-report.json" >/dev/null
+if ! cmp -s "$tmp/daemon-report.json" "$tmp/oneshot-report.json"; then
+    echo "servesmoke: daemon report differs from one-shot -report-json:" >&2
+    diff "$tmp/oneshot-report.json" "$tmp/daemon-report.json" >&2 || true
+    exit 1
+fi
+
+# A duplicate submission is answered from the store, without a job.
+dup=$(curl -sf -X POST --data-binary @"$tmp/app.app" "$base/v1/apps")
+case $dup in
+*'"status": "done"'*) ;;
+*) echo "servesmoke: duplicate submission not served from the store: $dup" >&2; exit 1 ;;
+esac
+
+# Graceful drain: SIGTERM must end the daemon with exit 0.
+kill -TERM "$pid"
+code=0
+wait "$pid" || code=$?
+pid=""
+[ "$code" -eq 0 ] || { echo "servesmoke: drain exited $code" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+
+echo "servesmoke: OK (digest $digest)"
