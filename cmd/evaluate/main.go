@@ -57,6 +57,8 @@ func main() {
 		ptaSolver  = flag.String("pta-solver", "delta", "points-to fixpoint solver: delta | exhaustive (identical tables; delta is faster)")
 		refPaths   = flag.Int("refute-max-paths", 5000, "refutation path budget per query (the paper's 5,000)")
 		refDepth   = flag.Int("refute-max-depth", 6, "refutation call-inlining depth bound (the paper's 6)")
+		ptaJobs    = flag.Int("pta-jobs", 1, "SCC-partitioned points-to solver workers per app (1 = sequential fixpoint; identical tables at any count)")
+		shbgJobs   = flag.Int("shbg-jobs", 1, "block-parallel SHBG closure workers per app (1 = sequential closure; identical tables at any count)")
 		benchJSON  = flag.String("bench-json", "", "write per-stage timings + effort counters for the 20-app dataset as JSON to this file and exit (e.g. BENCH_sierra.json)")
 		eventsOut  = flag.String("events-out", "", "stream sierra-events/1 flight-recorder events as JSONL to this file (-events is taken by the dynamic baseline)")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /progress, /events, /healthz, and /debug/pprof on this address while the evaluation runs")
@@ -179,6 +181,8 @@ func main() {
 		Solver:            solver,
 		RefuteMaxPaths:    *refPaths,
 		RefuteMaxDepth:    *refDepth,
+		PTAJobs:           *ptaJobs,
+		SHBGJobs:          *shbgJobs,
 	}
 
 	progress := func(total int) func(int, batch.Result) {
@@ -220,7 +224,8 @@ func main() {
 			}
 		}
 		rows, sizes, _ := metrics.EvaluateFDroidBatch(ctx, *nFDroid,
-			metrics.Options{Solver: solver, RefuteMaxPaths: *refPaths, RefuteMaxDepth: *refDepth}, b)
+			metrics.Options{Solver: solver, RefuteMaxPaths: *refPaths, RefuteMaxDepth: *refDepth,
+				PTAJobs: *ptaJobs, SHBGJobs: *shbgJobs}, b)
 		fmt.Println(metrics.FormatTable5(rows, sizes))
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"sierra/internal/obs/eventlog"
 	"sierra/internal/obs/export"
 	"sierra/internal/pointer"
+	"sierra/internal/shbg"
 	"sierra/internal/symexec"
 )
 
@@ -35,6 +36,8 @@ type batchConfig struct {
 	maxPaths   int
 	maxDepth   int
 	refuteJobs int
+	ptaJobs    int
+	shbgJobs   int
 	stats      string
 	events     string
 	debugAddr  string
@@ -102,6 +105,8 @@ func runBatch(cfg batchConfig) int {
 		fmt.Sprintf("maxpaths=%d", cfg.maxPaths),
 		fmt.Sprintf("maxdepth=%d", cfg.maxDepth),
 		fmt.Sprintf("refutejobs=%d", cfg.refuteJobs),
+		fmt.Sprintf("ptajobs=%d", cfg.ptaJobs),
+		fmt.Sprintf("shbgjobs=%d", cfg.shbgJobs),
 	}
 
 	jobs := make([]batch.Job, len(files))
@@ -134,7 +139,9 @@ func runBatch(cfg batchConfig) int {
 					CompareContexts: cfg.compare,
 					SkipRefutation:  cfg.noRefute,
 					Refuter:         symexec.Config{MaxPaths: cfg.maxPaths, MaxDepth: cfg.maxDepth, Jobs: cfg.refuteJobs},
+					SHBG:            shbg.Options{Jobs: cfg.shbgJobs},
 					PTASolver:       cfg.solver,
+					PTAJobs:         cfg.ptaJobs,
 					Obs:             jobTr,
 				})
 				if jobTr != nil {
@@ -190,6 +197,8 @@ func runBatch(cfg batchConfig) int {
 		"max_paths":   cfg.maxPaths,
 		"max_depth":   cfg.maxDepth,
 		"refute_jobs": cfg.refuteJobs,
+		"pta_jobs":    cfg.ptaJobs,
+		"shbg_jobs":   cfg.shbgJobs,
 		"cache":       cfg.cacheDir != "",
 	}})
 

@@ -34,14 +34,16 @@ func AnalyzeTraced(app *apk.App, hs []*harness.Harness, pol pointer.Policy, tr *
 // analysis, whose fixpoint stops early once it is done (the returned
 // result is then marked Interrupted).
 func AnalyzeContext(ctx context.Context, app *apk.App, hs []*harness.Harness, pol pointer.Policy, tr *obs.Trace) (*Registry, *pointer.Result) {
-	return AnalyzeSolver(ctx, app, hs, pol, pointer.SolverDelta, tr)
+	return AnalyzeSolver(ctx, app, hs, pol, pointer.SolverDelta, 0, tr)
 }
 
 // AnalyzeSolver is AnalyzeContext with an explicit points-to solver
-// selection (the -pta-solver flag's plumbing). Both solvers produce
-// identical results; SolverExhaustive is the slow reference
-// implementation kept for parity testing.
-func AnalyzeSolver(ctx context.Context, app *apk.App, hs []*harness.Harness, pol pointer.Policy, solver pointer.Solver, tr *obs.Trace) (*Registry, *pointer.Result) {
+// selection (the -pta-solver flag's plumbing) and worker count (the
+// -pta-jobs flag; ≤1 = the exact sequential fixpoint, >1 the
+// SCC-partitioned parallel delta solver — identical results either
+// way). Both solvers produce identical results; SolverExhaustive is the
+// slow reference implementation kept for parity testing.
+func AnalyzeSolver(ctx context.Context, app *apk.App, hs []*harness.Harness, pol pointer.Policy, solver pointer.Solver, ptaJobs int, tr *obs.Trace) (*Registry, *pointer.Result) {
 	reg := NewRegistry(app, hs, pol)
 
 	var seeds []pointer.Seed
@@ -76,6 +78,7 @@ func AnalyzeSolver(ctx context.Context, app *apk.App, hs []*harness.Harness, pol
 		OnEvent:  reg.OnEvent,
 		ActionAt: reg.ActionAt,
 		Solver:   solver,
+		Jobs:     ptaJobs,
 		Obs:      tr,
 		Ctx:      ctx,
 	})

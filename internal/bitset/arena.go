@@ -1,0 +1,62 @@
+package bitset
+
+// Arena is a chunked bump allocator for bitset words. Callers that
+// build many short-lived or batch-lived Sets (per-worker solver
+// overlays, per-pair refutation scratch) carve zeroed word slices out
+// of large chunks instead of hitting the heap per set, then drop the
+// whole batch with Reset.
+//
+// An Arena is NOT safe for concurrent use — the intended shape is one
+// arena per worker, reset between jobs, never shared. Reset recycles
+// the chunks without freeing them (the next round's Words calls re-zero
+// on handout), so a worker's steady state allocates nothing.
+type Arena struct {
+	chunks [][]uint64
+	ci     int // chunk being bumped
+	off    int // words consumed in chunks[ci]
+	bytes  int64
+}
+
+// arenaChunkWords sizes a standard chunk (128 KiB). Requests larger
+// than this get a dedicated chunk of exactly their size.
+const arenaChunkWords = 16384
+
+// Words returns a zeroed word slice of length n with no spare capacity
+// (appending to it reallocates on the heap rather than corrupting a
+// neighbor's words).
+func (a *Arena) Words(n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	for a.ci < len(a.chunks) && len(a.chunks[a.ci])-a.off < n {
+		a.ci++
+		a.off = 0
+	}
+	if a.ci == len(a.chunks) {
+		size := arenaChunkWords
+		if n > size {
+			size = n
+		}
+		a.chunks = append(a.chunks, make([]uint64, size))
+	}
+	w := a.chunks[a.ci][a.off : a.off+n : a.off+n]
+	a.off += n
+	a.bytes += int64(n) * 8
+	for i := range w {
+		w[i] = 0
+	}
+	return w
+}
+
+// Reset recycles every chunk for reuse. Previously returned slices are
+// invalidated — the caller must have dropped all references (per-worker
+// memo tables cleared alongside).
+func (a *Arena) Reset() {
+	a.ci = 0
+	a.off = 0
+}
+
+// Bytes reports the cumulative bytes handed out over the arena's
+// lifetime, across resets — the figure behind the symexec.arena_bytes
+// counter.
+func (a *Arena) Bytes() int64 { return a.bytes }

@@ -1,0 +1,100 @@
+package bitset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestArenaWordsZeroedAndDisjoint(t *testing.T) {
+	var a Arena
+	w1 := a.Words(10)
+	w2 := a.Words(10)
+	for i := range w1 {
+		w1[i] = ^uint64(0)
+	}
+	for i, w := range w2 {
+		if w != 0 {
+			t.Fatalf("w2[%d] = %x after writing w1, want 0", i, w)
+		}
+	}
+	// No spare capacity: appending must not land in w2's words.
+	w1 = append(w1, 7)
+	if w2[0] != 0 {
+		t.Fatal("append to w1 overwrote w2")
+	}
+	if a.Bytes() != 20*8 {
+		t.Fatalf("Bytes() = %d, want %d", a.Bytes(), 20*8)
+	}
+}
+
+func TestArenaResetRezeroes(t *testing.T) {
+	var a Arena
+	w := a.Words(64)
+	for i := range w {
+		w[i] = 0xdeadbeef
+	}
+	a.Reset()
+	w2 := a.Words(64)
+	for i, x := range w2 {
+		if x != 0 {
+			t.Fatalf("post-reset word %d = %x, want 0", i, x)
+		}
+	}
+}
+
+func TestArenaOversizedRequest(t *testing.T) {
+	var a Arena
+	big := a.Words(arenaChunkWords * 3)
+	if len(big) != arenaChunkWords*3 {
+		t.Fatalf("len = %d", len(big))
+	}
+	small := a.Words(8)
+	big[len(big)-1] = 1
+	if small[0] != 0 {
+		t.Fatal("oversized chunk overlaps the next allocation")
+	}
+}
+
+// TestArenaPerWorkerRace mirrors the refutation pool's usage under the
+// race detector: 16 goroutines each own a private arena, repeatedly
+// carving word slices, writing a goroutine-unique pattern, resetting,
+// and reusing. Any cross-arena sharing or chunk aliasing shows up as a
+// race report or a pattern mismatch.
+func TestArenaPerWorkerRace(t *testing.T) {
+	const workers = 16
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			var a Arena
+			pattern := uint64(g)*0x9e3779b97f4a7c15 + 1
+			for round := 0; round < 50; round++ {
+				var live [][]uint64
+				for i := 0; i < 40; i++ {
+					w := a.Words(1 + rng.Intn(300))
+					for j := range w {
+						if w[j] != 0 {
+							t.Errorf("worker %d: dirty word on handout", g)
+							return
+						}
+						w[j] = pattern
+					}
+					live = append(live, w)
+				}
+				for _, w := range live {
+					for j := range w {
+						if w[j] != pattern {
+							t.Errorf("worker %d: pattern corrupted", g)
+							return
+						}
+					}
+				}
+				a.Reset()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -39,6 +39,10 @@ type Options struct {
 	// (pointer.SolverDelta, the default, or pointer.SolverExhaustive —
 	// the -pta-solver flag). Both produce identical results.
 	PTASolver pointer.Solver
+	// PTAJobs bounds the delta solver's SCC-partitioned worker count
+	// (the -pta-jobs flag); ≤1 runs the exact sequential fixpoint. Any
+	// count produces bit-identical results.
+	PTAJobs int
 	// Obs, when non-nil, collects hierarchical spans and per-stage
 	// effort counters for the whole pipeline (see README.md
 	// "Observability"). Nil disables observability at zero cost.
@@ -150,7 +154,7 @@ func AnalyzeContext(ctx context.Context, app *apk.App, opts Options) *Result {
 	res.Harnesses = harness.GenerateTraced(app, tr)
 	sHarness.End()
 	sCGPA := tr.Start("cgpa")
-	reg, pta := actions.AnalyzeSolver(ctx, app, res.Harnesses, opts.Policy, opts.PTASolver, tr)
+	reg, pta := actions.AnalyzeSolver(ctx, app, res.Harnesses, opts.Policy, opts.PTASolver, opts.PTAJobs, tr)
 	sCGPA.End()
 	res.Registry, res.PTA = reg, pta
 	res.Timing.CGPA = time.Since(t0)
@@ -184,7 +188,7 @@ func AnalyzeContext(ctx context.Context, app *apk.App, opts Options) *Result {
 		plainSHBG := opts.SHBG
 		plainSHBG.Obs = nil
 		plainSHBG.Ctx = ctx
-		regH, ptaH := actions.AnalyzeSolver(ctx, app, res.Harnesses, pointer.Hybrid{K: 2}, opts.PTASolver, nil)
+		regH, ptaH := actions.AnalyzeSolver(ctx, app, res.Harnesses, pointer.Hybrid{K: 2}, opts.PTASolver, opts.PTAJobs, nil)
 		gH := shbg.Build(regH, ptaH, plainSHBG)
 		pairsH := race.RacyPairs(regH, gH, race.CollectAccesses(regH, ptaH))
 		res.RacyPairsNoAS = len(pairsH)

@@ -78,6 +78,14 @@ func (in *Interner) NewSet() ObjSet {
 	return ObjSet{d: &objsetData{in: in}}
 }
 
+// NewSetBacked returns an empty ObjSet bound to this id space whose bit
+// storage grows into words — typically carved from a caller-owned arena
+// and capacity-sized to the id space, so unions never spill to the
+// heap. The words must be zeroed, and the set owns them afterwards.
+func (in *Interner) NewSetBacked(words []uint64) ObjSet {
+	return ObjSet{d: &objsetData{in: in, bits: bitset.Set(words[:0])}}
+}
+
 // objsetData is the shared backing of an ObjSet: copies of the ObjSet
 // header alias the same data, preserving the reference semantics the
 // map-based representation had.

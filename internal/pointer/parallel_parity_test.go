@@ -1,0 +1,281 @@
+package pointer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sierra/internal/frontend"
+	"sierra/internal/ir"
+	"sierra/internal/obs"
+)
+
+// randomPartitionedProgram generates a synthetic app whose constraint
+// graph splits into several independent token components: each "family"
+// gets its own entry method, Task class, field names, and static class,
+// so the parallel planner finds one component per family. Families are
+// randomly straight-line, event-posting (instances discovered mid-run
+// while every pass stays pure), or dispatching (forces serial-fallback
+// passes, exercising the planner's purity check).
+func randomPartitionedProgram(r *rand.Rand) parityConfig {
+	p := ir.NewProgram()
+	frontend.InstallFramework(p)
+
+	vars := []string{"a", "b", "c", "d"}
+	nFam := 3 + r.Intn(6)
+	var entries []Entry
+	type fam struct {
+		main  *ir.Class
+		entry string
+	}
+	var fams []fam
+	for fi := 0; fi < nFam; fi++ {
+		field := fmt.Sprintf("f%d", fi)
+		taskCls := fmt.Sprintf("Task%d", fi)
+		statCls := fmt.Sprintf("G%d", fi)
+		mainCls := fmt.Sprintf("Main%d", fi)
+		kind := r.Intn(8) // 0-3 straight-line, 4-6 posting, 7 dispatching
+
+		soup := func(b *ir.MethodBuilder, n int) {
+			for i := 0; i < n; i++ {
+				dst := vars[r.Intn(len(vars))]
+				src := vars[r.Intn(len(vars))]
+				switch r.Intn(7) {
+				case 0, 1:
+					b.NewObj(dst, taskCls)
+				case 2:
+					b.Move(dst, src)
+				case 3:
+					b.Load(dst, src, field)
+				case 4:
+					b.Store(src, field, dst)
+				case 5:
+					b.SLoad(dst, statCls, "s")
+				default:
+					b.SStore(statCls, "s", src)
+				}
+			}
+		}
+
+		task := ir.NewClass(taskCls, frontend.Object, frontend.RunnableIface)
+		task.Fields = []string{field}
+		tb := ir.NewMethodBuilder(frontend.Run)
+		soup(tb, 2+r.Intn(5))
+		tb.Ret(vars[r.Intn(len(vars))])
+		task.AddMethod(tb.Build())
+		if kind == 7 {
+			wb := ir.NewMethodBuilder("work", "x")
+			soup(wb, 1+r.Intn(3))
+			wb.Ret(vars[r.Intn(len(vars))])
+			task.AddMethod(wb.Build())
+		}
+		p.AddClass(task)
+
+		glob := ir.NewClass(statCls, frontend.Object)
+		glob.Fields = []string{"s"}
+		p.AddClass(glob)
+
+		main := ir.NewClass(mainCls, frontend.ActivityClass)
+		entry := fmt.Sprintf("main%d", fi)
+		mb := ir.NewMethodBuilder(entry)
+		soup(mb, 3+r.Intn(6))
+		switch {
+		case kind >= 4 && kind <= 6:
+			mb.NewObj("t", taskCls)
+			if r.Intn(2) == 0 {
+				mb.Store("t", field, vars[r.Intn(len(vars))])
+			}
+			mb.Int("vid", 7)
+			mb.Call("w", "this", mainCls, frontend.FindViewByID, "vid")
+			mb.Call("", "w", frontend.ViewClass, frontend.Post, "t")
+		case kind == 7:
+			mb.NewObj("t", taskCls)
+			mb.Call(vars[r.Intn(len(vars))], "t", taskCls, "work", vars[r.Intn(len(vars))])
+		}
+		soup(mb, r.Intn(4))
+		mb.Ret("")
+		main.AddMethod(mb.Build())
+		p.AddClass(main)
+		fams = append(fams, fam{main: main, entry: entry})
+	}
+	p.Finalize()
+
+	for _, f := range fams {
+		entries = append(entries, Entry{Method: f.main.Methods[f.entry], Ctx: EmptyContext})
+	}
+	cfg := parityConfig{
+		prog:    p,
+		entries: entries,
+		views:   map[int]string{7: frontend.ButtonClass},
+		events:  true,
+	}
+	// Occasional cross-family seeds: applied in the serial seed phase,
+	// they mark slots across components between parallel sweeps.
+	for s := 0; s < r.Intn(3); s++ {
+		src := fams[r.Intn(len(fams))]
+		dst := fams[r.Intn(len(fams))]
+		cfg.seeds = append(cfg.seeds, Seed{
+			SrcMethod: src.main.Methods[src.entry],
+			SrcVar:    vars[r.Intn(len(vars))],
+			DstMethod: dst.main.Methods[dst.entry],
+			DstVar:    vars[r.Intn(len(vars))],
+		})
+	}
+	pols := []Policy{
+		Insensitive{}, KCFA{K: 1}, KObj{K: 2}, Hybrid{K: 2},
+		ActionSensitivePolicy{K: 2},
+	}
+	cfg.policy = pols[r.Intn(len(pols))]
+	return cfg
+}
+
+// runSolverJobs analyzes cfg under the delta solver with the given
+// worker count, collecting the pointer.* counters.
+func runSolverJobs(cfg parityConfig, jobs int, tr *obs.Trace) *Result {
+	var onEvent func(Event) []Entry
+	if cfg.events {
+		p := cfg.prog
+		onEvent = func(ev Event) []Entry {
+			if ev.API.Kind != frontend.APIPostRunnable || len(ev.Args) == 0 {
+				return nil
+			}
+			var out []Entry
+			spawn := func(o Obj) {
+				m := p.ResolveMethod(o.Class, frontend.Run)
+				if m == nil {
+					return
+				}
+				out = append(out, Entry{
+					Method: m,
+					Ctx:    Context{Action: 42, Objs: o.id()},
+					This:   []Obj{o},
+				})
+			}
+			for _, o := range ev.Args[0] {
+				spawn(o)
+				for _, q := range ev.FieldObjs(o, "f0") {
+					spawn(q)
+				}
+			}
+			return out
+		}
+	}
+	return Analyze(Config{
+		Prog:    cfg.prog,
+		Policy:  cfg.policy,
+		Solver:  SolverDelta,
+		Entries: cfg.entries,
+		Seeds:   cfg.seeds,
+		Views:   cfg.views,
+		OnEvent: onEvent,
+		Jobs:    jobs,
+		Obs:     tr,
+	})
+}
+
+// effortCounters are the solver-effort observables the parallel sweep
+// must reproduce exactly (the partitioned path recomputes skips and
+// merges per-worker tallies; any drift is a planner bug).
+var effortCounters = []string{
+	"pointer.passes",
+	"pointer.worklist_iterations",
+	"pointer.dirty_instances",
+	"pointer.transfer_skips",
+	"pointer.delta_props",
+	"pointer.dep_edges",
+	"pointer.cha_targets",
+	"pointer.events_fired",
+	"pointer.call_edges",
+	"pointer.copy_constraints",
+	"pointer.objset_words",
+	"pointer.interned_objs",
+	"pointer.instances",
+	"pointer.entries",
+}
+
+// parityAtJobs runs serial-vs-parallel delta at each worker count and
+// requires identical results and identical effort counters. It reports
+// whether any parallel sweep actually executed.
+func parityAtJobs(t *testing.T, cfg parityConfig, counts []int) bool {
+	t.Helper()
+	serialTr := obs.New("jobs1")
+	want := runSolverJobs(cfg, 1, serialTr)
+	engaged := false
+	for _, jobs := range counts {
+		tr := obs.New(fmt.Sprintf("jobs%d", jobs))
+		got := runSolverJobs(cfg, jobs, tr)
+		requireIdenticalResults(t, want, got)
+		for _, name := range effortCounters {
+			if w, g := serialTr.Counter(name), tr.Counter(name); w != g {
+				t.Fatalf("jobs=%d counter %s: serial=%d parallel=%d", jobs, name, w, g)
+			}
+		}
+		if tr.Counter("pointer.par_partitions") > 0 {
+			engaged = true
+		}
+	}
+	return engaged
+}
+
+// TestParallelSolverParityPartitioned runs randomized multi-component
+// programs at worker counts {1,2,3,8} and requires bit-for-bit parity
+// with the serial delta solver — results, orders, and effort counters.
+// It also requires that the partitioned sweep actually engaged on a
+// healthy share of the corpus (the generator builds one component per
+// family, so a silent always-serial fallback would fail here).
+func TestParallelSolverParityPartitioned(t *testing.T) {
+	engagedRuns := 0
+	total := 0
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := randomPartitionedProgram(r)
+		total++
+		if parityAtJobs(t, cfg, []int{2, 3, 8}) {
+			engagedRuns++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if engagedRuns < total/4 {
+		t.Fatalf("parallel sweep engaged on only %d/%d runs; planner falls back too eagerly", engagedRuns, total)
+	}
+}
+
+// TestParallelSolverParityRich runs the rich single-component generator
+// (heavy dispatch, shared statics) through the parallel planner: most
+// passes take the serial fallback, pinning that the fallback path and
+// the engagement checks never corrupt parity.
+func TestParallelSolverParityRich(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := randomRichProgram(r)
+		parityAtJobs(t, cfg, []int{2, 8})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelSolverParityLinear pins the straight-line generator at
+// several worker counts (single entry → usually one component, so this
+// mostly exercises the <2-components fallback plus occasional splits).
+func TestParallelSolverParityLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, m := randomLinearProgram(r)
+		cfg := parityConfig{
+			prog:    p,
+			entries: []Entry{{Method: m, Ctx: EmptyContext}},
+			policy:  ActionSensitivePolicy{K: 2},
+		}
+		parityAtJobs(t, cfg, []int{2, 3, 8})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

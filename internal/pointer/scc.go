@@ -1,0 +1,198 @@
+package pointer
+
+// Constraint-graph condensation for the parallel delta solver.
+//
+// The sweep phase of a pass reads and writes three kinds of points-to
+// keys — context-sensitive variables (VarKey), object fields (collapsed
+// to their field name, since the concrete FieldKeys a Store reaches
+// depend on how its base set grows at run time), and static fields.
+// Interning each key as a dense token and union-finding every token an
+// instance's statements mention yields a partition of the instance set
+// in which two instances in different partitions provably share no
+// sweep-phase state: no points-to set, no dependency list, no dirty
+// mark can flow between them within one pass. Those partitions are the
+// units the parallel sweep hands to workers (pointer.par_partitions).
+//
+// The finer condensation — Tarjan SCCs of the directed read/write
+// graph (instance → token it writes, token → instance that reads it) —
+// is reported as pointer.scc_components. Within a partition the worker
+// visits instances in ascending discovery-slot order, which the parity
+// argument in DESIGN.md shows reproduces the serial sweep exactly; the
+// SCC condensation is what guarantees the partitions themselves cannot
+// interact.
+
+// tokenTable interns sweep-phase points-to keys as dense token ids and
+// maintains the union-find, writer tally, and reader index over them.
+type tokenTable struct {
+	varTok    map[VarKey]int32
+	fieldTok  map[string]int32
+	staticTok map[string]int32
+	// parent is the union-find forest over tokens.
+	parent []int32
+	// writers counts static statement write sites per token (a token
+	// with zero writers can never grow during a sweep).
+	writers []int32
+	// readers lists the instance slots whose statements read a token —
+	// the token → instance edges of the SCC digraph.
+	readers [][]int32
+}
+
+func newTokenTable() *tokenTable {
+	return &tokenTable{
+		varTok:    make(map[VarKey]int32),
+		fieldTok:  make(map[string]int32),
+		staticTok: make(map[string]int32),
+	}
+}
+
+func (t *tokenTable) newToken() int32 {
+	id := int32(len(t.parent))
+	t.parent = append(t.parent, id)
+	t.writers = append(t.writers, 0)
+	t.readers = append(t.readers, nil)
+	return id
+}
+
+func (t *tokenTable) varToken(k VarKey) int32 {
+	if id, ok := t.varTok[k]; ok {
+		return id
+	}
+	id := t.newToken()
+	t.varTok[k] = id
+	return id
+}
+
+func (t *tokenTable) fieldToken(name string) int32 {
+	if id, ok := t.fieldTok[name]; ok {
+		return id
+	}
+	id := t.newToken()
+	t.fieldTok[name] = id
+	return id
+}
+
+func (t *tokenTable) staticToken(key string) int32 {
+	if id, ok := t.staticTok[key]; ok {
+		return id
+	}
+	id := t.newToken()
+	t.staticTok[key] = id
+	return id
+}
+
+// find returns the token's component root with path halving.
+func (t *tokenTable) find(x int32) int32 {
+	for t.parent[x] != x {
+		t.parent[x] = t.parent[t.parent[x]]
+		x = t.parent[x]
+	}
+	return x
+}
+
+// union merges two token components.
+func (t *tokenTable) union(a, b int32) {
+	ra, rb := t.find(a), t.find(b)
+	if ra != rb {
+		t.parent[ra] = rb
+	}
+}
+
+// sccCount runs an iterative Tarjan over the read/write digraph
+// restricted to the given instance slots (the pass's active
+// partitions): edges run instance → written token and token → reading
+// instance. It returns the number of strongly connected components
+// containing at least one instance — the pointer.scc_components
+// metric, and the nodes of the condensation DAG whose topological
+// structure the ascending-slot visit order refines.
+func (ps *parState) sccCount(slots []int) int {
+	t := ps.toks
+	nSlots := len(ps.a.order)
+	// Node ids: slot s is s; token tk is nSlots+tk.
+	index := make(map[int]int32, 2*len(slots))
+	low := make(map[int]int32, 2*len(slots))
+	onStack := make(map[int]bool, 2*len(slots))
+	var stack []int
+	var next int32
+	count := 0
+
+	succs := func(node int) []int32 {
+		if node < nSlots {
+			return ps.slotWrites[node]
+		}
+		return t.readers[node-nSlots]
+	}
+	type frame struct {
+		node int
+		ei   int
+	}
+	var frames []frame
+
+	visit := func(root int) {
+		frames = frames[:0]
+		frames = append(frames, frame{node: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			edges := succs(f.node)
+			if f.ei < len(edges) {
+				var child int
+				if f.node < nSlots {
+					child = nSlots + int(edges[f.ei])
+				} else {
+					child = int(edges[f.ei])
+				}
+				f.ei++
+				if _, seen := index[child]; !seen {
+					index[child] = next
+					low[child] = next
+					next++
+					stack = append(stack, child)
+					onStack[child] = true
+					frames = append(frames, frame{node: child})
+				} else if onStack[child] {
+					if index[child] < low[f.node] {
+						low[f.node] = index[child]
+					}
+				}
+				continue
+			}
+			// Node finished: pop an SCC if it is a root.
+			node := f.node
+			if low[node] == index[node] {
+				hasInstance := false
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					if top < nSlots {
+						hasInstance = true
+					}
+					if top == node {
+						break
+					}
+				}
+				if hasInstance {
+					count++
+				}
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[node] < low[p.node] {
+					low[p.node] = low[node]
+				}
+			}
+		}
+	}
+
+	for _, s := range slots {
+		if _, seen := index[s]; !seen {
+			visit(s)
+		}
+	}
+	return count
+}

@@ -11,6 +11,7 @@ import (
 	"sierra/internal/batch"
 	"sierra/internal/core"
 	"sierra/internal/incremental"
+	"sierra/internal/shbg"
 )
 
 // doneJobsKept bounds the completed-job index a long-lived daemon
@@ -134,7 +135,12 @@ func (s *Server) analyze(ctx context.Context, js *jobState) ([]byte, error) {
 		}
 	}
 
-	res := core.AnalyzeContext(ctx, app, core.Options{Refuter: s.refuterConfig(), Obs: tr})
+	res := core.AnalyzeContext(ctx, app, core.Options{
+		Refuter: s.refuterConfig(),
+		SHBG:    shbg.Options{Jobs: s.cfg.SHBGJobs},
+		PTAJobs: s.cfg.PTAJobs,
+		Obs:     tr,
+	})
 	if res.Interrupted {
 		return nil, fmt.Errorf("analysis interrupted at stage %q", res.InterruptedStage)
 	}

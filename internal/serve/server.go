@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -34,11 +35,19 @@ type Config struct {
 	// JobTimeout is the per-analysis deadline (0 = none). A timed-out
 	// analysis fails its job; partial results are never stored.
 	JobTimeout time.Duration
-	// RefuteJobs sizes the per-analysis refutation pool. The service
-	// forces at least 2: per-pair-pure refutation is what makes verdicts
-	// order-independent, which incremental verdict splicing and report
-	// byte-parity both require (see symexec.Checker).
+	// RefuteJobs sizes the per-analysis refutation pool (0 =
+	// GOMAXPROCS). The service forces at least 2: per-pair-pure
+	// refutation is what makes verdicts order-independent, which
+	// incremental verdict splicing and report byte-parity both require
+	// (see symexec.Checker).
 	RefuteJobs int
+	// PTAJobs sizes the SCC-partitioned points-to solver pool and
+	// SHBGJobs the block-parallel closure pool (0 = GOMAXPROCS, 1 =
+	// the sequential kernels). Neither affects results — every parallel
+	// kernel is bit-for-bit deterministic — so neither is part of the
+	// report cache fingerprint.
+	PTAJobs  int
+	SHBGJobs int
 	// MaxPaths/MaxDepth tune the refuter budget (0 = defaults). Part of
 	// the report cache fingerprint.
 	MaxPaths, MaxDepth int
@@ -117,8 +126,17 @@ func (j *jobState) get() (string, string) {
 
 // New assembles a server (no listener yet; Start binds it).
 func New(cfg Config) (*Server, error) {
+	if cfg.RefuteJobs <= 0 {
+		cfg.RefuteJobs = runtime.GOMAXPROCS(0)
+	}
 	if cfg.RefuteJobs < 2 {
 		cfg.RefuteJobs = 2
+	}
+	if cfg.PTAJobs <= 0 {
+		cfg.PTAJobs = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SHBGJobs <= 0 {
+		cfg.SHBGJobs = runtime.GOMAXPROCS(0)
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024

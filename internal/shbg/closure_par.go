@@ -1,0 +1,172 @@
+package shbg
+
+// Block-parallel transitive closure (Options.Jobs > 1).
+//
+// The serial close() drains a LIFO worklist, ORing each popped row into
+// its predecessors through the rev index. This variant runs synchronous
+// rounds instead: the drained worklist becomes a *frontier* bitset, the
+// action rows are split into contiguous blocks — one worker per block —
+// and each worker sweeps its rows, merging the round-start snapshot of
+// every frontier row its row references. A barrier ends the round; the
+// next frontier is every row that grew plus every successor bit that
+// newly appeared anywhere (so a row that just gained an edge to a
+// settled action re-absorbs that action's successors next round).
+//
+// Why the fixpoint matches the serial relation exactly: workers only
+// write their own block's rows and read immutable round-start
+// snapshots, so the sweep is deterministic; and the frontier invariant
+// — whenever hb[i] ∋ j but hb[i] ⊉ hb[j]\{i}, j is in the frontier —
+// holds at every round start (initially the worklist contains both
+// endpoints of every direct edge; afterwards grown rows and newly
+// referenced successors re-enter). An empty frontier therefore implies
+// full closure, the same unique fixpoint the serial drain reaches, so
+// HB bits, NumEdges, and the RuleTransitive tally (each new bit counted
+// exactly once under the nw mask) are identical. Only the *trailing
+// zero words* of a row may differ from the serial path — row growth
+// depends on merge-time lengths — which no observable (HB, Count,
+// Fingerprint) can see. closure_par_test.go pins all of this against
+// both the serial path and the naive Floyd–Warshall reference.
+
+import (
+	mathbits "math/bits"
+	"sync"
+
+	"sierra/internal/bitset"
+)
+
+// closeParallel is the Jobs>1 implementation of close(); see close()
+// for the contract.
+func (g *Graph) closeParallel() bool {
+	if len(g.work) == 0 {
+		return false
+	}
+	blocks := g.jobs
+	if blocks > g.n {
+		blocks = g.n
+	}
+
+	// The drained worklist is the first frontier.
+	fb := bitset.New(g.n)
+	for _, k := range g.work {
+		g.inWork[k] = false
+		fb.Add(k)
+	}
+	g.work = g.work[:0]
+
+	if g.snapRows == nil {
+		g.snapRows = make([]bitset.Set, g.n)
+	}
+	everGrew := bitset.New(g.n)
+	grews := make([][]int, blocks)
+	addedBy := make([]int, blocks)
+	refs := make([]bitset.Set, blocks)
+
+	totalAdded := 0
+	per := (g.n + blocks - 1) / blocks
+	for {
+		frontierEmpty := true
+		fb.ForEach(func(k int) {
+			g.snapRows[k].CopyFrom(g.hb[k])
+			frontierEmpty = false
+		})
+		if frontierEmpty {
+			break
+		}
+		g.closureBlocks += int64(blocks)
+		var wg sync.WaitGroup
+		for wi := 0; wi < blocks; wi++ {
+			lo := wi * per
+			hi := lo + per
+			if hi > g.n {
+				hi = g.n
+			}
+			refs[wi] = bitset.New(g.n)
+			wg.Add(1)
+			go func(wi, lo, hi int) {
+				defer wg.Done()
+				grew := grews[wi][:0]
+				added := 0
+				for i := lo; i < hi; i++ {
+					rowAdded := 0
+					// Re-read the row length each step: merges can extend
+					// the row, and frontier bits landing in later words are
+					// still merged this round (earlier ones re-enter via
+					// the reference frontier).
+					for w := 0; w < len(g.hb[i]); w++ {
+						var fw uint64
+						if w < len(fb) {
+							fw = fb[w]
+						}
+						cand := g.hb[i][w] & fw
+						for rem := cand; rem != 0; rem &= rem - 1 {
+							k := w<<6 + mathbits.TrailingZeros64(rem)
+							rowAdded += g.mergeRowPar(i, g.snapRows[k], &refs[wi])
+						}
+					}
+					if rowAdded > 0 {
+						grew = append(grew, i)
+						added += rowAdded
+					}
+				}
+				grews[wi] = grew
+				addedBy[wi] = added
+			}(wi, lo, hi)
+		}
+		wg.Wait()
+
+		// Barrier: assemble the next frontier deterministically.
+		nf := bitset.New(g.n)
+		for wi := 0; wi < blocks; wi++ {
+			totalAdded += addedBy[wi]
+			for _, i := range grews[wi] {
+				nf.Add(i)
+				everGrew.Add(i)
+			}
+			refs[wi].ForEach(func(j int) { nf.Add(j) })
+		}
+		fb = nf
+	}
+
+	// Rebuild the predecessor index for every row that grew (workers do
+	// not maintain rev; Add is idempotent for bits already indexed).
+	everGrew.ForEach(func(i int) {
+		row := g.hb[i]
+		row.ForEach(func(j int) {
+			g.rev[j].Add(i)
+		})
+	})
+	g.ruleCounts[RuleTransitive] += totalAdded
+	return totalAdded > 0
+}
+
+// mergeRowPar ORs a frontier row's snapshot into row i (clearing the
+// self-bit), recording each newly set successor bit in ref and
+// returning the number of bits added. Row growth mirrors orRow: the row
+// extends to the last non-zero source word even when masking leaves no
+// new bits.
+func (g *Graph) mergeRowPar(i int, prev bitset.Set, ref *bitset.Set) int {
+	row := g.hb[i]
+	added := 0
+	for w, kw := range prev {
+		if w == i>>6 {
+			kw &^= 1 << (uint(i) & 63)
+		}
+		if kw == 0 {
+			continue
+		}
+		for len(row) <= w {
+			row = append(row, 0)
+		}
+		nw := kw &^ row[w]
+		if nw == 0 {
+			continue
+		}
+		row[w] |= nw
+		added += mathbits.OnesCount64(nw)
+		for rem := nw; rem != 0; rem &= rem - 1 {
+			ref.Add(w<<6 + mathbits.TrailingZeros64(rem))
+		}
+	}
+	g.hb[i] = row
+	return added
+}

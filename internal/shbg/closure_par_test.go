@@ -1,0 +1,219 @@
+package shbg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sierra/internal/actions"
+	"sierra/internal/apk"
+	"sierra/internal/corpus"
+	"sierra/internal/harness"
+	"sierra/internal/pointer"
+)
+
+// parJobCounts are the worker counts every parallel-closure parity test
+// pins against the serial drain.
+var parJobCounts = []int{2, 3, 8}
+
+// requireRevConsistent checks hb/rev lockstep: the parallel path defers
+// rev maintenance to a post-convergence rebuild, and later rule rounds
+// (and RacyPairs' predecessor scans) depend on the index being exact.
+func requireRevConsistent(t *testing.T, g *Graph) {
+	t.Helper()
+	for i := 0; i < g.n; i++ {
+		g.hb[i].ForEach(func(j int) {
+			if !g.rev[j].Has(i) {
+				t.Fatalf("rev[%d] missing predecessor %d", j, i)
+			}
+		})
+		g.rev[i].ForEach(func(j int) {
+			if !g.hb[j].Has(i) {
+				t.Fatalf("rev[%d] has stale predecessor %d", i, j)
+			}
+		})
+	}
+}
+
+// TestClosureParallelMatchesNaiveReference is the block-parallel twin of
+// TestClosureMatchesNaiveReference: the same random multi-batch edge
+// sets, drained at several worker counts, must reproduce the dense
+// Floyd–Warshall relation, the edge count, the transitive tally, and a
+// consistent predecessor index.
+func TestClosureParallelMatchesNaiveReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(70)
+		nedges := rng.Intn(3 * n)
+		edges := make([][2]int, 0, nedges)
+		for i := 0; i < nedges; i++ {
+			edges = append(edges, [2]int{rng.Intn(n), rng.Intn(n)})
+		}
+		cut := rng.Intn(len(edges) + 1)
+		want := naiveClosure(n, edges)
+
+		for _, jobs := range parJobCounts {
+			g := newBareGraph(n)
+			g.jobs = jobs
+			direct := 0
+			for i, e := range edges {
+				if i == cut {
+					g.close()
+				}
+				if g.addEdge(e[0], e[1], RuleInvocation) {
+					direct++
+				}
+			}
+			g.close()
+
+			closed := 0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if g.HB(i, j) != want[i][j] {
+						t.Logf("seed %d jobs %d: HB(%d,%d)=%v, naive=%v",
+							seed, jobs, i, j, g.HB(i, j), want[i][j])
+						return false
+					}
+					if want[i][j] {
+						closed++
+					}
+				}
+			}
+			if g.NumEdges() != closed {
+				return false
+			}
+			if g.RuleCount(RuleTransitive) != closed-direct {
+				return false
+			}
+			requireRevConsistent(t, g)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClosureParallelMatchesSerial drives identical random edge batches
+// through the serial drain and the block-parallel rounds and requires
+// the exact same observables — relation fingerprint, change reports from
+// every close() call, edge count, and per-rule tallies. Trailing zero
+// words of a row may differ between the paths (growth depends on
+// merge-time lengths); the fingerprint deliberately ignores them.
+func TestClosureParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(70)
+		nedges := rng.Intn(3 * n)
+		edges := make([][2]int, 0, nedges)
+		for i := 0; i < nedges; i++ {
+			edges = append(edges, [2]int{rng.Intn(n), rng.Intn(n)})
+		}
+		cuts := map[int]bool{rng.Intn(len(edges) + 1): true, rng.Intn(len(edges) + 1): true}
+
+		run := func(jobs int) (*Graph, []bool) {
+			g := newBareGraph(n)
+			g.jobs = jobs
+			var reports []bool
+			for i, e := range edges {
+				if cuts[i] {
+					reports = append(reports, g.close())
+				}
+				g.addEdge(e[0], e[1], RuleInvocation)
+			}
+			reports = append(reports, g.close())
+			// An immediate re-drain must be a no-op on both paths.
+			reports = append(reports, g.close())
+			return g, reports
+		}
+
+		serial, wantReports := run(1)
+		for _, jobs := range parJobCounts {
+			par, reports := run(jobs)
+			if par.Fingerprint() != serial.Fingerprint() {
+				t.Logf("seed %d jobs %d: fingerprint mismatch", seed, jobs)
+				return false
+			}
+			if par.NumEdges() != serial.NumEdges() {
+				return false
+			}
+			for r := Rule(0); r < numRules; r++ {
+				if par.RuleCount(r) != serial.RuleCount(r) {
+					t.Logf("seed %d jobs %d: rule %s tally %d != %d",
+						seed, jobs, r, par.RuleCount(r), serial.RuleCount(r))
+					return false
+				}
+			}
+			if len(reports) != len(wantReports) {
+				return false
+			}
+			for i := range reports {
+				if reports[i] != wantReports[i] {
+					t.Logf("seed %d jobs %d: close() report %d: %v != %v",
+						seed, jobs, i, reports[i], wantReports[i])
+					return false
+				}
+			}
+			requireRevConsistent(t, par)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildParallelMatchesSerial runs the full SHBG pipeline — all seven
+// rules iterating with closure — at several worker counts over the
+// corpus apps and requires the exact serial graph.
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	apps := []*apk.App{
+		corpus.SudokuTimerApp(), corpus.NewsApp(),
+		corpus.DatabaseApp(), corpus.NullGuardApp(),
+	}
+	for _, app := range apps {
+		hs := harness.Generate(app)
+		reg, res := actions.Analyze(app, hs, pointer.ActionSensitivePolicy{K: 2})
+		serial := Build(reg, res, Options{})
+		for _, jobs := range parJobCounts {
+			par := Build(reg, res, Options{Jobs: jobs})
+			if par.Fingerprint() != serial.Fingerprint() {
+				t.Errorf("%s jobs=%d: fingerprint diverged from serial build", app.Name, jobs)
+			}
+			if par.NumEdges() != serial.NumEdges() {
+				t.Errorf("%s jobs=%d: edges %d != %d", app.Name, jobs, par.NumEdges(), serial.NumEdges())
+			}
+			for r := Rule(0); r < numRules; r++ {
+				if par.RuleCount(r) != serial.RuleCount(r) {
+					t.Errorf("%s jobs=%d: rule %s tally %d != %d",
+						app.Name, jobs, r, par.RuleCount(r), serial.RuleCount(r))
+				}
+			}
+			requireRevConsistent(t, par)
+		}
+	}
+}
+
+// TestClosureParallelIdempotent re-draining an already-closed parallel
+// graph must report no change and launch no worker blocks.
+func TestClosureParallelIdempotent(t *testing.T) {
+	g := newBareGraph(8)
+	g.jobs = 4
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 0}} {
+		g.addEdge(e[0], e[1], RuleInvocation)
+	}
+	g.close()
+	before, blocks := g.NumEdges(), g.closureBlocks
+	if blocks == 0 {
+		t.Fatal("parallel close launched no worker blocks")
+	}
+	if g.close() {
+		t.Error("second close() reported change on a closed graph")
+	}
+	if g.NumEdges() != before {
+		t.Errorf("second close() changed edges: %d -> %d", before, g.NumEdges())
+	}
+	if g.closureBlocks != blocks {
+		t.Errorf("empty-worklist close() launched blocks: %d -> %d", blocks, g.closureBlocks)
+	}
+}

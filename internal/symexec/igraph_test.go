@@ -165,7 +165,7 @@ func TestIGraphBranchLabels(t *testing.T) {
 		if n.pos.Method == nil {
 			continue
 		}
-		for _, pr := range g.preds[id] {
+		for _, pr := range g.predsOf(id) {
 			if _, isIf := stmtAt(g, pr.node); isIf {
 				switch pr.br {
 				case branchTrue:

@@ -39,6 +39,11 @@ func CheckAll(reg *actions.Registry, res *pointer.Result, cfg Config, pairs []ra
 			}
 			verdicts = append(verdicts, ref.Check(p))
 		}
+		if cfg.Obs != nil {
+			if ab := ref.arenaBytes(); ab > 0 {
+				cfg.Obs.Count("symexec.arena_bytes", ab)
+			}
+		}
 		return verdicts, false
 	}
 
@@ -78,11 +83,18 @@ func CheckAll(reg *actions.Registry, res *pointer.Result, cfg Config, pairs []ra
 	}
 	results := make([]result, len(pairs))
 	idxCh := make(chan int)
+	wbytes := make([]int64, jobs)
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
+			// One fork per worker, recycled across pairs: resetPair
+			// clears every memo and rewinds the arenas, so each pair
+			// still sees the equivalent of a fresh fork (pure verdicts,
+			// worker-count independent) without re-paying the map and
+			// scratch allocations per pair.
+			wref := base.fork()
 			for i := range idxCh {
 				results[i] = func() (r result) {
 					var t0 time.Time
@@ -92,7 +104,12 @@ func CheckAll(reg *actions.Registry, res *pointer.Result, cfg Config, pairs []ra
 					defer func() {
 						if rec := recover(); rec != nil {
 							// Over-approximate, like budget exhaustion:
-							// the pair is reported rather than lost.
+							// the pair is reported rather than lost. The
+							// worker's refuter may hold half-walked
+							// scratch (unbalanced visit counts), so
+							// retire it and start the next pair clean.
+							wbytes[slot] += wref.arenaBytes()
+							wref = base.fork()
 							r = result{
 								v:        Verdict{TruePositive: true, BudgetExhausted: true},
 								panicked: true,
@@ -105,11 +122,13 @@ func CheckAll(reg *actions.Registry, res *pointer.Result, cfg Config, pairs []ra
 							r.durMS = -1
 						}
 					}()
-					v, pruned, capped := base.fork().check(pairs[i])
+					wref.resetPair()
+					v, pruned, capped := wref.check(pairs[i])
 					return result{v: v, pruned: pruned, capped: capped, done: true}
 				}()
 			}
-		}()
+			wbytes[slot] += wref.arenaBytes()
+		}(w)
 	}
 	fed := 0
 	for i := range pairs {
@@ -135,6 +154,13 @@ func CheckAll(reg *actions.Registry, res *pointer.Result, cfg Config, pairs []ra
 	}
 	if tr != nil {
 		tr.Count("symexec.refute_par_jobs", int64(len(verdicts)))
+		var ab int64
+		for _, b := range wbytes {
+			ab += b
+		}
+		if ab > 0 {
+			tr.Count("symexec.arena_bytes", ab)
+		}
 	}
 	return verdicts, len(verdicts) < len(pairs)
 }
@@ -146,7 +172,7 @@ func CheckAll(reg *actions.Registry, res *pointer.Result, cfg Config, pairs []ra
 // pairs ran first. Every keyed memo (entry, witness, points-to, seed)
 // starts fresh so no fork observes another pair's cached state.
 func (r *Refuter) fork() *Refuter {
-	return &Refuter{
+	nr := &Refuter{
 		Reg:         r.Reg,
 		Res:         r.Res,
 		Cfg:         r.Cfg,
@@ -154,9 +180,12 @@ func (r *Refuter) fork() *Refuter {
 		insts:       r.insts,
 		graphs:      r.graphs,
 		entryMemo:   map[entryKey]*entryResult{},
-		witnessMemo: map[witnessKey][]witnessEntry{},
+		witnessMemo: map[witnessKey]*wbucket{},
 		ptsMemo:     map[ptsKey]pointer.ObjSet{},
-		seedMemo:    map[int][]*store{},
+		seedMemo:    map[int][]*frozen{},
+		objWords:    r.objWords,
 		cancelled:   r.cancelled,
 	}
+	nr.entrySinkFn = nr.recordEntryStore
+	return nr
 }

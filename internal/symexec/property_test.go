@@ -115,7 +115,7 @@ func TestConstrainVarMonotoneUnsat(t *testing.T) {
 			return false
 		}
 		// Original pin intact.
-		return s.vars["x"].eq != nil && s.vars["x"].eq.equal(a)
+		return s.vars["x"].hasEq && s.vars["x"].eqv.equal(a)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)

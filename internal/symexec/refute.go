@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sierra/internal/actions"
+	"sierra/internal/bitset"
 	"sierra/internal/ir"
 	"sierra/internal/obs"
 	"sierra/internal/pointer"
@@ -74,7 +75,8 @@ type entryKey struct {
 }
 
 // witnessKey buckets E-walk memo entries by (action, access, store
-// hash); entries within a bucket are disambiguated by storesEqual.
+// hash); entries within a bucket are disambiguated by structural store
+// equality.
 type witnessKey struct {
 	action int
 	pos    ir.Pos
@@ -84,8 +86,17 @@ type witnessKey struct {
 // witnessEntry is one memoized E-walk result, keeping the initial store
 // so hash collisions verify instead of aliasing.
 type witnessEntry struct {
-	st *store
+	st *frozen
 	ok bool
+}
+
+// wbucket holds a witness key's memo entries with the common single
+// entry inline, so a fresh key costs one slab bump instead of a heap
+// slice.
+type wbucket struct {
+	first    witnessEntry
+	hasFirst bool
+	rest     []witnessEntry
 }
 
 // ptsKey memoizes per-action points-to resolution. Resolution depends
@@ -106,18 +117,39 @@ type Refuter struct {
 	callees func(ir.Pos) []*ir.Method
 	insts   map[int][]pointer.MKey
 	graphs  map[int][]*igraph
+	// igb is the refuter's persistent graph builder: scratch buffers and
+	// output slabs amortize across every action it inlines, and the
+	// finished graphs reference its slabs (same lifetime as graphs).
+	// Lazily created; forks get their own (they share graphs and rarely
+	// build).
+	igb *igBuilder
 	// entryMemo caches A-walk results: the constraint stores required at
 	// the later action's entry to reach the access.
 	entryMemo map[entryKey]*entryResult
 	// witnessMemo caches E-walk results per (action, access, store),
 	// hash-bucketed with structural verification on lookup.
-	witnessMemo map[witnessKey][]witnessEntry
+	witnessMemo map[witnessKey]*wbucket
 	// ptsMemo caches resolved points-to unions per (action, method, var)
 	// so the E-walk stops re-unioning ObjSets on every Load/Store
 	// transfer.
 	ptsMemo map[ptsKey]pointer.ObjSet
 	// seedMemo caches whatSeeds per action (the seeds are read-only).
-	seedMemo map[int][]*store
+	seedMemo map[int][]*frozen
+	// arena slab-allocates everything the memos retain (frozen stores,
+	// entry results, witness buckets); objArena backs the resolvePts
+	// ObjSet words. Both reset together with the memos (resetPair).
+	arena    storeArena
+	objArena bitset.Arena
+	// objWords pre-sizes arena-backed ObjSets to the analysis id space
+	// so unions never reallocate.
+	objWords int
+	// sinkStores is the A-walk sink's per-query scratch (dedup happens
+	// against it; freezePtrs right-sizes it into the memo), and
+	// entrySinkFn the sink bound once so each query avoids a closure.
+	sinkStores  []*frozen
+	entrySinkFn func(*store)
+	// seedScratch is computeWhatSeeds' reusable store-building scratch.
+	seedScratch store
 	// pruned accumulates dead (contradiction/bound) paths across walks.
 	pruned int64
 	// entryCapped counts stores dropped by entryStoreCap across walks.
@@ -141,7 +173,7 @@ type Refuter struct {
 }
 
 type entryResult struct {
-	stores   []*store
+	stores   []*frozen
 	budget   bool
 	explored int
 }
@@ -162,12 +194,36 @@ func NewRefuter(reg *actions.Registry, res *pointer.Result, cfg Config) *Refuter
 		insts:       reg.ActionInstances(res),
 		graphs:      map[int][]*igraph{},
 		entryMemo:   map[entryKey]*entryResult{},
-		witnessMemo: map[witnessKey][]witnessEntry{},
+		witnessMemo: map[witnessKey]*wbucket{},
 		ptsMemo:     map[ptsKey]pointer.ObjSet{},
-		seedMemo:    map[int][]*store{},
+		seedMemo:    map[int][]*frozen{},
+		objWords:    (res.Interner().NumObjs() + 63) / 64,
 	}
 	r.cancelled = r.cancelPoll()
+	r.entrySinkFn = r.recordEntryStore
 	return r
+}
+
+// resetPair recycles a pooled worker refuter between pairs: every keyed
+// memo is cleared and both arenas rewound, which is observably
+// identical to a fresh fork (each memo starts empty; the shared graphs
+// are read-only), so a pair's verdict stays a pure function of the
+// pair. Cumulative tallies (pruned, entryCapped, arena bytes) survive —
+// check reads deltas and the arenas report lifetime bytes.
+func (r *Refuter) resetPair() {
+	clear(r.entryMemo)
+	clear(r.witnessMemo)
+	clear(r.ptsMemo)
+	clear(r.seedMemo)
+	r.arena.reset()
+	r.objArena.Reset()
+	r.sinkStores = r.sinkStores[:0]
+}
+
+// arenaBytes reports the lifetime bytes bump-allocated by this
+// refuter's arenas (the symexec.arena_bytes counter's unit).
+func (r *Refuter) arenaBytes() int64 {
+	return r.arena.bytes + r.objArena.Bytes()
 }
 
 // Check decides whether the candidate pair survives refutation: a pair
@@ -291,11 +347,11 @@ func (r *Refuter) feasible(first, second race.Access, budget int) (bool, int, bo
 		for _, st := range stores {
 			// Disjunction over the first action's codes too.
 			for _, fseed := range r.whatSeeds(first.Action) {
-				// Reusable scratch: the witness memo clones the store
+				// Reusable scratch: the witness memo freezes the store
 				// if it decides to retain it.
 				init := &r.feasInit
-				init.resetTo(st)
-				if !mergeStores(init, fseed) {
+				init.resetToFrozen(st)
+				if !mergeFrozen(init, fseed) {
 					continue
 				}
 				ok, u, bhit := r.witness(first, init, remaining)
@@ -321,7 +377,7 @@ func (r *Refuter) feasible(first, second race.Access, budget int) (bool, int, bo
 // code observed at its send sites (constraining the message objects'
 // what field), or a single empty store when the action is not a
 // constant-coded message.
-func (r *Refuter) whatSeeds(aid int) []*store {
+func (r *Refuter) whatSeeds(aid int) []*frozen {
 	if seeds, ok := r.seedMemo[aid]; ok {
 		return seeds
 	}
@@ -330,14 +386,15 @@ func (r *Refuter) whatSeeds(aid int) []*store {
 	return seeds
 }
 
-func (r *Refuter) computeWhatSeeds(aid int) []*store {
+func (r *Refuter) computeWhatSeeds(aid int) []*frozen {
 	a := r.Reg.Get(aid)
+	st := &r.seedScratch
 	if a.Kind != actions.KindMessage || len(a.MsgWhats) == 0 {
-		return []*store{newStore()}
+		return []*frozen{r.arena.newFrozen()}
 	}
-	var out []*store
+	var out []*frozen
 	for _, w := range a.MsgWhats {
-		st := newStore()
+		st.resetToFrozen(&emptyFrozen)
 		consistent := true
 		for _, root := range a.Roots {
 			if len(root.Params) == 0 {
@@ -351,17 +408,17 @@ func (r *Refuter) computeWhatSeeds(aid int) []*store {
 			}
 		}
 		if consistent {
-			out = append(out, st)
+			out = append(out, r.arena.freeze(st, st.hash()))
 		}
 	}
 	if len(out) == 0 {
-		return []*store{newStore()}
+		return []*frozen{r.arena.newFrozen()}
 	}
 	return out
 }
 
 // mustEq wraps a value as a must-equal constraint.
-func mustEq(v value) constraint { return constraint{eq: &v} }
+func mustEq(v value) constraint { return constraint{eqv: v, hasEq: true} }
 
 // mergeStores conjoins src's constraints into dst, reporting
 // satisfiability.
@@ -409,36 +466,19 @@ func (r *Refuter) newWalker(g *igraph, aid, budget int) *walker {
 // distinct constraint stores under which the access is reachable, plus
 // whether the budget ran out and how many paths the call itself
 // explored (0 on a memo hit — cached stores cost nothing to reuse).
-func (r *Refuter) entryConstraints(acc race.Access, seedIdx int, seed *store, budget int) (stores []*store, budgetHit bool, explored int) {
+func (r *Refuter) entryConstraints(acc race.Access, seedIdx int, seed *frozen, budget int) (stores []*frozen, budgetHit bool, explored int) {
 	key := entryKey{action: acc.Action, pos: acc.Pos, seedIdx: seedIdx}
 	if !r.Cfg.DisableCache {
 		if have, ok := r.entryMemo[key]; ok {
 			return have.stores, have.budget, 0
 		}
 	}
-	res := &entryResult{}
-	seen := map[uint64][]*store{}
-	// One sink for every walk of the query: dedup against all stores
-	// seen so far (hash-then-verify), clone only what is kept.
-	sink := func(st *store) {
-		h := st.hash()
-		for _, prev := range seen[h] {
-			if storesEqual(prev, st) {
-				return
-			}
-		}
-		if len(res.stores) >= EntryStoreCap {
-			r.entryCapped++
-			return
-		}
-		cp := st.clone()
-		seen[h] = append(seen[h], cp)
-		res.stores = append(res.stores, cp)
-	}
+	res := r.arena.newResult()
+	r.sinkStores = r.sinkStores[:0]
 	for _, g := range r.actionGraphs(acc.Action) {
 		w := r.newWalker(g, acc.Action, budget-res.explored)
 		for _, start := range g.byPos[acc.Pos] {
-			w.collectEntryFrom(start, seed, sink)
+			w.collectEntryFrom(start, seed, r.entrySinkFn)
 		}
 		res.explored += w.paths
 		r.pruned += int64(w.pruned)
@@ -447,10 +487,30 @@ func (r *Refuter) entryConstraints(acc race.Access, seedIdx int, seed *store, bu
 			break
 		}
 	}
+	res.stores = r.arena.freezePtrs(r.sinkStores)
 	if !r.Cfg.DisableCache {
 		r.entryMemo[key] = res
 	}
 	return res.stores, res.budget, res.explored
+}
+
+// recordEntryStore is the A-walk sink (bound once as entrySinkFn): it
+// dedups the walked-in store against everything this query has kept so
+// far (hash-then-verify, the same partition the old per-query map
+// induced), enforces EntryStoreCap, and freezes survivors into the
+// arena.
+func (r *Refuter) recordEntryStore(st *store) {
+	h := st.hash()
+	for _, prev := range r.sinkStores {
+		if prev.h == h && prev.equalsStore(st) {
+			return
+		}
+	}
+	if len(r.sinkStores) >= EntryStoreCap {
+		r.entryCapped++
+		return
+	}
+	r.sinkStores = append(r.sinkStores, r.arena.freeze(st, h))
 }
 
 // witness runs the E-walk: backward through the first action from its
@@ -459,11 +519,18 @@ func (r *Refuter) entryConstraints(acc race.Access, seedIdx int, seed *store, bu
 func (r *Refuter) witness(acc race.Access, init *store, budget int) (ok bool, used int, budgetHit bool) {
 	useCache := !r.Cfg.DisableCache
 	var wkey witnessKey
+	var bkt *wbucket
 	if useCache {
 		wkey = witnessKey{action: acc.Action, pos: acc.Pos, h: init.hash()}
-		for _, e := range r.witnessMemo[wkey] {
-			if storesEqual(e.st, init) {
-				return e.ok, 0, false
+		bkt = r.witnessMemo[wkey]
+		if bkt != nil {
+			if bkt.hasFirst && bkt.first.st.equalsStore(init) {
+				return bkt.first.ok, 0, false
+			}
+			for _, e := range bkt.rest {
+				if e.st.equalsStore(init) {
+					return e.ok, 0, false
+				}
 			}
 		}
 	}
@@ -478,8 +545,7 @@ func (r *Refuter) witness(acc race.Access, init *store, budget int) (ok bool, us
 		}
 		if hit {
 			if useCache {
-				// Clone: init is the caller's reusable scratch.
-				r.witnessMemo[wkey] = append(r.witnessMemo[wkey], witnessEntry{st: init.clone(), ok: true})
+				r.recordWitness(bkt, wkey, init, true)
 			}
 			return true, used, false
 		}
@@ -488,9 +554,27 @@ func (r *Refuter) witness(acc race.Access, init *store, budget int) (ok bool, us
 		}
 	}
 	if useCache {
-		r.witnessMemo[wkey] = append(r.witnessMemo[wkey], witnessEntry{st: init.clone(), ok: false})
+		r.recordWitness(bkt, wkey, init, false)
 	}
 	return false, used, false
+}
+
+// recordWitness freezes the caller's reusable init scratch into the
+// arena and appends the verdict to the key's bucket (creating it on
+// first sight). Lookup order — inline first entry, then rest — matches
+// the old slice append order.
+func (r *Refuter) recordWitness(bkt *wbucket, wkey witnessKey, init *store, ok bool) {
+	e := witnessEntry{st: r.arena.freeze(init, wkey.h), ok: ok}
+	if bkt == nil {
+		bkt = r.arena.newWBucket()
+		r.witnessMemo[wkey] = bkt
+	}
+	if !bkt.hasFirst {
+		bkt.first = e
+		bkt.hasFirst = true
+		return
+	}
+	bkt.rest = append(bkt.rest, e)
 }
 
 // cancelPoll returns the walker's cancellation probe (nil when no
@@ -509,9 +593,12 @@ func (r *Refuter) actionGraphs(aid int) []*igraph {
 	if gs, ok := r.graphs[aid]; ok {
 		return gs
 	}
+	if r.igb == nil {
+		r.igb = newIGBuilder()
+	}
 	var gs []*igraph
 	for _, root := range r.Reg.Get(aid).Roots {
-		gs = append(gs, buildIGraph(root, r.callees, igraphLimits{
+		gs = append(gs, r.igb.build(root, r.callees, igraphLimits{
 			maxDepth: r.Cfg.MaxDepth,
 		}))
 	}
@@ -529,7 +616,15 @@ func (r *Refuter) resolvePts(aid int, f *frame, v string) pointer.ObjSet {
 	if s, ok := r.ptsMemo[k]; ok {
 		return s
 	}
-	out := r.Res.NewObjSet()
+	var out pointer.ObjSet
+	if r.objWords > 0 {
+		// Arena-backed words pre-sized to the analysis id space: the
+		// unions below never reallocate, and the memoized set's storage
+		// is recycled with the memo on resetPair.
+		out = r.Res.Interner().NewSetBacked(r.objArena.Words(r.objWords))
+	} else {
+		out = r.Res.NewObjSet()
+	}
 	for _, mk := range r.insts[aid] {
 		if mk.M == f.m {
 			out.AddAll(r.Res.PointsTo(mk.M, mk.Ctx, v))

@@ -89,16 +89,19 @@ func conflicts(a, b value) bool {
 }
 
 // constraint is the requirement on one variable or location: an optional
-// must-equal value plus must-not-equal values.
+// must-equal value plus must-not-equal values. The must-equal value is
+// stored inline (hasEq discriminates) so strengthening a constraint on
+// the walk spine never heap-allocates.
 type constraint struct {
-	eq *value
-	ne []value
+	eqv   value
+	hasEq bool
+	ne    []value
 }
 
 // withEq returns the constraint strengthened by x == v, and whether the
 // result is satisfiable.
 func (c constraint) withEq(v value) (constraint, bool) {
-	if c.eq != nil && conflicts(*c.eq, v) {
+	if c.hasEq && conflicts(c.eqv, v) {
 		return c, false
 	}
 	for _, n := range c.ne {
@@ -109,15 +112,16 @@ func (c constraint) withEq(v value) (constraint, bool) {
 		// not expressible, so only definite equality kills.
 	}
 	out := c
-	if out.eq == nil {
-		out.eq = &v
+	if !out.hasEq {
+		out.eqv = v
+		out.hasEq = true
 	}
 	return out, true
 }
 
 // withNe returns the constraint strengthened by x != v.
 func (c constraint) withNe(v value) (constraint, bool) {
-	if c.eq != nil && c.eq.equal(v) {
+	if c.hasEq && c.eqv.equal(v) {
 		return c, false
 	}
 	out := c
@@ -127,15 +131,15 @@ func (c constraint) withNe(v value) (constraint, bool) {
 
 // satisfiedBy checks whether assigning val satisfies the constraint.
 func (c constraint) satisfiedBy(val value) bool {
-	if c.eq != nil && conflicts(*c.eq, val) {
+	if c.hasEq && conflicts(c.eqv, val) {
 		return false
 	}
-	if c.eq != nil && c.eq.kind != val.kind {
+	if c.hasEq && c.eqv.kind != val.kind {
 		// e.g. required nonnull, assigned int: int is non-null — allow
 		// kind-crossing satisfaction for null-ness.
-		if c.eq.kind == vNonNull && (val.kind == vInt || val.kind == vBool) {
+		if c.eqv.kind == vNonNull && (val.kind == vInt || val.kind == vBool) {
 			// fallthrough: satisfied
-		} else if c.eq.kind == vNull {
+		} else if c.eqv.kind == vNull {
 			return false
 		}
 	}
@@ -149,8 +153,8 @@ func (c constraint) satisfiedBy(val value) bool {
 
 func (c constraint) String() string {
 	parts := []string{}
-	if c.eq != nil {
-		parts = append(parts, "=="+c.eq.String())
+	if c.hasEq {
+		parts = append(parts, "=="+c.eqv.String())
 	}
 	for _, n := range c.ne {
 		parts = append(parts, "!="+n.String())
@@ -351,8 +355,8 @@ func hashValue(h uint64, v value) uint64 {
 }
 
 func hashConstraint(h uint64, c constraint) uint64 {
-	if c.eq != nil {
-		h = hashValue(fnvByte(h, 1), *c.eq)
+	if c.hasEq {
+		h = hashValue(fnvByte(h, 1), c.eqv)
 	} else {
 		h = fnvByte(h, 0)
 	}
@@ -394,10 +398,10 @@ func (s *store) hash() uint64 {
 // key() strings induced, so the hash-based dedup partitions stores the
 // way the string-based one did.
 func constraintsEqual(a, b constraint) bool {
-	if (a.eq == nil) != (b.eq == nil) {
+	if a.hasEq != b.hasEq {
 		return false
 	}
-	if a.eq != nil && *a.eq != *b.eq {
+	if a.hasEq && a.eqv != b.eqv {
 		return false
 	}
 	if len(a.ne) != len(b.ne) {

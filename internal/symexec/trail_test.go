@@ -9,14 +9,10 @@ import (
 	"sierra/internal/race"
 )
 
-// copyConstraint deep-copies a constraint (private eq pointer, private
-// ne backing array).
+// copyConstraint deep-copies a constraint (private ne backing array;
+// the eq value is inline and copies with the struct).
 func copyConstraint(c constraint) constraint {
-	var out constraint
-	if c.eq != nil {
-		v := *c.eq
-		out.eq = &v
-	}
+	out := c
 	if len(c.ne) > 0 {
 		out.ne = append([]value(nil), c.ne...)
 	}
@@ -43,7 +39,7 @@ func trailOp(s *store, opTag, nameTag, valTag uint8, i int64, b bool) {
 	v := randValue(valTag, i, b)
 	switch opTag % 6 {
 	case 0:
-		s.setVar(name, constraint{eq: &v})
+		s.setVar(name, mustEq(v))
 	case 1:
 		s.delVar(name)
 	case 2:
@@ -134,12 +130,14 @@ func TestTrailWalkRestoresStore(t *testing.T) {
 		for _, p := range pairs {
 			for _, acc := range []race.Access{p.A, p.B} {
 				for si, seed := range ref.whatSeeds(acc.Action) {
-					want := snapshotStore(seed)
+					// Frozen seeds are immutable by construction; thaw a
+					// reference copy to check scratch restoration against.
+					want := seed.thaw()
 					for _, g := range ref.actionGraphs(acc.Action) {
 						w := ref.newWalker(g, acc.Action, 1000)
 						for _, start := range g.byPos[acc.Pos] {
 							w.collectEntryFrom(start, seed, func(*store) {})
-							if !storesEqual(seed, want) {
+							if !seed.equalsStore(want) {
 								t.Fatalf("knobs[%d] seed %d: walk mutated the seed store", ki, si)
 							}
 							if !storesEqual(&ref.walkStore, want) {

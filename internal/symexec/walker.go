@@ -48,6 +48,14 @@ type walker struct {
 	visits []uint8
 	// visitsRef is the reference walker's original map-based counter.
 	visitsRef map[int]int
+	// sink receives each consistent entry store of an A-walk (nil on
+	// E-walks); a walker field rather than a parameter threaded through
+	// the DFS, so the recursion spine carries no closure.
+	sink func(*store)
+	// found records that an E-walk path reached the entry having
+	// executed the target access. It never stops a walk mid-path (only
+	// the exits loop checks it), matching the original enumeration.
+	found bool
 	// tr is the shared mutation trail (trail walk only); its backing
 	// array is reused across walks.
 	tr *trail
@@ -68,41 +76,31 @@ const maxVisitsPerNode = 2
 // refutation hot loop).
 const ctxPollStride = 64
 
-// collectEntry runs the A-walk: backward from the access node (its own
-// transfer skipped — the access is the query's sink) to the root entry,
-// reporting each consistent store via sink. Trail walk: the store
-// handed to sink is the shared mutable store — sink must clone what it
-// keeps.
-func (w *walker) collectEntry(accessNode int, sink func(*store)) {
-	w.collectEntryFrom(accessNode, newStore(), sink)
-}
-
-// collectEntryFrom is collectEntry with an initial constraint store
-// (e.g. the on-demand constant propagation's message-code seed).
-func (w *walker) collectEntryFrom(accessNode int, init *store, sink func(*store)) {
-	st := w.beginWalk(init)
-	w.walkPreds(accessNode, st, false, func(st *store, _ bool) {
-		sink(st)
-	})
+// collectEntryFrom runs the A-walk: backward from the access node (its
+// own transfer skipped — the access is the query's sink) to the root
+// entry under an initial constraint store (e.g. the on-demand constant
+// propagation's message-code seed), reporting each consistent store via
+// sink. Trail walk: the store handed to sink is the shared mutable
+// store — sink must freeze/clone what it keeps.
+func (w *walker) collectEntryFrom(accessNode int, init *frozen, sink func(*store)) {
+	w.sink = sink
+	st := w.beginWalkFrozen(init)
+	w.walkPreds(accessNode, st, false)
 }
 
 // findWitness runs the E-walk: backward from every root exit to the root
 // entry under init; a witness path must execute the target access.
 func (w *walker) findWitness(init *store) bool {
-	found := false
+	w.found = false
 	for _, exit := range w.g.exits {
-		if found || w.budgetHit {
+		if w.found || w.budgetHit {
 			break
 		}
 		// Process the exit node itself (a Return; no-op transfer) then
 		// walk its predecessors.
-		w.walk(exit, w.beginWalk(init), false, func(_ *store, saw bool) {
-			if saw {
-				found = true
-			}
-		})
+		w.walk(exit, w.beginWalk(init), false)
 	}
-	return found
+	return w.found
 }
 
 // beginWalk prepares one walk root: a private copy of init (both modes
@@ -120,16 +118,36 @@ func (w *walker) beginWalk(init *store) *store {
 	return st
 }
 
+// beginWalkFrozen is beginWalk for a frozen initial store: the trail
+// walk hydrates its scratch store straight from the flat entries, the
+// clone walk thaws a private map-backed copy.
+func (w *walker) beginWalkFrozen(init *frozen) *store {
+	if w.cloneRef {
+		w.visitsRef = map[int]int{}
+		return init.thaw()
+	}
+	st := w.scratch
+	st.resetToFrozen(init)
+	w.tr.ops = w.tr.ops[:0]
+	st.tr = w.tr
+	return st
+}
+
 // walk processes node's reverse transfer then recurses into its
-// predecessors; atEntry is invoked when the root entry is reached.
-func (w *walker) walk(node int, st *store, saw bool, atEntry func(*store, bool)) {
+// predecessors; reaching the root entry reports to sink (A-walk) or
+// sets found (E-walk).
+func (w *walker) walk(node int, st *store, saw bool) {
 	if w.budgetHit {
 		return
 	}
 	n := &w.g.nodes[node]
 	if n.isEntry && n.frame.id == 0 {
 		w.endPath()
-		atEntry(st, saw)
+		if w.sink != nil {
+			w.sink(st)
+		} else if saw {
+			w.found = true
+		}
 		return
 	}
 	if w.target.Method != nil && n.pos == w.target {
@@ -142,16 +160,16 @@ func (w *walker) walk(node int, st *store, saw bool, atEntry func(*store, bool))
 		w.prunePath()
 		return
 	}
-	w.walkPreds(node, st, saw, atEntry)
+	w.walkPreds(node, st, saw)
 }
 
 // walkPreds recurses into the predecessors of node (without processing
 // node itself).
-func (w *walker) walkPreds(node int, st *store, saw bool, atEntry func(*store, bool)) {
+func (w *walker) walkPreds(node int, st *store, saw bool) {
 	if w.budgetHit {
 		return
 	}
-	preds := w.g.preds[node]
+	preds := w.g.predsOf(node)
 	if len(preds) == 0 {
 		// Dangling (unreachable) node: path dies.
 		w.prunePath()
@@ -176,7 +194,7 @@ func (w *walker) walkPreds(node int, st *store, saw bool, atEntry func(*store, b
 				}
 			}
 			w.visitsRef[p.node]++
-			w.walk(p.node, branchSt, saw, atEntry)
+			w.walk(p.node, branchSt, saw)
 			w.visitsRef[p.node]--
 			continue
 		}
@@ -191,7 +209,7 @@ func (w *walker) walkPreds(node int, st *store, saw bool, atEntry func(*store, b
 			}
 		}
 		w.visits[p.node]++
-		w.walk(p.node, st, saw, atEntry)
+		w.walk(p.node, st, saw)
 		w.visits[p.node]--
 		st.rollback(mark)
 	}
@@ -360,7 +378,7 @@ func (w *walker) moveVar(st *store, dst, src string) bool {
 
 // mergeVar conjoins a constraint onto a variable.
 func mergeVar(st *store, name string, c constraint) bool {
-	if c.eq != nil && !st.constrainVarEq(name, *c.eq) {
+	if c.hasEq && !st.constrainVarEq(name, c.eqv) {
 		return false
 	}
 	for _, n := range c.ne {
@@ -374,8 +392,8 @@ func mergeVar(st *store, name string, c constraint) bool {
 // mergeLoc conjoins a constraint onto a heap location.
 func mergeLoc(st *store, lk locKey, c constraint) bool {
 	have := st.locs[lk]
-	if c.eq != nil {
-		merged, ok := have.withEq(*c.eq)
+	if c.hasEq {
+		merged, ok := have.withEq(c.eqv)
 		if !ok {
 			return false
 		}

@@ -4,7 +4,18 @@
 #
 #   ./scripts/benchdiff.sh -smoke        one iteration of every kernel bench
 #                                        (the tier-1 clause: catches perf-path
-#                                        code that only compiles under -bench)
+#                                        code that only compiles under -bench),
+#                                        plus one iteration of each parallel
+#                                        kernel bench at 2 workers under
+#                                        GOMAXPROCS=2
+#   ./scripts/benchdiff.sh -cpu [list]   scaling lane: run the three parallel
+#                                        kernels (pointer, SHBG closure,
+#                                        refutation) with jobs=N under
+#                                        GOMAXPROCS=N for each N in the
+#                                        comma-separated list (default
+#                                        1,2,4,8) and write per-core ns/op
+#                                        medians + speedup-vs-1 curves to
+#                                        BENCH_scaling.json
 #   ./scripts/benchdiff.sh <ref>         bench HEAD and <ref> (via a throwaway
 #                                        git worktree) and print a per-kernel
 #                                        ns/op + allocs/op delta as JSON in the
@@ -24,19 +35,112 @@ set -eu
 
 PATTERN="${BENCH_PATTERN:-BenchmarkKernel}"
 COUNT="${BENCH_COUNT:-3}"
+# The three deterministic parallel kernels; each exposes jobs=N
+# sub-benchmarks whose list tracks GOMAXPROCS (see bench_kernels_test.go),
+# so `-cpu N` always finds a matching jobs=N lane.
+PAR_PATTERN='BenchmarkKernel(Pointer|SHBGClosure|Refutation)Parallel'
 
 usage() {
-    echo "usage: $0 -smoke | $0 <git-ref>" >&2
+    echo "usage: $0 -smoke | $0 -cpu [1,2,4,8] | $0 <git-ref>" >&2
     exit 2
 }
 
-[ $# -eq 1 ] || usage
+[ $# -ge 1 ] && [ $# -le 2 ] || usage
+[ $# -eq 2 ] && [ "$1" != "-cpu" ] && usage
 
 repo_root=$(git rev-parse --show-toplevel)
 cd "$repo_root"
 
 if [ "$1" = "-smoke" ]; then
-    exec go test -run '^$' -bench "$PATTERN" -benchtime=1x .
+    go test -run '^$' -bench "$PATTERN" -benchtime=1x .
+    # One iteration of each parallel kernel bench at 2 workers with two
+    # procs, so multi-worker scheduling of every parallel kernel is
+    # exercised even when the sequential pass ran at GOMAXPROCS=1.
+    exec go test -run '^$' -bench "$PAR_PATTERN/jobs=2\$" -benchtime=1x -cpu 2 .
+fi
+
+if [ "$1" = "-cpu" ]; then
+    CPUS="${2:-1,2,4,8}"
+    SCALING="${BENCH_SCALING:-$repo_root/BENCH_scaling.json}"
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT INT TERM
+    for n in $(printf '%s' "$CPUS" | tr ',' ' '); do
+        echo "benchdiff: scaling lane GOMAXPROCS=$n jobs=$n (count=$COUNT)..." >&2
+        # jobs=N exists at every N because the benches' jobs list includes
+        # GOMAXPROCS(0); the jobs=N$ anchor skips any #01 duplicate.
+        go test -run '^$' -bench "$PAR_PATTERN/jobs=$n\$" -benchmem \
+            -count="$COUNT" -cpu "$n" . >>"$tmp/scaling.txt"
+    done
+    host_cpus=$(nproc 2>/dev/null || echo 1)
+    awk -v cpus="$CPUS" -v host_cpus="$host_cpus" -v count="$COUNT" \
+        -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+        -v head_sha="$(git rev-parse HEAD)" '
+    function median(arr, n,    i, j, tmpv, half) {
+        for (i = 2; i <= n; i++) {
+            tmpv = arr[i]
+            for (j = i - 1; j >= 1 && arr[j] > tmpv; j--) arr[j + 1] = arr[j]
+            arr[j + 1] = tmpv
+        }
+        half = int((n + 1) / 2)
+        return arr[half]
+    }
+    function med(kernel, jobs,    i, tmpa) {
+        for (i = 1; i <= cnt[kernel, jobs]; i++) tmpa[i] = ns[kernel, jobs, i]
+        return median(tmpa, cnt[kernel, jobs])
+    }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)          # strip the -N GOMAXPROCS suffix
+        split(name, parts, "/")
+        kernel = parts[1]
+        jobs = parts[2]
+        sub(/^jobs=/, "", jobs)
+        if (!(kernel in seen)) { seen[kernel] = 1; kernels[++nk] = kernel }
+        for (k = 3; k <= NF; k++)
+            if ($k == "ns/op") {
+                cnt[kernel, jobs]++
+                ns[kernel, jobs, cnt[kernel, jobs]] = $(k - 1) + 0
+            }
+    }
+    END {
+        nc = split(cpus, cl, ",")
+        # stable kernel order
+        for (i = 1; i <= nk; i++)
+            for (j = i + 1; j <= nk; j++)
+                if (kernels[j] < kernels[i]) { t = kernels[i]; kernels[i] = kernels[j]; kernels[j] = t }
+        printf "{\n  \"schema\": \"sierra-kernel-scaling/v1\",\n"
+        printf "  \"date\": \"%s\",\n  \"head_sha\": \"%s\",\n", date, head_sha
+        printf "  \"host_cpus\": %d,\n  \"count\": %d,\n", host_cpus, count
+        printf "  \"cpus\": [%s],\n", cpus
+        printf "  \"note\": \"Each lane runs jobs=N under GOMAXPROCS=N; every parallel kernel is bit-for-bit deterministic, so the curves measure wall clock only. Lanes with N > host_cpus oversubscribe the host and measure scheduling overhead, not parallel speedup.\",\n"
+        printf "  \"kernels\": {\n"
+        for (i = 1; i <= nk; i++) {
+            kernel = kernels[i]
+            base = 0
+            printf "    \"%s\": {\n      \"ns_op\": {", kernel
+            sep = ""
+            for (c = 1; c <= nc; c++) {
+                if (cnt[kernel, cl[c]] == 0) continue
+                m = med(kernel, cl[c])
+                if (cl[c] + 0 == 1) base = m
+                printf "%s\"%s\": %d", sep, cl[c], m
+                sep = ", "
+            }
+            printf "},\n      \"speedup_vs_1\": {"
+            sep = ""
+            for (c = 1; c <= nc; c++) {
+                if (cl[c] + 0 == 1 || cnt[kernel, cl[c]] == 0) continue
+                m = med(kernel, cl[c])
+                printf "%s\"%s\": %.2f", sep, cl[c], (base > 0 && m > 0 ? base / m : 0)
+                sep = ", "
+            }
+            printf "}\n    }%s\n", (i < nk ? "," : "")
+        }
+        printf "  }\n}\n"
+    }' "$tmp/scaling.txt" >"$SCALING"
+    cat "$SCALING"
+    echo "benchdiff: wrote $SCALING" >&2
+    exit 0
 fi
 
 ref="$1"
