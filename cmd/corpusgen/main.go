@@ -4,6 +4,8 @@
 //	corpusgen -app OpenSudoku             # one named app to stdout
 //	corpusgen -fdroid 17                  # one generated app to stdout
 //	corpusgen -all -out corpus/           # every named app into a dir
+//	corpusgen -stagedemo 8                # generated incremental-lane app
+//	corpusgen -stagedemo 8 -stagedemo-edit "load w a f1_0"   # edited revision
 package main
 
 import (
@@ -19,10 +21,12 @@ import (
 
 func main() {
 	var (
-		appName = flag.String("app", "", "named dataset app")
-		fdroid  = flag.Int("fdroid", -1, "generated dataset index")
-		all     = flag.Bool("all", false, "emit every named app")
-		out     = flag.String("out", "", "output directory (with -all) or file")
+		appName   = flag.String("app", "", "named dataset app")
+		fdroid    = flag.Int("fdroid", -1, "generated dataset index")
+		all       = flag.Bool("all", false, "emit every named app")
+		out       = flag.String("out", "", "output directory (with -all) or file")
+		stagedemo = flag.Int("stagedemo", 0, "emit the generated StageDemo app with this many listener groups")
+		stageEdit = flag.String("stagedemo-edit", "", "with -stagedemo: insert this statement into the guarded listener of group 0 (a skeleton-visible one-method edit, e.g. \"load w a f1_0\")")
 	)
 	flag.Parse()
 
@@ -51,6 +55,18 @@ func main() {
 				fail(err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s.app\n", row.Name)
+		}
+		return
+	}
+
+	if *stagedemo > 0 {
+		raw := corpus.StageDemoText(*stagedemo, corpus.StageDemoEdit{ExtraStmt: *stageEdit})
+		if *out == "" {
+			os.Stdout.Write(raw)
+			return
+		}
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			fail(err)
 		}
 		return
 	}

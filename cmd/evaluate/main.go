@@ -60,6 +60,9 @@ func main() {
 		ptaJobs    = flag.Int("pta-jobs", 1, "SCC-partitioned points-to solver workers per app (1 = sequential fixpoint; identical tables at any count)")
 		shbgJobs   = flag.Int("shbg-jobs", 1, "block-parallel SHBG closure workers per app (1 = sequential closure; identical tables at any count)")
 		benchJSON  = flag.String("bench-json", "", "write per-stage timings + effort counters for the 20-app dataset as JSON to this file and exit (e.g. BENCH_sierra.json)")
+		incrBench  = flag.String("incr-bench", "", "write the incremental lane (cold vs warm one-method skeleton-visible edit) as JSON to this file and exit (e.g. BENCH_incremental.json)")
+		incrIters  = flag.Int("incr-iters", 5, "measurement iterations per side for -incr-bench")
+		incrGroups = flag.Int("incr-groups", 24, "listener-trio groups in the generated app -incr-bench edits")
 		eventsOut  = flag.String("events-out", "", "stream sierra-events/1 flight-recorder events as JSONL to this file (-events is taken by the dynamic baseline)")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /progress, /events, /healthz, and /debug/pprof on this address while the evaluation runs")
 		pprofCPU   = flag.String("pprof-cpu", "", "write a CPU profile of the evaluation to this file")
@@ -168,6 +171,13 @@ func main() {
 
 	if *benchJSON != "" {
 		if err := writeBenchJSON(ctx, *benchJSON, *quiet, solver, bopts); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *incrBench != "" {
+		if err := runIncrBench(*incrBench, *incrIters, *incrGroups, *quiet); err != nil {
 			fmt.Fprintln(os.Stderr, "evaluate:", err)
 			os.Exit(1)
 		}

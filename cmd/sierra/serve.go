@@ -34,6 +34,7 @@ func runServe(args []string) int {
 		cacheMaxBytes  = fs.Int64("cache-max-bytes", 0, "bound the persistent report store; a best-effort LRU sweep runs after each batch (0 = unbounded)")
 		memEntries     = fs.Int("mem-cache-entries", 0, "in-memory report cache entry cap when -store-dir is unset (0 = default)")
 		baselines      = fs.Int("baselines", 0, "warm incremental baselines kept per daemon (0 = default)")
+		baselineMaxMem = fs.Int64("baseline-max-bytes", 0, "bound the warm baseline pool by estimated resident bytes, LRU-evicted (0 = entry cap only)")
 		queueDepth     = fs.Int("queue-depth", 0, "accepted-but-unstarted submission bound (0 = default)")
 		refuteJobs     = fs.Int("refute-jobs", 0, "per-pair refutation workers (0 = GOMAXPROCS; the daemon forces >= 2 for order-independent verdicts)")
 		ptaJobs        = fs.Int("pta-jobs", 0, "SCC-partitioned points-to solver workers (0 = GOMAXPROCS; results are identical at any count)")
@@ -63,20 +64,21 @@ func runServe(args []string) int {
 	defer rec.DumpOnPanic(os.Stderr)
 
 	s, err := serve.New(serve.Config{
-		Workers:         *workers,
-		JobTimeout:      *jobTimeout,
-		RefuteJobs:      *refuteJobs,
-		PTAJobs:         *ptaJobs,
-		SHBGJobs:        *shbgJobs,
-		MaxPaths:        *refuteMaxPaths,
-		MaxDepth:        *refuteMaxDepth,
-		StoreDir:        *storeDir,
-		CacheMaxBytes:   *cacheMaxBytes,
-		MemCacheEntries: *memEntries,
-		Baselines:       *baselines,
-		QueueDepth:      *queueDepth,
-		Obs:             tr,
-		Events:          rec,
+		Workers:          *workers,
+		JobTimeout:       *jobTimeout,
+		RefuteJobs:       *refuteJobs,
+		PTAJobs:          *ptaJobs,
+		SHBGJobs:         *shbgJobs,
+		MaxPaths:         *refuteMaxPaths,
+		MaxDepth:         *refuteMaxDepth,
+		StoreDir:         *storeDir,
+		CacheMaxBytes:    *cacheMaxBytes,
+		MemCacheEntries:  *memEntries,
+		Baselines:        *baselines,
+		BaselineMaxBytes: *baselineMaxMem,
+		QueueDepth:       *queueDepth,
+		Obs:              tr,
+		Events:           rec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sierra serve:", err)

@@ -44,6 +44,17 @@ func AnalyzeContext(ctx context.Context, app *apk.App, hs []*harness.Harness, po
 // way). Both solvers produce identical results; SolverExhaustive is the
 // slow reference implementation kept for parity testing.
 func AnalyzeSolver(ctx context.Context, app *apk.App, hs []*harness.Harness, pol pointer.Policy, solver pointer.Solver, ptaJobs int, tr *obs.Trace) (*Registry, *pointer.Result) {
+	reg, res, _ := AnalyzeSolverWarm(ctx, app, hs, pol, solver, ptaJobs, tr)
+	return reg, res
+}
+
+// AnalyzeSolverWarm is AnalyzeSolver, but additionally returns the
+// pointer solver's warm re-solve handle (nil under the exhaustive
+// solver or when the fixpoint was interrupted). Incremental serve
+// baselines keep the handle to re-solve skeleton-visible edits without
+// a cold fixpoint; everyone else should call AnalyzeSolver and let the
+// solver state be collected.
+func AnalyzeSolverWarm(ctx context.Context, app *apk.App, hs []*harness.Harness, pol pointer.Policy, solver pointer.Solver, ptaJobs int, tr *obs.Trace) (*Registry, *pointer.Result, *pointer.Warm) {
 	reg := NewRegistry(app, hs, pol)
 
 	var seeds []pointer.Seed
@@ -69,7 +80,7 @@ func AnalyzeSolver(ctx context.Context, app *apk.App, hs []*harness.Harness, pol
 		views[id] = v.Type
 	}
 
-	res := pointer.Analyze(pointer.Config{
+	res, warm := pointer.AnalyzeWarm(pointer.Config{
 		Prog:     app.Program,
 		Policy:   pol,
 		Entries:  reg.Entries(),
@@ -83,5 +94,5 @@ func AnalyzeSolver(ctx context.Context, app *apk.App, hs []*harness.Harness, pol
 		Ctx:      ctx,
 	})
 	tr.Count("actions.discovered", int64(reg.NumActions()))
-	return reg, res
+	return reg, res, warm
 }

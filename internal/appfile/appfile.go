@@ -177,6 +177,10 @@ func writeClass(w io.Writer, c *ir.Class) {
 // fingerprint and the serialized form can never drift apart).
 func StmtLine(s ir.Stmt) string { return stmtLine(s) }
 
+// stmtLine renders the canonical statement text. It is the fingerprint
+// hot path — two digests per statement per submission — so it builds
+// lines by concatenation instead of fmt (which dominates profiles of
+// the warm serve lane).
 func stmtLine(s ir.Stmt) string {
 	orUnderscore := func(v string) string {
 		if v == "" {
@@ -186,30 +190,30 @@ func stmtLine(s ir.Stmt) string {
 	}
 	switch st := s.(type) {
 	case *ir.New:
-		return fmt.Sprintf("new %s %s", st.Dst, st.Class)
+		return "new " + st.Dst + " " + st.Class
 	case *ir.Const:
 		switch st.Kind {
 		case ir.ConstInt:
-			return fmt.Sprintf("const %s int %d", st.Dst, st.Int)
+			return "const " + st.Dst + " int " + strconv.FormatInt(st.Int, 10)
 		case ir.ConstBool:
-			return fmt.Sprintf("const %s bool %t", st.Dst, st.Bool)
+			return "const " + st.Dst + " bool " + strconv.FormatBool(st.Bool)
 		case ir.ConstNull:
-			return fmt.Sprintf("const %s null", st.Dst)
+			return "const " + st.Dst + " null"
 		default:
-			return fmt.Sprintf("const %s str %q", st.Dst, st.Str)
+			return "const " + st.Dst + " str " + strconv.Quote(st.Str)
 		}
 	case *ir.Move:
-		return fmt.Sprintf("move %s %s", st.Dst, st.Src)
+		return "move " + st.Dst + " " + st.Src
 	case *ir.Load:
-		return fmt.Sprintf("load %s %s %s", st.Dst, st.Obj, st.Field)
+		return "load " + st.Dst + " " + st.Obj + " " + st.Field
 	case *ir.Store:
-		return fmt.Sprintf("store %s %s %s", st.Obj, st.Field, st.Src)
+		return "store " + st.Obj + " " + st.Field + " " + st.Src
 	case *ir.StaticLoad:
-		return fmt.Sprintf("sload %s %s %s", st.Dst, st.Class, st.Field)
+		return "sload " + st.Dst + " " + st.Class + " " + st.Field
 	case *ir.StaticStore:
-		return fmt.Sprintf("sstore %s %s %s", st.Class, st.Field, st.Src)
+		return "sstore " + st.Class + " " + st.Field + " " + st.Src
 	case *ir.BinOp:
-		return fmt.Sprintf("binop %s %s %s %s", st.Dst, st.Op, st.A, st.B)
+		return "binop " + st.Dst + " " + st.Op.String() + " " + st.A + " " + st.B
 	case *ir.Invoke:
 		kind := "v"
 		switch st.Kind {
@@ -228,13 +232,13 @@ func stmtLine(s ir.Stmt) string {
 		case b.IsVar:
 			operand = "var " + b.Var
 		case b.Kind == ir.ConstInt:
-			operand = fmt.Sprintf("int %d", b.Int)
+			operand = "int " + strconv.FormatInt(b.Int, 10)
 		case b.Kind == ir.ConstBool:
-			operand = fmt.Sprintf("bool %t", b.Bool)
+			operand = "bool " + strconv.FormatBool(b.Bool)
 		default:
 			operand = "null"
 		}
-		return fmt.Sprintf("if %s %s %s", st.A, st.Op, operand)
+		return "if " + st.A + " " + st.Op.String() + " " + operand
 	case *ir.Return:
 		return "ret " + orUnderscore(st.Src)
 	default:

@@ -43,6 +43,12 @@ type Options struct {
 	// (the -pta-jobs flag); ≤1 runs the exact sequential fixpoint. Any
 	// count produces bit-identical results.
 	PTAJobs int
+	// KeepPTAWarm retains the delta solver's live state on
+	// Result.PTAWarm so a later skeleton-visible edit can be re-solved
+	// incrementally (internal/incremental's stage reuse). Costs memory
+	// proportional to the solver's dependency index; leave off outside
+	// serve-baseline use.
+	KeepPTAWarm bool
 	// Obs, when non-nil, collects hierarchical spans and per-stage
 	// effort counters for the whole pipeline (see README.md
 	// "Observability"). Nil disables observability at zero cost.
@@ -73,8 +79,12 @@ type Result struct {
 	Harnesses []*harness.Harness
 	Registry  *actions.Registry
 	PTA       *pointer.Result
-	Graph     *shbg.Graph
-	Accesses  []race.Access
+	// PTAWarm is the delta solver's warm re-solve handle, populated only
+	// under Options.KeepPTAWarm (nil otherwise, and nil whenever the
+	// solver cannot re-solve — exhaustive solver or interrupted run).
+	PTAWarm  *pointer.Warm
+	Graph    *shbg.Graph
+	Accesses []race.Access
 	// RacyPairs are the candidates under the configured policy.
 	RacyPairs []race.Pair
 	// RacyPairsNoAS is the candidate count under plain hybrid contexts
@@ -154,7 +164,13 @@ func AnalyzeContext(ctx context.Context, app *apk.App, opts Options) *Result {
 	res.Harnesses = harness.GenerateTraced(app, tr)
 	sHarness.End()
 	sCGPA := tr.Start("cgpa")
-	reg, pta := actions.AnalyzeSolver(ctx, app, res.Harnesses, opts.Policy, opts.PTASolver, opts.PTAJobs, tr)
+	var reg *actions.Registry
+	var pta *pointer.Result
+	if opts.KeepPTAWarm {
+		reg, pta, res.PTAWarm = actions.AnalyzeSolverWarm(ctx, app, res.Harnesses, opts.Policy, opts.PTASolver, opts.PTAJobs, tr)
+	} else {
+		reg, pta = actions.AnalyzeSolver(ctx, app, res.Harnesses, opts.Policy, opts.PTASolver, opts.PTAJobs, tr)
+	}
 	sCGPA.End()
 	res.Registry, res.PTA = reg, pta
 	res.Timing.CGPA = time.Since(t0)

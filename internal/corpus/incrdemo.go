@@ -10,8 +10,12 @@ type IncrDemoEdit struct {
 	// an If-operand-only edit, invisible to the fixpoint stages and so
 	// eligible for incremental re-analysis.
 	IfLine string
-	// ExtraStmt appends a statement to Click2.onClick (a
-	// skeleton-visible change: the incremental planner must decline).
+	// ExtraStmt appends a statement to Click2.onClick — a
+	// skeleton-visible change the tier-1 planner must decline.
+	// Admissible statements (dataflow sinks, e.g. "load w a f1") are
+	// then absorbed by tier-2 partial stage reuse; anything else falls
+	// back to a full run. StageDemo is the richer fixture for the
+	// tier-2 edit classes.
 	ExtraStmt string
 	// ExtraField adds an Act0 field declaration (a shape change:
 	// decline).

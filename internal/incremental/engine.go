@@ -10,6 +10,7 @@ import (
 	"sierra/internal/core"
 	"sierra/internal/ir"
 	"sierra/internal/obs"
+	"sierra/internal/pointer"
 	"sierra/internal/report"
 	"sierra/internal/symexec"
 )
@@ -33,9 +34,43 @@ type Baseline struct {
 	App *apk.App
 	// Res is the full analysis result for Digest.
 	Res *core.Result
+	// Warm is the pointer solver's live re-solve handle (Res.PTAWarm,
+	// hoisted here so pool/serve code needn't reach into the result).
+	// Nil baselines still support tier-1 Apply; ApplyStages requires it.
+	Warm *pointer.Warm
 	// Poisoned marks a baseline whose in-place patch failed midway; its
 	// artifacts may be inconsistent and it must not be reused.
 	Poisoned bool
+}
+
+// ApproxBytes estimates the baseline's resident footprint — the IR
+// program plus the three big analysis artifacts (points-to result,
+// closed SHBG, pair/verdict tables). The serve pool's byte budget
+// evicts on this, not on entry count: one large app can outweigh
+// twenty small ones.
+func (b *Baseline) ApproxBytes() int64 {
+	var n int64
+	for _, c := range b.App.Program.Classes() {
+		n += 256 // class header, field table
+		for _, m := range c.Methods {
+			n += 128
+			for _, blk := range m.Blocks {
+				n += 64 + int64(len(blk.Stmts))*96
+			}
+		}
+	}
+	if b.Res != nil {
+		if b.Res.PTA != nil {
+			n += b.Res.PTA.ApproxBytes()
+		}
+		if b.Res.Graph != nil {
+			n += b.Res.Graph.ApproxBytes()
+		}
+		n += int64(len(b.Res.Accesses)) * 96
+		n += int64(len(b.Res.RacyPairs)+len(b.Res.Reports)) * 160
+		n += int64(len(b.Res.AllVerdicts)+len(b.Res.Verdicts)) * 48
+	}
+	return n
 }
 
 // Stats describes one Apply outcome.

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"hash"
 	"sort"
+	"strconv"
 
 	"sierra/internal/apk"
 	"sierra/internal/appfile"
@@ -130,25 +131,45 @@ func hashView(h hash.Hash, layout string, v *apk.View, parent int) {
 }
 
 func methodFP(m *ir.Method) MethodFP {
-	full, skel := sha256.New(), sha256.New()
+	// Hot path: one buffered pass per digest, no fmt. Full and Skeleton
+	// share every line except masked statements, so the buffers diverge
+	// only there.
+	var fullBuf, skelBuf []byte
 	for bi, b := range m.Blocks {
-		header := fmt.Sprintf("block %d succ %v\n", bi, b.Succs)
-		full.Write([]byte(header))
-		skel.Write([]byte(header))
+		header := appendBlockHeader(nil, bi, b.Succs)
+		fullBuf = append(fullBuf, header...)
+		skelBuf = append(skelBuf, header...)
 		for _, s := range b.Stmts {
 			canon := appfile.StmtLine(s)
-			fmt.Fprintf(full, "%s\n", canon)
+			fullBuf = append(append(fullBuf, canon...), '\n')
 			if pointer.SolverReads(s) {
-				fmt.Fprintf(skel, "%s\n", canon)
+				skelBuf = append(append(skelBuf, canon...), '\n')
 			} else {
-				fmt.Fprintf(skel, "%s\n", skeletonLine(s))
+				skelBuf = append(append(skelBuf, skeletonLine(s)...), '\n')
 			}
 		}
 	}
+	full, skel := sha256.Sum256(fullBuf), sha256.Sum256(skelBuf)
 	return MethodFP{
-		Full:     hex.EncodeToString(full.Sum(nil)),
-		Skeleton: hex.EncodeToString(skel.Sum(nil)),
+		Full:     hex.EncodeToString(full[:]),
+		Skeleton: hex.EncodeToString(skel[:]),
 	}
+}
+
+// appendBlockHeader renders "block N succ [a b ...]\n" exactly as
+// fmt.Sprintf("block %d succ %v\n", ...) would, without fmt.
+func appendBlockHeader(dst []byte, bi int, succs []int) []byte {
+	dst = append(dst, "block "...)
+	dst = strconv.AppendInt(dst, int64(bi), 10)
+	dst = append(dst, " succ ["...)
+	for i, s := range succs {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = strconv.AppendInt(dst, int64(s), 10)
+	}
+	dst = append(dst, "]\n"...)
+	return dst
 }
 
 // skeletonLine masks the operand fields of the statements the fixpoint

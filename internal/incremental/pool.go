@@ -6,23 +6,35 @@ import (
 )
 
 // Pool holds warm baselines keyed by app name (the lineage key: a CI
-// fleet resubmitting revisions of one app hits the same baseline). It
-// is LRU-bounded — baselines pin a full program plus every analysis
-// artifact in memory, so a daemon keeps only the hottest lineages warm.
+// fleet resubmitting revisions of one app hits the same baseline).
+// Baselines pin a full program plus every analysis artifact — and,
+// warm, the delta solver's dependency index — so the pool is bounded
+// two ways: an entry cap, and a resident-byte budget measured by
+// Baseline.ApproxBytes at store time. Eviction is LRU under both
+// limits; bytes matter more in practice, since one large app can
+// outweigh many small ones.
 type Pool struct {
-	mu  sync.Mutex
-	max int
-	m   map[string]*list.Element
-	lru list.List // of *Baseline, most-recently-used first
+	mu       sync.Mutex
+	max      int
+	maxBytes int64
+	bytes    int64
+	m        map[string]*list.Element
+	lru      list.List // of *poolEntry, most-recently-used first
+}
+
+type poolEntry struct {
+	b     *Baseline
+	bytes int64 // ApproxBytes at store time (bodies may drift after Apply; close enough for a budget)
 }
 
 // NewPool returns a pool keeping at most max baselines (max <= 0 picks
-// a small default).
-func NewPool(max int) *Pool {
+// a small default) within maxBytes of estimated resident memory
+// (maxBytes <= 0 disables the byte budget).
+func NewPool(max int, maxBytes int64) *Pool {
 	if max <= 0 {
 		max = 8
 	}
-	return &Pool{max: max, m: make(map[string]*list.Element)}
+	return &Pool{max: max, maxBytes: maxBytes, m: make(map[string]*list.Element)}
 }
 
 // Lookup returns the warm baseline for an app name, or nil. The caller
@@ -36,25 +48,46 @@ func (p *Pool) Lookup(name string) *Baseline {
 		return nil
 	}
 	p.lru.MoveToFront(el)
-	return el.Value.(*Baseline)
+	return el.Value.(*poolEntry).b
 }
 
-// Store installs (or replaces) the baseline for b.Name, evicting the
-// least-recently-used lineage beyond the cap.
-func (p *Pool) Store(b *Baseline) {
+// Store installs (or replaces) the baseline for b.Name and returns how
+// many other lineages were evicted to fit it. A baseline larger than
+// the whole byte budget is still stored (evicting everything else):
+// the alternative — refusing to cache the one lineage being resubmitted
+// — would disable incrementality exactly where it pays most.
+func (p *Pool) Store(b *Baseline) int {
+	size := b.ApproxBytes()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if el, ok := p.m[b.Name]; ok {
-		el.Value = b
+		ent := el.Value.(*poolEntry)
+		p.bytes += size - ent.bytes
+		ent.b, ent.bytes = b, size
 		p.lru.MoveToFront(el)
-		return
+		return p.evictLocked(b.Name)
 	}
-	p.m[b.Name] = p.lru.PushFront(b)
-	for p.lru.Len() > p.max {
+	p.m[b.Name] = p.lru.PushFront(&poolEntry{b: b, bytes: size})
+	p.bytes += size
+	return p.evictLocked(b.Name)
+}
+
+// evictLocked drops LRU entries until both limits hold, never evicting
+// keep (the entry just stored). Returns the eviction count.
+func (p *Pool) evictLocked(keep string) int {
+	evicted := 0
+	for p.lru.Len() > p.max || (p.maxBytes > 0 && p.bytes > p.maxBytes && p.lru.Len() > 1) {
 		oldest := p.lru.Back()
+		ent := oldest.Value.(*poolEntry)
+		if ent.b.Name == keep {
+			break
+		}
 		p.lru.Remove(oldest)
-		delete(p.m, oldest.Value.(*Baseline).Name)
+		delete(p.m, ent.b.Name)
+		p.bytes -= ent.bytes
+		evicted++
 	}
+	return evicted
 }
 
 // Drop removes a lineage (used to discard poisoned baselines).
@@ -62,6 +95,7 @@ func (p *Pool) Drop(name string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if el, ok := p.m[name]; ok {
+		p.bytes -= el.Value.(*poolEntry).bytes
 		p.lru.Remove(el)
 		delete(p.m, name)
 	}
@@ -72,4 +106,11 @@ func (p *Pool) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.m)
+}
+
+// Bytes reports the estimated resident footprint of the warm baselines.
+func (p *Pool) Bytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytes
 }

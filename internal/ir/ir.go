@@ -8,8 +8,8 @@
 package ir
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 )
 
 // Program is a closed world of classes: the app's own classes plus the
@@ -264,5 +264,5 @@ func (p Pos) String() string {
 	if p.Method == nil {
 		return "<nopos>"
 	}
-	return fmt.Sprintf("%s@%d.%d", p.Method.QualifiedName(), p.Block, p.Index)
+	return p.Method.QualifiedName() + "@" + strconv.Itoa(p.Block) + "." + strconv.Itoa(p.Index)
 }

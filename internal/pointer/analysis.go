@@ -124,6 +124,15 @@ type Config struct {
 // Analyze runs the points-to analysis to fixpoint and returns the result
 // (points-to sets plus the context-sensitive call graph).
 func Analyze(cfg Config) *Result {
+	a := newAnalyzer(cfg)
+	a.run()
+	return a.res
+}
+
+// newAnalyzer constructs the solver state for cfg without running it.
+// Split from Analyze so AnalyzeWarm can keep the analyzer alive for
+// incremental re-solving after the initial fixpoint.
+func newAnalyzer(cfg Config) *analyzer {
 	if cfg.Policy == nil {
 		cfg.Policy = ActionSensitivePolicy{K: 2}
 	}
@@ -171,13 +180,17 @@ func Analyze(cfg Config) *Result {
 	for _, e := range cfg.Entries {
 		a.install(e, true)
 	}
+	return a
+}
+
+// run drives the constructed analyzer to its initial fixpoint.
+func (a *analyzer) run() {
 	if a.d != nil {
 		a.runDelta()
 	} else {
 		a.runExhaustive()
 	}
 	a.reportObs()
-	return a.res
 }
 
 // runExhaustive is the reference fixpoint: every pass re-runs every

@@ -75,6 +75,11 @@ type evSite struct {
 type evInstance struct {
 	inst int // index into analyzer.order
 	site evSite
+	// dead marks a site orphaned by a warm re-slot (warm.go): its
+	// instance was re-registered with fresh sites, but stale dependency
+	// consumer lists can still re-dirty the old id, so the firing loop
+	// must skip-and-clear it forever.
+	dead bool
 }
 
 // seedVar keys the seed-source index: any growth of (method, var) under
@@ -97,8 +102,14 @@ type deltaState struct {
 	eventsOf map[*ir.Method][]evSite
 
 	// Dense statement ids: instance i's statements occupy
-	// [instBase[i], instBase[i]+len(stmtsOf[order[i].M])).
+	// [instBase[i], instBase[i]+instLen[i]), where instLen[i] is the
+	// statement count of order[i].M at slotting time. instLen must be
+	// tracked explicitly: after a warm re-slot (warm.go) instBase is no
+	// longer monotone and the method body may already be patched, so
+	// neither neighbors nor a fresh len(methodStmts) recovers the old
+	// slot extent.
 	instBase []int
+	instLen  []int
 	stmtInst []int // statement id -> instance index
 	stmts    []stmtState
 
@@ -152,6 +163,7 @@ func newDeltaState(a *analyzer) *deltaState {
 		stmts:    make([]stmtState, 0, a.hintStmts+a.hintStmts/4),
 		stmtInst: make([]int, 0, a.hintStmts+a.hintStmts/4),
 		instBase: make([]int, 0, 2*a.hintMethods),
+		instLen:  make([]int, 0, 2*a.hintMethods),
 	}
 	for i := range a.cfg.Seeds {
 		s := &a.cfg.Seeds[i]
@@ -219,10 +231,22 @@ func (d *deltaState) methodEvents(a *analyzer, m *ir.Method) []evSite {
 // sites with their receiver/argument dependencies, and any seeds
 // touching the method.
 func (d *deltaState) registerInstance(a *analyzer, idx int, mk MKey) {
+	d.instBase = append(d.instBase, 0)
+	d.instLen = append(d.instLen, 0)
+	d.slotInstance(a, idx, mk)
+}
+
+// slotInstance (re)assigns instance idx a fresh all-dirty statement-slot
+// range at the end of the dense arrays and wires event sites and seeds.
+// Shared by install-time registration and the warm re-slot (warm.go),
+// which overwrites the instance's old range pointers and leaves the old
+// slots orphaned (never scanned: no instBase entry covers them).
+func (d *deltaState) slotInstance(a *analyzer, idx int, mk MKey) {
 	d.changed = true
 	stmts := d.methodStmts(mk.M)
 	base := len(d.stmts)
-	d.instBase = append(d.instBase, base)
+	d.instBase[idx] = base
+	d.instLen[idx] = len(stmts)
 	d.stmts = append(d.stmts, make([]stmtState, len(stmts))...)
 	for sid := base; sid < base+len(stmts); sid++ {
 		d.stmtInst = append(d.stmtInst, idx)
@@ -766,6 +790,9 @@ func (a *analyzer) fireEventsDelta() {
 			continue
 		}
 		d.dirtyEv.Clear(eid)
+		if d.evSites[eid].dead {
+			continue // orphaned by a warm re-slot; see evInstance.dead
+		}
 		a.fireEventDelta(eid)
 	}
 }

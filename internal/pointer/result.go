@@ -169,3 +169,29 @@ func (r *Result) CalleeMethods() func(ir.Pos) []*ir.Method {
 	byPos := r.cmByPos
 	return func(p ir.Pos) []*ir.Method { return byPos[p] }
 }
+
+// ApproxBytes estimates the result's resident memory: bitset words of
+// every points-to set plus flat per-entry overhead for the index maps
+// and the call graph. It deliberately overcounts a little (map buckets,
+// interner strings) rather than undercount — the serve baseline pool
+// uses it as an eviction budget, where "approximately right and stable"
+// beats exact.
+func (r *Result) ApproxBytes() int64 {
+	const entryOverhead = 96 // map bucket share + key + ObjSet header
+	var b int64
+	for _, s := range r.pts {
+		b += int64(s.Words())*8 + entryOverhead
+	}
+	for _, s := range r.fpts {
+		b += int64(s.Words())*8 + entryOverhead
+	}
+	for _, s := range r.spts {
+		b += int64(s.Words())*8 + entryOverhead
+	}
+	b += int64(len(r.instances)) * 64
+	for _, c := range r.callees {
+		b += int64(len(c))*24 + 64
+	}
+	b += int64(len(r.entryKeys)) * 24
+	return b
+}

@@ -95,19 +95,29 @@ func CollectAccesses(reg *actions.Registry, res *pointer.Result) []Access {
 // CollectAccessesTraced is CollectAccesses with observability: it counts
 // the merged accesses into race.accesses (nil Trace = no-op).
 func CollectAccessesTraced(reg *actions.Registry, res *pointer.Result, tr *obs.Trace) []Access {
+	insts := reg.ActionInstances(res)
+	aids := make([]int, 0, len(insts))
+	for aid := range insts {
+		aids = append(aids, aid)
+	}
+	sort.Ints(aids)
+	out := collectForActions(res, insts, aids)
+	sortAccesses(out)
+	tr.Count("race.accesses", int64(len(out)))
+	return out
+}
+
+// collectForActions gathers and merges the given actions' accesses
+// (unsorted), resolving IsRef against the current field points-to
+// state. Shared by the cold collector and the incremental delta
+// re-collection.
+func collectForActions(res *pointer.Result, insts map[int][]pointer.MKey, aids []int) []Access {
 	type key struct {
 		action int
 		pos    ir.Pos
 		kind   AccessKind
 	}
 	merged := map[key]*Access{}
-	insts := reg.ActionInstances(res)
-
-	aids := make([]int, 0, len(insts))
-	for aid := range insts {
-		aids = append(aids, aid)
-	}
-	sort.Ints(aids)
 
 	record := func(aid int, mk pointer.MKey, pos ir.Pos, kind AccessKind, field, baseVar string, static bool, cls string) {
 		k := key{action: aid, pos: pos, kind: kind}
@@ -153,32 +163,45 @@ func CollectAccessesTraced(reg *actions.Registry, res *pointer.Result, tr *obs.T
 
 	out := make([]Access, 0, len(merged))
 	for _, acc := range merged {
-		// Reference-typed state: some pointee of the base holds objects
-		// under this field, or the static slot holds objects.
-		if acc.Static {
-			acc.IsRef = res.StaticPointsTo(acc.Class, acc.Field).Len() > 0
-		} else {
-			for _, o := range acc.Objs.Slice() {
-				if res.FieldPointsTo(o, acc.Field).Len() > 0 {
-					acc.IsRef = true
-					break
-				}
-			}
-		}
+		setIsRef(res, acc)
 		out = append(out, *acc)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Action != b.Action {
-			return a.Action < b.Action
-		}
-		if a.Pos.String() != b.Pos.String() {
-			return a.Pos.String() < b.Pos.String()
-		}
-		return a.Kind < b.Kind
-	})
-	tr.Count("race.accesses", int64(len(out)))
 	return out
+}
+
+// setIsRef resolves the reference-typed-state flag: some pointee of the
+// base holds objects under this field, or the static slot holds
+// objects. The flag reads global field points-to state, so incremental
+// re-analysis must refresh it even on accesses it otherwise splices.
+func setIsRef(res *pointer.Result, acc *Access) {
+	if acc.Static {
+		acc.IsRef = res.StaticPointsTo(acc.Class, acc.Field).Len() > 0
+		return
+	}
+	acc.IsRef = false
+	for _, o := range acc.Objs.Slice() {
+		if res.FieldPointsTo(o, acc.Field).Len() > 0 {
+			acc.IsRef = true
+			break
+		}
+	}
+}
+
+// accessLess is the canonical access order: (action, position, kind).
+// The key is unique — the merge map collapses duplicates — so the order
+// is total and any sorted assembly of the same access set is identical.
+func accessLess(a, b *Access) bool {
+	if a.Action != b.Action {
+		return a.Action < b.Action
+	}
+	if ap, bp := a.Pos.String(), b.Pos.String(); ap != bp {
+		return ap < bp
+	}
+	return a.Kind < b.Kind
+}
+
+func sortAccesses(out []Access) {
+	sort.Slice(out, func(i, j int) bool { return accessLess(&out[i], &out[j]) })
 }
 
 // RacyPairs intersects accesses across HB-unordered actions: same field,
@@ -194,68 +217,154 @@ func RacyPairs(reg *actions.Registry, g *shbg.Graph, accesses []Access) []Pair {
 // race.hb_filtered (overlapping pairs dropped because HB orders them),
 // and race.pairs_emitted (nil Trace = no-op).
 func RacyPairsTraced(reg *actions.Registry, g *shbg.Graph, accesses []Access, tr *obs.Trace) []Pair {
-	var considered, aliasHits, hbFiltered int64
-	// Bucket by field name first — only same-named fields can overlap.
-	byField := map[string][]int{}
-	for i, a := range accesses {
-		byField[a.Field] = append(byField[a.Field], i)
-	}
-	fields := make([]string, 0, len(byField))
-	for f := range byField {
-		fields = append(fields, f)
-	}
-	sort.Strings(fields)
+	return racyPairsImpl(reg, g, accesses, nil, nil, tr)
+}
 
-	// pairKey mirrors Pair.Key() structurally: dedup needs no string
-	// formatting, only the report-order sort below renders Key().
-	type pairKey struct {
-		aAction int
-		aPos    ir.Pos
-		bAction int
-		bPos    ir.Pos
-		field   string
-	}
+// pairKey mirrors Pair.Key() structurally: dedup and prev-membership
+// need no string formatting, only the report-order sort renders Key().
+type pairKey struct {
+	aAction int
+	aPos    ir.Pos
+	bAction int
+	bPos    ir.Pos
+	field   string
+}
+
+// racyPairsImpl is the shared pair generator. With edited == nil it is
+// the cold path: every same-field combination runs the full alias /
+// scope / HB filter chain. With edited non-nil (the incremental path,
+// RacyPairsDelta) a combination whose endpoints both lie at positions
+// outside the edited methods skips the chain entirely — its access
+// values, alias relation, scopes, and (graph-equality-verified) HB
+// edges are all provably unchanged from the baseline, so membership in
+// prev IS the filter-chain outcome. Clean pairs are spliced straight
+// from prev (rebuilt over the current access values, which carry the
+// refreshed IsRef flags), and only combinations touching an
+// edited-method position are enumerated at all, so the delta path never
+// scans clean×clean. Dedup keys and the final canonical sort are
+// identical either way, so the output is byte-for-byte the cold result.
+func racyPairsImpl(reg *actions.Registry, g *shbg.Graph, accesses []Access, edited map[*ir.Method]bool, prev []Pair, tr *obs.Trace) []Pair {
+	var considered, aliasHits, hbFiltered int64
 	var out []Pair
 	seen := map[pairKey]bool{}
-	for _, f := range fields {
-		idxs := byField[f]
-		for i := 0; i < len(idxs); i++ {
-			for j := i + 1; j < len(idxs); j++ {
-				considered++
-				a, b := accesses[idxs[i]], accesses[idxs[j]]
-				if a.Action == b.Action {
-					continue
+
+	// chain runs the full filter chain on one combination and emits.
+	chain := func(a, b *Access) {
+		if a.Action == b.Action {
+			return
+		}
+		considered++
+		if a.Kind != Write && b.Kind != Write {
+			return
+		}
+		if a.Static != b.Static {
+			return
+		}
+		if a.Static {
+			if a.Class != b.Class {
+				return
+			}
+		} else if !a.Objs.Intersects(b.Objs) {
+			return
+		}
+		aliasHits++
+		actA, actB := reg.Get(a.Action), reg.Get(b.Action)
+		if !actions.SameScope(actA, actB) {
+			return
+		}
+		if g.Ordered(a.Action, b.Action) {
+			hbFiltered++
+			return
+		}
+		p := Pair{A: *a, B: *b}
+		if a.Action > b.Action {
+			p = Pair{A: *b, B: *a}
+		}
+		k := pairKey{p.A.Action, p.A.Pos, p.B.Action, p.B.Pos, p.A.Field}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, p)
+		}
+	}
+
+	if edited == nil {
+		// Cold: bucket by field name — only same-named fields can
+		// overlap — and run every combination through the chain.
+		byField := map[string][]int{}
+		for i := range accesses {
+			byField[accesses[i].Field] = append(byField[accesses[i].Field], i)
+		}
+		fields := make([]string, 0, len(byField))
+		for f := range byField {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+		for _, f := range fields {
+			idxs := byField[f]
+			for i := 0; i < len(idxs); i++ {
+				for j := i + 1; j < len(idxs); j++ {
+					chain(&accesses[idxs[i]], &accesses[idxs[j]])
 				}
-				if a.Kind != Write && b.Kind != Write {
-					continue
-				}
-				if a.Static != b.Static {
-					continue
-				}
-				if a.Static {
-					if a.Class != b.Class {
+			}
+		}
+	} else {
+		// Delta: splice every prev pair whose endpoints both lie outside
+		// the edited methods, rebuilt over the current access values
+		// ((action, position) names an access uniquely — one statement,
+		// one kind), then enumerate only the combinations touching an
+		// edited-method position. The two emission sets are disjoint —
+		// spliced pairs touch no edited position, computed ones always do.
+		type apKey struct {
+			action int
+			pos    ir.Pos
+		}
+		idxByAP := make(map[apKey]int, len(accesses))
+		editedFields := map[string]bool{}
+		for i := range accesses {
+			idxByAP[apKey{accesses[i].Action, accesses[i].Pos}] = i
+			if edited[accesses[i].Pos.Method] {
+				editedFields[accesses[i].Field] = true
+			}
+		}
+		for _, p := range prev {
+			if edited[p.A.Pos.Method] || edited[p.B.Pos.Method] {
+				continue
+			}
+			i, okA := idxByAP[apKey{p.A.Action, p.A.Pos}]
+			j, okB := idxByAP[apKey{p.B.Action, p.B.Pos}]
+			if !okA || !okB {
+				// Unreachable while unedited methods keep their access
+				// sets; fail safe by dropping rather than splicing stale
+				// values.
+				continue
+			}
+			np := Pair{A: accesses[i], B: accesses[j]}
+			k := pairKey{np.A.Action, np.A.Pos, np.B.Action, np.B.Pos, np.A.Field}
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, np)
+			}
+		}
+		byField := map[string][]int{}
+		for i := range accesses {
+			if editedFields[accesses[i].Field] {
+				byField[accesses[i].Field] = append(byField[accesses[i].Field], i)
+			}
+		}
+		fields := make([]string, 0, len(byField))
+		for f := range byField {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+		for _, f := range fields {
+			idxs := byField[f]
+			for i := 0; i < len(idxs); i++ {
+				for j := i + 1; j < len(idxs); j++ {
+					a, b := &accesses[idxs[i]], &accesses[idxs[j]]
+					if !edited[a.Pos.Method] && !edited[b.Pos.Method] {
 						continue
 					}
-				} else if !a.Objs.Intersects(b.Objs) {
-					continue
-				}
-				aliasHits++
-				actA, actB := reg.Get(a.Action), reg.Get(b.Action)
-				if !actions.SameScope(actA, actB) {
-					continue
-				}
-				if g.Ordered(a.Action, b.Action) {
-					hbFiltered++
-					continue
-				}
-				p := Pair{A: a, B: b}
-				if a.Action > b.Action {
-					p = Pair{A: b, B: a}
-				}
-				k := pairKey{p.A.Action, p.A.Pos, p.B.Action, p.B.Pos, p.A.Field}
-				if !seen[k] {
-					seen[k] = true
-					out = append(out, p)
+					chain(a, b)
 				}
 			}
 		}

@@ -49,7 +49,46 @@ func (s *Server) dispatcher() {
 	}
 }
 
+// runBatch serializes same-lineage jobs (revisions of one app must
+// absorb into its warm baseline in submission order — and never
+// concurrently, since tier-1/2 applies mutate the baseline in place)
+// while keeping different lineages concurrent: the gathered slice is
+// split into waves, wave k holding each lineage's k-th queued revision,
+// and the waves run sequentially through batch.Run.
 func (s *Server) runBatch(pending []*jobState) {
+	byName := make(map[string][]*jobState)
+	var order []string
+	for _, js := range pending {
+		if len(byName[js.name]) == 0 {
+			order = append(order, js.name)
+		}
+		byName[js.name] = append(byName[js.name], js)
+	}
+	for wave := 0; ; wave++ {
+		var ws []*jobState
+		for _, n := range order {
+			if wave < len(byName[n]) {
+				ws = append(ws, byName[n][wave])
+			}
+		}
+		if len(ws) == 0 {
+			break
+		}
+		if wave > 0 {
+			s.cfg.Obs.Count("serve.lineage_waves", 1)
+		}
+		s.runWave(ws)
+	}
+	// Bound the persistent store after each batch — daemon life, not
+	// CLI life, is when "entries never expire" becomes a disk leak.
+	if s.dstore != nil && s.cfg.CacheMaxBytes > 0 {
+		if removed, _ := s.dstore.Sweep(s.cfg.CacheMaxBytes); removed > 0 {
+			s.cfg.Obs.Count("serve.store_evictions", int64(removed))
+		}
+	}
+}
+
+func (s *Server) runWave(pending []*jobState) {
 	now := time.Now()
 	jobs := make([]batch.Job, len(pending))
 	for i, js := range pending {
@@ -93,13 +132,6 @@ func (s *Server) runBatch(pending []*jobState) {
 			s.finishJob(js)
 		},
 	})
-	// Bound the persistent store after each batch — daemon life, not
-	// CLI life, is when "entries never expire" becomes a disk leak.
-	if s.dstore != nil && s.cfg.CacheMaxBytes > 0 {
-		if removed, _ := s.dstore.Sweep(s.cfg.CacheMaxBytes); removed > 0 {
-			s.cfg.Obs.Count("serve.store_evictions", int64(removed))
-		}
-	}
 }
 
 // analyze is one job's body: incremental against the lineage's warm
@@ -114,10 +146,24 @@ func (s *Server) analyze(ctx context.Context, js *jobState) ([]byte, error) {
 
 	if base := s.pool.Lookup(js.name); base != nil {
 		base.Mu.Lock()
+		// Tier 1: skeleton-invisible edit — reuse every pre-refutation
+		// artifact, re-refute only touched pairs.
 		if _, ok := base.Apply(app, fp, js.digest, s.refuterConfig(), tr); ok {
 			doc := RenderReport(js.digest, base.Res)
 			base.Mu.Unlock()
 			return doc, nil
+		}
+		// Tier 2: skeleton-visible edit — warm pointer re-solve, SHBG
+		// row patch, pair diff. A clean tier-1 decline leaves both the
+		// baseline and the donor program untouched, so chaining is safe;
+		// a poisoned baseline falls straight through to the cold path.
+		if !base.Poisoned {
+			shbgOpts := shbg.Options{Jobs: s.cfg.SHBGJobs}
+			if _, ok := base.ApplyStages(app, fp, js.digest, s.refuterConfig(), shbgOpts, tr); ok {
+				doc := RenderReport(js.digest, base.Res)
+				base.Mu.Unlock()
+				return doc, nil
+			}
 		}
 		poisoned := base.Poisoned
 		base.Mu.Unlock()
@@ -136,18 +182,22 @@ func (s *Server) analyze(ctx context.Context, js *jobState) ([]byte, error) {
 	}
 
 	res := core.AnalyzeContext(ctx, app, core.Options{
-		Refuter: s.refuterConfig(),
-		SHBG:    shbg.Options{Jobs: s.cfg.SHBGJobs},
-		PTAJobs: s.cfg.PTAJobs,
-		Obs:     tr,
+		Refuter:     s.refuterConfig(),
+		SHBG:        shbg.Options{Jobs: s.cfg.SHBGJobs},
+		PTAJobs:     s.cfg.PTAJobs,
+		KeepPTAWarm: true,
+		Obs:         tr,
 	})
 	if res.Interrupted {
 		return nil, fmt.Errorf("analysis interrupted at stage %q", res.InterruptedStage)
 	}
 	tr.Count("race.pairs_total", int64(len(res.RacyPairs)))
-	s.pool.Store(&incremental.Baseline{
+	if evicted := s.pool.Store(&incremental.Baseline{
 		Name: js.name, Digest: js.digest, FP: fp, App: app, Res: res,
-	})
+		Warm: res.PTAWarm,
+	}); evicted > 0 {
+		tr.Count("serve.baseline_evictions", int64(evicted))
+	}
 	return RenderReport(js.digest, res), nil
 }
 

@@ -373,3 +373,97 @@ func TestJobWaitObserved(t *testing.T) {
 		t.Errorf("serve.job_wait_ms count = %d, want 1", n)
 	}
 }
+
+// TestStageReuseResubmission drives tier-2 partial stage reuse end to
+// end through the daemon: a skeleton-visible one-method edit (an
+// inserted dataflow sink) must be absorbed by the warm baseline —
+// pointer delta re-seed, SHBG row patch, pair diff — and the report it
+// answers with must be byte-identical to what a cold daemon computes
+// for the same bytes.
+func TestStageReuseResubmission(t *testing.T) {
+	_, base, tr := startServer(t, serve.Config{})
+
+	code, m := submit(t, base, corpus.StageDemoText(4, corpus.StageDemoEdit{}))
+	if code != http.StatusAccepted {
+		t.Fatalf("baseline submit: status %d", code)
+	}
+	waitDone(t, base, m["job_id"].(string))
+
+	edited := corpus.StageDemoText(4, corpus.StageDemoEdit{ExtraStmt: "load w a f1_0"})
+	code, m = submit(t, base, edited)
+	if code != http.StatusAccepted {
+		t.Fatalf("edited submit: status %d", code)
+	}
+	digest := waitDone(t, base, m["job_id"].(string))
+
+	if got := tr.Counter("incremental.stage_applies"); got != 1 {
+		t.Errorf("incremental.stage_applies = %d, want 1", got)
+	}
+	if got := tr.Counter("incremental.stage_reuse_pta"); got != 1 {
+		t.Errorf("incremental.stage_reuse_pta = %d, want 1", got)
+	}
+	if got := tr.Counter("incremental.stage_reuse_shbg"); got != 1 {
+		t.Errorf("incremental.stage_reuse_shbg = %d, want 1", got)
+	}
+	if spliced := tr.Counter("incremental.pairs_spliced"); spliced < 1 {
+		t.Errorf("incremental.pairs_spliced = %d, want >= 1", spliced)
+	}
+	warm := fetchReport(t, base, digest)
+
+	// The cold truth: a fresh daemon with no baseline for this lineage.
+	_, base2, tr2 := startServer(t, serve.Config{})
+	_, m = submit(t, base2, edited)
+	cold := fetchReport(t, base2, waitDone(t, base2, m["job_id"].(string)))
+	if got := tr2.Counter("incremental.stage_applies"); got != 0 {
+		t.Fatalf("control daemon took the stage path (%d applies) — not a cold run", got)
+	}
+	if !bytes.Equal(warm, cold) {
+		t.Errorf("stage-reused report differs from cold:\n-- warm --\n%s\n-- cold --\n%s", warm, cold)
+	}
+}
+
+// TestLineageWaves: a gathered batch holding several revisions of one
+// app must run them serialized in submission order (they absorb into
+// one warm baseline) while an unrelated lineage rides the first wave
+// concurrently. A slow occupier (a large StageDemo — its own lineage,
+// the group count is part of the app name) keeps the dispatcher busy
+// in its first batch so the three follow-up submissions coalesce into
+// one gathered batch; timing-dependent, so the burst retries on a
+// fresh server if the coalesce window was missed.
+func TestLineageWaves(t *testing.T) {
+	const attempts = 3
+	for attempt := 0; attempt < attempts; attempt++ {
+		_, base, tr := startServer(t, serve.Config{Workers: 2})
+
+		// ~100ms of analysis: a wide window next to three local POSTs.
+		_, m0 := submit(t, base, corpus.StageDemoText(60, corpus.StageDemoEdit{}))
+
+		// While the occupier analyzes, queue two revisions of IncrDemo
+		// and one revision of StageDemo2.
+		_, mA1 := submit(t, base, corpus.IncrDemoText(corpus.IncrDemoEdit{}))
+		_, mA2 := submit(t, base, corpus.IncrDemoText(corpus.IncrDemoEdit{IfLine: "if c == int 0"}))
+		_, mB1 := submit(t, base, corpus.StageDemoText(2, corpus.StageDemoEdit{}))
+
+		waitDone(t, base, m0["job_id"].(string))
+		waitDone(t, base, mA1["job_id"].(string))
+		digestA2 := waitDone(t, base, mA2["job_id"].(string))
+		waitDone(t, base, mB1["job_id"].(string))
+
+		if tr.Counter("serve.lineage_waves") < 1 {
+			if attempt < attempts-1 {
+				continue // window missed; retry on a fresh server
+			}
+			t.Fatalf("serve.lineage_waves = 0 after %d attempts (second IncrDemo revision never ran in a later wave)", attempts)
+		}
+		// Order proof: the second revision saw the first as its baseline
+		// (incremental apply), and its report reflects the edited branch.
+		if got := tr.Counter("incremental.applies"); got < 1 {
+			t.Errorf("incremental.applies = %d, want >= 1 (serialized lineage must absorb in order)", got)
+		}
+		doc := fetchReport(t, base, digestA2)
+		if !bytes.Contains(doc, []byte(`".f1"`)) {
+			t.Errorf("second revision's report must surface the now-feasible f1 race:\n%s", doc)
+		}
+		return
+	}
+}

@@ -63,6 +63,11 @@ type Config struct {
 	MemCacheEntries int
 	// Baselines caps the warm incremental baseline pool (0 = default).
 	Baselines int
+	// BaselineMaxBytes bounds the baseline pool by estimated resident
+	// bytes (the -baseline-max-bytes flag): program IR plus points-to,
+	// SHBG, and pair/verdict tables per lineage, LRU-evicted beyond the
+	// budget. 0 = no byte budget (entry cap only).
+	BaselineMaxBytes int64
 	// QueueDepth bounds accepted-but-unstarted submissions (0 = 1024).
 	QueueDepth int
 	// Obs receives service counters and histograms; Events receives the
@@ -144,7 +149,7 @@ func New(cfg Config) (*Server, error) {
 	runCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
-		pool:      incremental.NewPool(cfg.Baselines),
+		pool:      incremental.NewPool(cfg.Baselines, cfg.BaselineMaxBytes),
 		tracker:   &batch.Tracker{},
 		runCtx:    runCtx,
 		cancelRun: cancel,
@@ -205,11 +210,12 @@ func (s *Server) Handler() http.Handler {
 
 // serveProgress is the /progress payload's service half.
 type serveProgress struct {
-	Draining  bool           `json:"draining"`
-	Queued    int            `json:"queued"`
-	Jobs      int            `json:"jobs"`
-	Baselines int            `json:"baselines"`
-	Batch     batch.Progress `json:"batch"`
+	Draining      bool           `json:"draining"`
+	Queued        int            `json:"queued"`
+	Jobs          int            `json:"jobs"`
+	Baselines     int            `json:"baselines"`
+	BaselineBytes int64          `json:"baseline_bytes"`
+	Batch         batch.Progress `json:"batch"`
 }
 
 func (s *Server) progress() serveProgress {
@@ -221,6 +227,7 @@ func (s *Server) progress() serveProgress {
 	}
 	s.mu.Unlock()
 	p.Baselines = s.pool.Len()
+	p.BaselineBytes = s.pool.Bytes()
 	p.Batch = s.tracker.Snapshot()
 	return p
 }

@@ -116,6 +116,44 @@ type Graph struct {
 	jobs          int
 	closureBlocks int64
 	snapRows      []bitset.Set
+	// base records the pre-closure addEdge sequence (rules 1–5, in
+	// order) while recording is set — Build's direct-edge witness, which
+	// Rebuild (rebuild.go) re-derives for dirty pairs and compares.
+	base      []baseEdge
+	recording bool
+	// restrict, when non-nil, limits the pair rules to pairs the dirty
+	// predicate matches (see pairDirty/spawnPairDirty); Rebuild's
+	// restricted re-derivation sets it, Build never does.
+	restrict map[int]bool
+}
+
+// baseEdge is one successfully-added pre-closure edge with its rule
+// attribution.
+type baseEdge struct {
+	a, b int
+	rule Rule
+}
+
+// pairDirty is the restricted-run predicate for rules whose derivation
+// reads only the two endpoints (invocation, lifecycle, GUI).
+func (g *Graph) pairDirty(a, b int) bool {
+	if g.restrict == nil {
+		return true
+	}
+	return g.restrict[a] || g.restrict[b]
+}
+
+// spawnPairDirty is the predicate for the domination rules 4/5, whose
+// derivation additionally reads the spawning actions' method bodies
+// (dominators of the site's method, ICFG reachability from the
+// spawner's roots) — so a dirty spawner dirties the pair even when both
+// endpoints are clean.
+func (g *Graph) spawnPairDirty(a, b, fromA, fromB int) bool {
+	if g.restrict == nil {
+		return true
+	}
+	return g.restrict[a] || g.restrict[b] ||
+		(fromA >= 0 && g.restrict[fromA]) || (fromB >= 0 && g.restrict[fromB])
 }
 
 // iaCand is a rule-6 candidate: a single-spawn action actually posted,
@@ -143,6 +181,10 @@ func Build(reg *actions.Registry, res *pointer.Result, opts Options) *Graph {
 	g.inWork = make([]bool, g.n)
 	disabled := func(r Rule) bool { return opts.Disable != nil && opts.Disable[r] }
 
+	// Record the pre-closure direct-edge sequence: Rebuild's dirty-row
+	// comparison needs the exact per-rule base set, and the rounds loop
+	// below must not pollute it (its edges are derived, not direct).
+	g.recording = true
 	if !disabled(RuleInvocation) {
 		g.ruleInvocation()
 	}
@@ -155,6 +197,7 @@ func Build(reg *actions.Registry, res *pointer.Result, opts Options) *Graph {
 	if !disabled(RuleInterProc) {
 		g.ruleInterProc(res)
 	}
+	g.recording = false
 	// Rules 6+7 iterate together: inter-action transitivity can reveal
 	// edges that further closure propagates, and vice versa (§4.3 ¶7).
 	// Their candidate sets depend only on the (static) spawn structure,
@@ -214,6 +257,9 @@ func (g *Graph) addEdge(a, b int, r Rule) bool {
 	g.hb[a].Add(b)
 	g.rev[b].Add(a)
 	g.ruleCounts[r]++
+	if g.recording {
+		g.base = append(g.base, baseEdge{a: a, b: b, rule: r})
+	}
 	g.push(a)
 	g.push(b)
 	return true
@@ -275,12 +321,14 @@ func (g *Graph) RuleCount(r Rule) int { return g.ruleCounts[r] }
 func (g *Graph) ruleInvocation() {
 	for _, a := range g.Reg.Actions() {
 		spawners := externalSpawners(a)
-		if len(spawners) == 1 {
+		if len(spawners) == 1 && g.pairDirty(spawners[0], a.ID) {
 			g.addEdge(spawners[0], a.ID, RuleInvocation)
 		}
 	}
 	for _, e := range g.Reg.TaskEdges() {
-		g.addEdge(e[0], e[1], RuleInvocation)
+		if g.pairDirty(e[0], e[1]) {
+			g.addEdge(e[0], e[1], RuleInvocation)
+		}
 	}
 }
 
@@ -331,6 +379,21 @@ func (g *Graph) ruleMultiSpawnInvocation() bool {
 // GUI sites orders UI events before the activity becomes invisible.
 func (g *Graph) ruleHarnessDominance(skipLifecycle, skipGUI, skipTeardown bool) {
 	for hi, h := range g.Reg.Harnesses {
+		if g.restrict != nil {
+			// Restricted runs skip whole harnesses with no dirty sited
+			// action: every pair the loops below would consider fails the
+			// endpoint predicate, so the dominator trees are dead weight.
+			any := false
+			for _, a := range g.Reg.Actions() {
+				if a.Scope == hi && a.HarnessSite.Valid() && g.restrict[a.ID] {
+					any = true
+					break
+				}
+			}
+			if !any {
+				continue
+			}
+		}
 		dom := cfg.MethodDominators(h.Method)
 		graph := cfg.MethodGraph{M: h.Method}
 
@@ -365,6 +428,9 @@ func (g *Graph) ruleHarnessDominance(skipLifecycle, skipGUI, skipTeardown bool) 
 				if (bothLC && skipLifecycle) || (!bothLC && skipGUI) {
 					continue
 				}
+				if !g.pairDirty(a.ID, b.ID) {
+					continue
+				}
 				if cfg.StmtDominates(dom, a.HarnessSite, b.HarnessSite) {
 					g.addEdge(a.ID, b.ID, rule)
 				}
@@ -391,6 +457,9 @@ func (g *Graph) ruleHarnessDominance(skipLifecycle, skipGUI, skipTeardown bool) 
 				switch b.Callback {
 				case frontend.OnStop, frontend.OnDestroy:
 				default:
+					continue
+				}
+				if !g.pairDirty(a.ID, b.ID) {
 					continue
 				}
 				if g.hb[b.ID].Has(a.ID) {
@@ -444,6 +513,9 @@ func (g *Graph) ruleIntraProc() {
 			if !posteable(a, b, sa, sb) {
 				continue
 			}
+			if !g.spawnPairDirty(a.ID, b.ID, sa.From, sb.From) {
+				continue
+			}
 			dom := domCache[sa.Site.Method]
 			if dom == nil {
 				dom = cfg.MethodDominators(sa.Site.Method)
@@ -475,6 +547,9 @@ func (g *Graph) ruleInterProc(res *pointer.Result) {
 				continue
 			}
 			if sa.Site.Method == sb.Site.Method || !posteable(a, b, sa, sb) {
+				continue
+			}
+			if !g.spawnPairDirty(a.ID, b.ID, sa.From, sb.From) {
 				continue
 			}
 			spawner := g.Reg.Get(sa.From)

@@ -16,6 +16,12 @@
 #                                        1,2,4,8) and write per-core ns/op
 #                                        medians + speedup-vs-1 curves to
 #                                        BENCH_scaling.json
+#   ./scripts/benchdiff.sh -incr [N]     incremental lane: cold vs warm medians
+#                                        for the canonical one-method
+#                                        skeleton-visible edit on an N-group
+#                                        generated app (default 24), asserting
+#                                        byte-identical reports, written to
+#                                        BENCH_incremental.json
 #   ./scripts/benchdiff.sh <ref>         bench HEAD and <ref> (via a throwaway
 #                                        git worktree) and print a per-kernel
 #                                        ns/op + allocs/op delta as JSON in the
@@ -41,12 +47,12 @@ COUNT="${BENCH_COUNT:-3}"
 PAR_PATTERN='BenchmarkKernel(Pointer|SHBGClosure|Refutation)Parallel'
 
 usage() {
-    echo "usage: $0 -smoke | $0 -cpu [1,2,4,8] | $0 <git-ref>" >&2
+    echo "usage: $0 -smoke | $0 -cpu [1,2,4,8] | $0 -incr [groups] | $0 <git-ref>" >&2
     exit 2
 }
 
 [ $# -ge 1 ] && [ $# -le 2 ] || usage
-[ $# -eq 2 ] && [ "$1" != "-cpu" ] && usage
+[ $# -eq 2 ] && [ "$1" != "-cpu" ] && [ "$1" != "-incr" ] && usage
 
 repo_root=$(git rev-parse --show-toplevel)
 cd "$repo_root"
@@ -56,7 +62,25 @@ if [ "$1" = "-smoke" ]; then
     # One iteration of each parallel kernel bench at 2 workers with two
     # procs, so multi-worker scheduling of every parallel kernel is
     # exercised even when the sequential pass ran at GOMAXPROCS=1.
-    exec go test -run '^$' -bench "$PAR_PATTERN/jobs=2\$" -benchtime=1x -cpu 2 .
+    go test -run '^$' -bench "$PAR_PATTERN/jobs=2\$" -benchtime=1x -cpu 2 .
+    # One untimed iteration of the incremental lane: the cold/warm report
+    # byte-parity assertion runs even when nobody benches the -incr lane.
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT INT TERM
+    go run ./cmd/evaluate -incr-bench "$tmp/incr.json" -incr-iters 1 -incr-groups 6 -q
+    echo "benchdiff: incremental smoke ok (byte-identical warm report)" >&2
+    exit 0
+fi
+
+if [ "$1" = "-incr" ]; then
+    GROUPS="${2:-24}"
+    INCR_OUT="${BENCH_INCR:-$repo_root/BENCH_incremental.json}"
+    echo "benchdiff: incremental lane groups=$GROUPS iters=${BENCH_INCR_ITERS:-7}..." >&2
+    go run ./cmd/evaluate -incr-bench "$INCR_OUT" \
+        -incr-iters "${BENCH_INCR_ITERS:-7}" -incr-groups "$GROUPS"
+    cat "$INCR_OUT"
+    echo "benchdiff: wrote $INCR_OUT" >&2
+    exit 0
 fi
 
 if [ "$1" = "-cpu" ]; then

@@ -5,8 +5,11 @@
 # the stored report, and require it to be byte-identical to the
 # document `sierra -report-json` renders for the same bytes and
 # refutation config. Then resubmit the identical bytes (must be
-# answered from the store without a new job) and shut the daemon down
-# with SIGTERM, requiring a clean drain (exit 0).
+# answered from the store without a new job), drive one warm
+# skeleton-visible edit through the partial-stage-reuse path (report
+# byte-identical to the one-shot CLI, /metrics showing nonzero stage
+# reuse), and shut the daemon down with SIGTERM, requiring a clean
+# drain (exit 0).
 #
 # Wired into the tier-1 verify line (see ROADMAP.md). No arguments.
 set -eu
@@ -65,6 +68,53 @@ case $dup in
 *'"status": "done"'*) ;;
 *) echo "servesmoke: duplicate submission not served from the store: $dup" >&2; exit 1 ;;
 esac
+
+# submit_wait <file>: submit an app, poll its job to completion, and
+# print the report digest.
+submit_wait() {
+    curl -sf -X POST --data-binary @"$1" "$base/v1/apps" >"$tmp/sw.json"
+    sw_job=$(sed -n 's/.*"job_id": "\([^"]*\)".*/\1/p' "$tmp/sw.json")
+    sw_digest=$(sed -n 's/.*"digest": "\([^"]*\)".*/\1/p' "$tmp/sw.json")
+    [ -n "$sw_job" ] && [ -n "$sw_digest" ] || { echo "servesmoke: bad submit response for $1:" >&2; cat "$tmp/sw.json" >&2; exit 1; }
+    sw_status=""
+    for i in $(seq 1 300); do
+        sw_status=$(curl -sf "$base/v1/jobs/$sw_job" | sed -n 's/.*"status": "\([^"]*\)".*/\1/p')
+        [ "$sw_status" = done ] && break
+        [ "$sw_status" = failed ] && { echo "servesmoke: job for $1 failed" >&2; curl -s "$base/v1/jobs/$sw_job" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ "$sw_status" = done ] || { echo "servesmoke: job for $1 never completed (last: $sw_status)" >&2; exit 1; }
+    printf '%s\n' "$sw_digest"
+}
+
+# Partial stage reuse: seed a warm baseline with a generated StageDemo
+# app, then resubmit a skeleton-visible one-method edit of it. The
+# daemon must absorb the edit against the warm baseline — /metrics must
+# show the stage-reuse counters move — and the report it stores must
+# still be byte-identical to the one-shot CLI on the edited bytes.
+go run ./cmd/corpusgen -stagedemo 6 -out "$tmp/stage-base.app"
+go run ./cmd/corpusgen -stagedemo 6 -stagedemo-edit "load w a f1_0" -out "$tmp/stage-edit.app"
+
+submit_wait "$tmp/stage-base.app" >/dev/null
+edit_digest=$(submit_wait "$tmp/stage-edit.app")
+curl -sf "$base/v1/reports/$edit_digest" >"$tmp/stage-daemon.json"
+
+"$tmp/sierra" -file "$tmp/stage-edit.app" -refute-jobs 2 -report-json "$tmp/stage-oneshot.json" >/dev/null
+if ! cmp -s "$tmp/stage-daemon.json" "$tmp/stage-oneshot.json"; then
+    echo "servesmoke: stage-reused report differs from one-shot -report-json:" >&2
+    diff "$tmp/stage-oneshot.json" "$tmp/stage-daemon.json" >&2 || true
+    exit 1
+fi
+
+curl -sf "$base/metrics" >"$tmp/metrics.txt"
+for m in sierra_incremental_stage_applies sierra_incremental_stage_reuse_pta sierra_incremental_stage_reuse_shbg; do
+    v=$(awk -v m="$m" '$1 == m { print $2 }' "$tmp/metrics.txt")
+    [ -n "$v" ] && [ "$v" -ge 1 ] || {
+        echo "servesmoke: /metrics $m = ${v:-absent}, want >= 1 (edit was not absorbed by partial stage reuse)" >&2
+        grep sierra_incremental "$tmp/metrics.txt" >&2 || true
+        exit 1
+    }
+done
 
 # Graceful drain: SIGTERM must end the daemon with exit 0.
 kill -TERM "$pid"
