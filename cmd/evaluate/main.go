@@ -61,6 +61,9 @@ func main() {
 		shbgJobs   = flag.Int("shbg-jobs", 1, "block-parallel SHBG closure workers per app (1 = sequential closure; identical tables at any count)")
 		benchJSON  = flag.String("bench-json", "", "write per-stage timings + effort counters for the 20-app dataset as JSON to this file and exit (e.g. BENCH_sierra.json)")
 		incrBench  = flag.String("incr-bench", "", "write the incremental lane (cold vs warm one-method skeleton-visible edit) as JSON to this file and exit (e.g. BENCH_incremental.json)")
+		streamCfg  = flag.String("stream", "", "run the fused streaming pipeline over this scenario config and print its verdict table (see corpusgen -list-scenarios)")
+		streamOut  = flag.String("stream-bench", "", "with -stream CONFIG: measure fused vs materialized throughput and write sierra-stream-bench/v1 JSON to this file (e.g. BENCH_streaming.json)")
+		genJobs    = flag.Int("gen-jobs", 0, "generation workers for -stream (0 = GOMAXPROCS; the admitted stream is identical at any count)")
 		incrIters  = flag.Int("incr-iters", 5, "measurement iterations per side for -incr-bench")
 		incrGroups = flag.Int("incr-groups", 24, "listener-trio groups in the generated app -incr-bench edits")
 		eventsOut  = flag.String("events-out", "", "stream sierra-events/1 flight-recorder events as JSONL to this file (-events is taken by the dynamic baseline)")
@@ -178,6 +181,36 @@ func main() {
 	}
 	if *incrBench != "" {
 		if err := runIncrBench(*incrBench, *incrIters, *incrGroups, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *streamOut != "" && *streamCfg == "" {
+		fmt.Fprintln(os.Stderr, "evaluate: -stream-bench needs -stream CONFIG")
+		os.Exit(1)
+	}
+	if *streamCfg != "" {
+		so := streamOpts{
+			solver:   solver,
+			refPaths: *refPaths,
+			refDepth: *refDepth,
+			ptaJobs:  *ptaJobs,
+			shbgJobs: *shbgJobs,
+			jobs:     *jobs,
+			genJobs:  *genJobs,
+			quiet:    *quiet,
+		}
+		if so.genJobs <= 0 {
+			so.genJobs = runtime.GOMAXPROCS(0)
+		}
+		var err error
+		if *streamOut != "" {
+			err = runStreamBench(ctx, *streamCfg, *streamOut, so)
+		} else {
+			err = runStreamEval(ctx, *streamCfg, so)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "evaluate:", err)
 			os.Exit(1)
 		}

@@ -11,7 +11,6 @@ import (
 	"sort"
 	"time"
 
-	"sierra/internal/appfile"
 	"sierra/internal/batch"
 	"sierra/internal/core"
 	"sierra/internal/obs"
@@ -19,12 +18,17 @@ import (
 	"sierra/internal/obs/export"
 	"sierra/internal/pointer"
 	"sierra/internal/shbg"
+	"sierra/internal/stream"
 	"sierra/internal/symexec"
 )
 
-// batchConfig carries the flag values that shape a -batch run.
+// batchConfig carries the flag values that shape a -batch or -stream
+// run. Exactly one of glob / streamCfg is set; everything else is
+// shared, which is what keeps the two modes' outputs comparable.
 type batchConfig struct {
 	glob       string
+	streamCfg  string // scenario config path (-stream)
+	genJobs    int    // generation workers (-stream)
 	jobs       int
 	timeout    time.Duration
 	cacheDir   string
@@ -41,37 +45,23 @@ type batchConfig struct {
 	stats      string
 	events     string
 	debugAddr  string
+	verdicts   string // TSV verdict artifact path
 }
 
 // appSummary is the cached per-file verdict: the headline numbers a
-// corpus sweep wants, small enough to serialize per job.
-type appSummary struct {
-	App          string  `json:"app"`
-	Harnesses    int     `json:"harnesses"`
-	Actions      int     `json:"actions"`
-	HBEdges      int     `json:"hb_edges"`
-	RacyPairs    int     `json:"racy_pairs"`
-	Races        int     `json:"races"`
-	TotalSeconds float64 `json:"total_seconds"`
-	Interrupted  bool    `json:"interrupted"`
-}
+// corpus sweep wants, small enough to serialize per job. One schema
+// with the streaming pipeline (stream.Summary) so -batch and -stream
+// results are byte-comparable.
+type appSummary = stream.Summary
 
-// runBatch analyzes every .app file matching cfg.glob on a batch.Run
-// worker pool and prints one summary line per file in glob order. The
-// exit code is 0 when every file produced a verdict (including cached
-// and partial/timeout verdicts) and 1 when any job failed or panicked.
+// runBatch analyzes a corpus on the batch engine and prints one summary
+// line per app in deterministic order. With cfg.glob the corpus is the
+// matched .app files (materialized mode); with cfg.streamCfg it is
+// generated on the fly from a scenario config and never touches disk
+// (fused streaming mode). The exit code is 0 when every app produced a
+// verdict (including cached and partial/timeout verdicts) and 1 when
+// any job failed or panicked, or generation broke.
 func runBatch(cfg batchConfig) int {
-	files, err := filepath.Glob(cfg.glob)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sierra: -batch:", err)
-		return 1
-	}
-	if len(files) == 0 {
-		fmt.Fprintf(os.Stderr, "sierra: -batch %q matched no files\n", cfg.glob)
-		return 1
-	}
-	sort.Strings(files)
-
 	// Flight recorder: the ring exists whenever anyone can look at it
 	// (-events mirrors it to a JSONL file, -debug-addr serves its tail).
 	var rec *eventlog.Recorder
@@ -95,6 +85,10 @@ func runBatch(cfg batchConfig) int {
 	// plain batch run keeps the jobs' zero-cost nil-trace path.
 	liveObs := cfg.stats != "" || cfg.debugAddr != ""
 	tr := obs.New("sierra:batch")
+	var absorb *obs.Trace
+	if liveObs {
+		absorb = tr
+	}
 
 	fingerprint := []string{
 		"report",
@@ -108,57 +102,89 @@ func runBatch(cfg batchConfig) int {
 		fmt.Sprintf("ptajobs=%d", cfg.ptaJobs),
 		fmt.Sprintf("shbgjobs=%d", cfg.shbgJobs),
 	}
+	analyze := stream.Analyzer(core.Options{
+		Policy:          cfg.policy,
+		CompareContexts: cfg.compare,
+		SkipRefutation:  cfg.noRefute,
+		Refuter:         symexec.Config{MaxPaths: cfg.maxPaths, MaxDepth: cfg.maxDepth, Jobs: cfg.refuteJobs},
+		SHBG:            shbg.Options{Jobs: cfg.shbgJobs},
+		PTASolver:       cfg.solver,
+		PTAJobs:         cfg.ptaJobs,
+	}, absorb)
 
-	jobs := make([]batch.Job, len(files))
-	for i := range files {
-		path := files[i]
-		jobs[i] = batch.Job{
-			Name: path,
-			KeyFn: func() (string, error) {
-				raw, err := os.ReadFile(path)
-				if err != nil {
-					return "", err
-				}
-				return batch.Key(batch.RawDigest(raw), fingerprint...), nil
-			},
-			Fn: func(jctx context.Context) ([]byte, error) {
-				raw, err := os.ReadFile(path)
-				if err != nil {
-					return nil, err
-				}
-				app, err := appfile.Read(bytes.NewReader(raw))
-				if err != nil {
-					return nil, fmt.Errorf("parsing %s: %w", path, err)
-				}
-				var jobTr *obs.Trace
-				if liveObs {
-					jobTr = obs.New("sierra:" + app.Name)
-				}
-				res := core.AnalyzeContext(jctx, app, core.Options{
-					Policy:          cfg.policy,
-					CompareContexts: cfg.compare,
-					SkipRefutation:  cfg.noRefute,
-					Refuter:         symexec.Config{MaxPaths: cfg.maxPaths, MaxDepth: cfg.maxDepth, Jobs: cfg.refuteJobs},
-					SHBG:            shbg.Options{Jobs: cfg.shbgJobs},
-					PTASolver:       cfg.solver,
-					PTAJobs:         cfg.ptaJobs,
-					Obs:             jobTr,
-				})
-				if jobTr != nil {
-					tr.Absorb(jobTr.Snapshot())
-				}
-				return json.Marshal(appSummary{
-					App:          app.Name,
-					Harnesses:    res.NumHarnesses(),
-					Actions:      res.NumActions(),
-					HBEdges:      res.HBEdges(),
-					RacyPairs:    len(res.RacyPairs),
-					Races:        res.TrueRaces(),
-					TotalSeconds: res.Timing.Total.Seconds(),
-					Interrupted:  res.Interrupted,
-				})
-			},
+	// Build the job source: a sorted glob of file-backed jobs, or the
+	// fused generate→analyze stream.
+	var src batch.Source
+	total := -1
+	runFields := map[string]any{
+		"jobs":        cfg.jobs,
+		"job_timeout": cfg.timeout.String(),
+		"policy":      cfg.policyID,
+		"solver":      string(cfg.solver),
+		"compare":     cfg.compare,
+		"refute":      !cfg.noRefute,
+		"max_paths":   cfg.maxPaths,
+		"max_depth":   cfg.maxDepth,
+		"refute_jobs": cfg.refuteJobs,
+		"pta_jobs":    cfg.ptaJobs,
+		"shbg_jobs":   cfg.shbgJobs,
+		"cache":       cfg.cacheDir != "",
+	}
+	var streamSrc *stream.Source
+	if cfg.streamCfg != "" {
+		scfg, err := stream.LoadConfig(cfg.streamCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sierra: -stream:", err)
+			return 1
 		}
+		streamSrc = stream.NewSource(scfg, analyze, stream.SourceOptions{
+			GenJobs:     cfg.genJobs,
+			Fingerprint: fingerprint,
+			Obs:         tr,
+		})
+		src = streamSrc
+		runFields["config"] = cfg.streamCfg
+		runFields["corpus"] = scfg.Name
+		runFields["mix"] = scfg.MixSummary()
+		runFields["gen_jobs"] = cfg.genJobs
+		runFields["apps_cap"] = scfg.Apps
+		runFields["tot_size"] = scfg.TotSize
+	} else {
+		files, err := filepath.Glob(cfg.glob)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sierra: -batch:", err)
+			return 1
+		}
+		if len(files) == 0 {
+			fmt.Fprintf(os.Stderr, "sierra: -batch %q matched no files\n", cfg.glob)
+			return 1
+		}
+		sort.Strings(files)
+		total = len(files)
+		jobs := make([]batch.Job, len(files))
+		for i := range files {
+			path := files[i]
+			jobs[i] = batch.Job{
+				Name: path,
+				KeyFn: func() (string, error) {
+					raw, err := os.ReadFile(path)
+					if err != nil {
+						return "", err
+					}
+					return batch.Key(batch.RawDigest(raw), fingerprint...), nil
+				},
+				Fn: func(jctx context.Context) ([]byte, error) {
+					raw, err := os.ReadFile(path)
+					if err != nil {
+						return nil, err
+					}
+					return analyze(jctx, path, raw)
+				},
+			}
+		}
+		src = batch.SliceSource(jobs)
+		runFields["glob"] = cfg.glob
+		runFields["files"] = len(files)
 	}
 
 	// The run is cancellable so the signal handler can wind it down as a
@@ -185,23 +211,9 @@ func runBatch(cfg batchConfig) int {
 		fmt.Fprintf(os.Stderr, "sierra: debug server on http://%s\n", srv.Addr())
 	}
 
-	rec.Emit(eventlog.Event{Type: "run_start", Fields: map[string]any{
-		"glob":        cfg.glob,
-		"files":       len(files),
-		"jobs":        cfg.jobs,
-		"job_timeout": cfg.timeout.String(),
-		"policy":      cfg.policyID,
-		"solver":      string(cfg.solver),
-		"compare":     cfg.compare,
-		"refute":      !cfg.noRefute,
-		"max_paths":   cfg.maxPaths,
-		"max_depth":   cfg.maxDepth,
-		"refute_jobs": cfg.refuteJobs,
-		"pta_jobs":    cfg.ptaJobs,
-		"shbg_jobs":   cfg.shbgJobs,
-		"cache":       cfg.cacheDir != "",
-	}})
+	rec.Emit(eventlog.Event{Type: "run_start", Fields: runFields})
 
+	var verdictResults []batch.Result
 	opts := batch.Options{
 		Workers: cfg.jobs,
 		Timeout: cfg.timeout,
@@ -209,7 +221,7 @@ func runBatch(cfg batchConfig) int {
 		Events:  rec,
 		Tracker: tk,
 		OnResult: func(i int, r batch.Result) {
-			printBatchLine(i, len(files), r)
+			printBatchLine(i, total, r)
 			emitVerdict(rec, i, r)
 		},
 	}
@@ -223,9 +235,16 @@ func runBatch(cfg batchConfig) int {
 	}
 
 	start := time.Now()
-	results := batch.Run(ctx, jobs, opts)
+	results, srcErr := batch.RunSource(ctx, src, opts)
+	if streamSrc != nil {
+		streamSrc.Stop()
+	}
+	verdictResults = results
 	sum := batch.Summarize(results, time.Since(start))
 	fmt.Println(sum.String())
+	if srcErr != nil {
+		fmt.Fprintln(os.Stderr, "sierra: stream source:", srcErr)
+	}
 
 	rec.Emit(eventlog.Event{Type: "run_end", Fields: map[string]any{
 		"jobs":         sum.Jobs,
@@ -242,6 +261,13 @@ func runBatch(cfg batchConfig) int {
 		return 1
 	}
 
+	if cfg.verdicts != "" {
+		if err := os.WriteFile(cfg.verdicts, stream.VerdictTable(verdictResults), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sierra: writing -verdicts:", err)
+			return 1
+		}
+	}
+
 	if cfg.stats != "" {
 		raw, err := tr.Snapshot().JSON()
 		if err == nil {
@@ -253,7 +279,7 @@ func runBatch(cfg batchConfig) int {
 		}
 	}
 
-	if sum.Failed > 0 || sum.Panics > 0 {
+	if sum.Failed > 0 || sum.Panics > 0 || srcErr != nil {
 		return 1
 	}
 	return 0
@@ -285,29 +311,34 @@ func emitVerdict(rec *eventlog.Recorder, i int, r batch.Result) {
 
 // printBatchLine renders one result. Lines arrive in input order (the
 // engine's determinism guarantee), so the output reads like a
-// sequential run regardless of -jobs.
+// sequential run regardless of -jobs. A streamed run's total is
+// unknown while the source produces; total <= 0 renders as "?".
 func printBatchLine(i, total int, r batch.Result) {
+	den := "?"
+	if total > 0 {
+		den = fmt.Sprint(total)
+	}
 	switch r.Status {
 	case batch.StatusOK, batch.StatusCached, batch.StatusTimeout:
 		var s appSummary
 		if err := json.Unmarshal(r.Value, &s); err != nil {
-			fmt.Printf("[%3d/%d] %-40s %-8s (unreadable summary)\n", i+1, total, r.Name, r.Status)
+			fmt.Printf("[%3d/%s] %-40s %-8s (unreadable summary)\n", i+1, den, r.Name, r.Status)
 			return
 		}
 		note := ""
 		if s.Interrupted {
 			note = " partial"
 		}
-		fmt.Printf("[%3d/%d] %-40s %-8s harnesses=%d actions=%d hb=%d racy=%d races=%d %.3fs%s\n",
-			i+1, total, r.Name, r.Status, s.Harnesses, s.Actions, s.HBEdges,
+		fmt.Printf("[%3d/%s] %-40s %-8s harnesses=%d actions=%d hb=%d racy=%d races=%d %.3fs%s\n",
+			i+1, den, r.Name, r.Status, s.Harnesses, s.Actions, s.HBEdges,
 			s.RacyPairs, s.Races, s.TotalSeconds, note)
 	case batch.StatusPanic:
 		first := r.Panic
 		if nl := bytes.IndexByte([]byte(first), '\n'); nl >= 0 {
 			first = first[:nl]
 		}
-		fmt.Printf("[%3d/%d] %-40s %-8s %s\n", i+1, total, r.Name, r.Status, first)
+		fmt.Printf("[%3d/%s] %-40s %-8s %s\n", i+1, den, r.Name, r.Status, first)
 	default:
-		fmt.Printf("[%3d/%d] %-40s %-8s %s\n", i+1, total, r.Name, r.Status, r.Err)
+		fmt.Printf("[%3d/%s] %-40s %-8s %s\n", i+1, den, r.Name, r.Status, r.Err)
 	}
 }

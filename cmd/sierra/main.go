@@ -8,6 +8,7 @@
 //	sierra -fdroid 17                 # a generated 174-app-dataset member
 //	sierra -file path/to/app.app      # a textual app model
 //	sierra -batch 'models/*.app'      # a whole corpus, concurrently
+//	sierra -stream corpus.cfg         # generate + analyze fused, no disk corpus
 //	sierra -app K-9Mail -policy hybrid -compare -v
 //	sierra -app OpenSudoku -stats out.json      # machine-readable effort snapshot
 //	sierra -app OpenSudoku -pprof-cpu cpu.out   # CPU profile of the run
@@ -17,6 +18,14 @@
 // per-file deadlines (-job-timeout), panic isolation, and an optional
 // digest-keyed result cache (-cache-dir); one summary line per file is
 // printed in glob order regardless of completion order.
+//
+// Stream mode (-stream) reads a scenario config (see cmd/corpusgen
+// -list-scenarios and README.md "Generating corpora at scale"), fuses
+// -gen-jobs generation workers into the same batch engine through a
+// bounded prefetch queue, and produces verdicts byte-identical to
+// materializing the corpus and running -batch over it — with peak
+// memory bounded by the queue depth times the largest app, not by the
+// corpus size.
 //
 // Live telemetry (see README.md "Live telemetry"): -events streams
 // sierra-events/1 JSONL flight-recorder events (run config, per-job
@@ -65,6 +74,9 @@ func main() {
 		fdroid         = flag.Int("fdroid", -1, "generated dataset app index (0..173)")
 		file           = flag.String("file", "", "textual .app file to analyze")
 		batchGlob      = flag.String("batch", "", "analyze every .app file matching this glob on a worker pool")
+		streamCfg      = flag.String("stream", "", "generate a corpus from this scenario config and analyze it on the fly, never touching disk")
+		genJobs        = flag.Int("gen-jobs", 0, "generation worker count in -stream mode (0 = GOMAXPROCS; the admitted stream is identical at any count)")
+		verdicts       = flag.String("verdicts", "", "write the deterministic TSV verdict table of a -batch/-stream run to this file")
 		jobs           = flag.Int("jobs", 0, "batch worker count (0 = GOMAXPROCS)")
 		jobTimeout     = flag.Duration("job-timeout", 0, "per-file analysis deadline in batch mode (0 = none)")
 		cacheDir       = flag.String("cache-dir", "", "cache batch results in this directory, keyed by file digest + options")
@@ -111,6 +123,9 @@ func main() {
 	if *batchGlob != "" {
 		given = append(given, "-batch")
 	}
+	if *streamCfg != "" {
+		given = append(given, "-stream")
+	}
 	if len(given) > 1 {
 		fmt.Fprintf(os.Stderr, "sierra: %s are mutually exclusive; pick exactly one input selector\n",
 			strings.Join(given, " and "))
@@ -135,9 +150,11 @@ func main() {
 	*ptaJobs = resolveJobs(*ptaJobs)
 	*shbgJobs = resolveJobs(*shbgJobs)
 
-	if *batchGlob != "" {
+	if *batchGlob != "" || *streamCfg != "" {
 		code := runBatch(batchConfig{
 			glob:       *batchGlob,
+			streamCfg:  *streamCfg,
+			genJobs:    resolveJobs(*genJobs),
 			jobs:       *jobs,
 			timeout:    *jobTimeout,
 			cacheDir:   *cacheDir,
@@ -154,6 +171,7 @@ func main() {
 			stats:      *stats,
 			events:     *events,
 			debugAddr:  *debugAddr,
+			verdicts:   *verdicts,
 		})
 		os.Exit(code)
 	}

@@ -37,7 +37,6 @@ package appfile
 
 import (
 	"bufio"
-	"bytes"
 	"fmt"
 	"io"
 	"sort"
@@ -52,30 +51,50 @@ import (
 // Write serializes the app (manifest, layouts, and non-framework
 // classes).
 func Write(w io.Writer, app *apk.App) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "app %s\n", app.Name)
+	_, err := w.Write(appendApp(make([]byte, 0, 1<<14), app))
+	return err
+}
+
+// appendApp renders the whole canonical serialization into b's spare
+// capacity. Serialization is the corpus-generation hot path — every
+// streamed app pays it once — so the entire format is emitted with
+// byte appends (strconv.Append* for numbers), never fmt.
+func appendApp(b []byte, app *apk.App) []byte {
+	b = append(b, "app "...)
+	b = append(b, app.Name...)
+	b = append(b, '\n')
 	if app.Manifest.Package != "" {
-		fmt.Fprintf(bw, "package %s\n", app.Manifest.Package)
+		b = append(b, "package "...)
+		b = append(b, app.Manifest.Package...)
+		b = append(b, '\n')
 	}
 	if app.Installs != "" {
-		fmt.Fprintf(bw, "installs %s\n", app.Installs)
+		b = append(b, "installs "...)
+		b = append(b, app.Installs...)
+		b = append(b, '\n')
 	}
 	for _, c := range app.Manifest.Activities {
+		b = append(b, "activity "...)
+		b = append(b, c.Class...)
 		if c.Layout != "" {
-			fmt.Fprintf(bw, "activity %s layout %s\n", c.Class, c.Layout)
-		} else {
-			fmt.Fprintf(bw, "activity %s\n", c.Class)
+			b = append(b, " layout "...)
+			b = append(b, c.Layout...)
 		}
+		b = append(b, '\n')
 	}
 	for _, c := range app.Manifest.Services {
-		fmt.Fprintf(bw, "service %s\n", c.Class)
+		b = append(b, "service "...)
+		b = append(b, c.Class...)
+		b = append(b, '\n')
 	}
 	for _, c := range app.Manifest.Receivers {
+		b = append(b, "receiver "...)
+		b = append(b, c.Class...)
 		if len(c.IntentFilters) > 0 {
-			fmt.Fprintf(bw, "receiver %s filter %s\n", c.Class, c.IntentFilters[0])
-		} else {
-			fmt.Fprintf(bw, "receiver %s\n", c.Class)
+			b = append(b, " filter "...)
+			b = append(b, c.IntentFilters[0]...)
 		}
+		b = append(b, '\n')
 	}
 	names := make([]string, 0, len(app.Layouts))
 	for n := range app.Layouts {
@@ -83,17 +102,18 @@ func Write(w io.Writer, app *apk.App) error {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		l := app.Layouts[n]
-		fmt.Fprintf(bw, "layout %s\n", n)
-		writeViews(bw, n, l.Root, -1)
+		b = append(b, "layout "...)
+		b = append(b, n...)
+		b = append(b, '\n')
+		b = appendViews(b, n, app.Layouts[n].Root, -1)
 	}
 	for _, c := range app.Program.Classes() {
 		if c.Framework {
 			continue
 		}
-		writeClass(bw, c)
+		b = appendClass(b, c)
 	}
-	return bw.Flush()
+	return b
 }
 
 // Bytes serializes the app to its canonical textual form — the
@@ -105,144 +125,258 @@ func Write(w io.Writer, app *apk.App) error {
 // extends the program with synthetic classes that would otherwise leak
 // into the digest.
 func Bytes(app *apk.App) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := Write(&buf, app); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return appendApp(make([]byte, 0, 1<<14), app), nil
 }
 
-func writeViews(w io.Writer, layout string, v *apk.View, parent int) {
+// AppendBytes is Bytes writing into dst's spare capacity — the
+// streaming pipeline's allocation-recycling form. dst is typically a
+// pooled buffer sliced to length 0; the returned slice shares its
+// backing array when capacity suffices.
+func AppendBytes(dst []byte, app *apk.App) ([]byte, error) {
+	return appendApp(dst, app), nil
+}
+
+func appendViews(b []byte, layout string, v *apk.View, parent int) []byte {
 	if v == nil {
-		return
+		return b
 	}
-	fmt.Fprintf(w, "view %s %d %s %d\n", layout, v.ID, v.Type, parent)
+	b = append(b, "view "...)
+	b = append(b, layout...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(v.ID), 10)
+	b = append(b, ' ')
+	b = append(b, v.Type...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(parent), 10)
+	b = append(b, '\n')
 	kinds := make([]string, 0, len(v.XMLCallbacks))
 	for k := range v.XMLCallbacks {
 		kinds = append(kinds, k)
 	}
 	sort.Strings(kinds)
 	for _, k := range kinds {
-		fmt.Fprintf(w, "xmlcb %s %d %s %s\n", layout, v.ID, k, v.XMLCallbacks[k])
+		b = append(b, "xmlcb "...)
+		b = append(b, layout...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, int64(v.ID), 10)
+		b = append(b, ' ')
+		b = append(b, k...)
+		b = append(b, ' ')
+		b = append(b, v.XMLCallbacks[k]...)
+		b = append(b, '\n')
 	}
 	for _, c := range v.Children {
-		writeViews(w, layout, c, v.ID)
+		b = appendViews(b, layout, c, v.ID)
 	}
+	return b
 }
 
-func writeClass(w io.Writer, c *ir.Class) {
-	line := "class " + c.Name
+// appendJoin appends parts separated by commas (strings.Join without
+// the intermediate string).
+func appendJoin(b []byte, parts []string) []byte {
+	for i, p := range parts {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, p...)
+	}
+	return b
+}
+
+func appendClass(b []byte, c *ir.Class) []byte {
+	b = append(b, "class "...)
+	b = append(b, c.Name...)
 	if c.Super != "" {
-		line += " extends " + c.Super
+		b = append(b, " extends "...)
+		b = append(b, c.Super...)
 	}
 	if len(c.Interfaces) > 0 {
-		line += " implements " + strings.Join(c.Interfaces, ",")
+		b = append(b, " implements "...)
+		b = appendJoin(b, c.Interfaces)
 	}
 	if c.Library {
-		line += " library"
+		b = append(b, " library"...)
 	}
-	fmt.Fprintln(w, line)
+	b = append(b, '\n')
 	for _, f := range c.Fields {
-		fmt.Fprintf(w, "field %s %s\n", c.Name, f)
+		b = append(b, "field "...)
+		b = append(b, c.Name...)
+		b = append(b, ' ')
+		b = append(b, f...)
+		b = append(b, '\n')
 	}
 	for _, m := range c.MethodsSorted() {
-		line := fmt.Sprintf("method %s %s", c.Name, m.Name)
+		b = append(b, "method "...)
+		b = append(b, c.Name...)
+		b = append(b, ' ')
+		b = append(b, m.Name...)
 		if m.Static {
-			line += " static"
+			b = append(b, " static"...)
 		}
 		if len(m.Params) > 0 {
-			line += " params " + strings.Join(m.Params, ",")
+			b = append(b, " params "...)
+			b = appendJoin(b, m.Params)
 		}
-		fmt.Fprintln(w, line)
+		b = append(b, '\n')
 		for bi, blk := range m.Blocks {
-			line := fmt.Sprintf("block %s %s %d", c.Name, m.Name, bi)
+			b = append(b, "block "...)
+			b = append(b, c.Name...)
+			b = append(b, ' ')
+			b = append(b, m.Name...)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, int64(bi), 10)
 			if len(blk.Succs) > 0 {
-				strs := make([]string, len(blk.Succs))
+				b = append(b, " succ "...)
 				for i, s := range blk.Succs {
-					strs[i] = strconv.Itoa(s)
+					if i > 0 {
+						b = append(b, ',')
+					}
+					b = strconv.AppendInt(b, int64(s), 10)
 				}
-				line += " succ " + strings.Join(strs, ",")
 			}
-			fmt.Fprintln(w, line)
+			b = append(b, '\n')
 			for _, s := range blk.Stmts {
-				fmt.Fprintf(w, "%s\n", stmtLine(s))
+				b = appendStmt(b, s)
+				b = append(b, '\n')
 			}
 		}
 	}
+	return b
 }
 
 // StmtLine renders one statement in the canonical .app syntax — the
 // exact line Write emits. Exported for internal/incremental, whose
 // per-method fingerprints are hashes over these canonical lines (so the
 // fingerprint and the serialized form can never drift apart).
-func StmtLine(s ir.Stmt) string { return stmtLine(s) }
+func StmtLine(s ir.Stmt) string { return string(appendStmt(nil, s)) }
 
-// stmtLine renders the canonical statement text. It is the fingerprint
-// hot path — two digests per statement per submission — so it builds
-// lines by concatenation instead of fmt (which dominates profiles of
-// the warm serve lane).
-func stmtLine(s ir.Stmt) string {
-	orUnderscore := func(v string) string {
-		if v == "" {
-			return "_"
-		}
-		return v
+// appendOrUnderscore appends v, or "_" when v is empty (the format's
+// none marker for optional operands).
+func appendOrUnderscore(b []byte, v string) []byte {
+	if v == "" {
+		return append(b, '_')
 	}
+	return append(b, v...)
+}
+
+// appendStmt renders the canonical statement text into b. It is both
+// the serialization and fingerprint hot path — two digests per
+// statement per serve submission, one render per statement per
+// streamed app — so it appends bytes directly instead of building
+// intermediate strings (which dominated profiles of both lanes).
+func appendStmt(b []byte, s ir.Stmt) []byte {
 	switch st := s.(type) {
 	case *ir.New:
-		return "new " + st.Dst + " " + st.Class
+		b = append(b, "new "...)
+		b = append(b, st.Dst...)
+		b = append(b, ' ')
+		return append(b, st.Class...)
 	case *ir.Const:
+		b = append(b, "const "...)
+		b = append(b, st.Dst...)
 		switch st.Kind {
 		case ir.ConstInt:
-			return "const " + st.Dst + " int " + strconv.FormatInt(st.Int, 10)
+			b = append(b, " int "...)
+			return strconv.AppendInt(b, st.Int, 10)
 		case ir.ConstBool:
-			return "const " + st.Dst + " bool " + strconv.FormatBool(st.Bool)
+			b = append(b, " bool "...)
+			return strconv.AppendBool(b, st.Bool)
 		case ir.ConstNull:
-			return "const " + st.Dst + " null"
+			return append(b, " null"...)
 		default:
-			return "const " + st.Dst + " str " + strconv.Quote(st.Str)
+			b = append(b, " str "...)
+			return strconv.AppendQuote(b, st.Str)
 		}
 	case *ir.Move:
-		return "move " + st.Dst + " " + st.Src
+		b = append(b, "move "...)
+		b = append(b, st.Dst...)
+		b = append(b, ' ')
+		return append(b, st.Src...)
 	case *ir.Load:
-		return "load " + st.Dst + " " + st.Obj + " " + st.Field
+		b = append(b, "load "...)
+		b = append(b, st.Dst...)
+		b = append(b, ' ')
+		b = append(b, st.Obj...)
+		b = append(b, ' ')
+		return append(b, st.Field...)
 	case *ir.Store:
-		return "store " + st.Obj + " " + st.Field + " " + st.Src
+		b = append(b, "store "...)
+		b = append(b, st.Obj...)
+		b = append(b, ' ')
+		b = append(b, st.Field...)
+		b = append(b, ' ')
+		return append(b, st.Src...)
 	case *ir.StaticLoad:
-		return "sload " + st.Dst + " " + st.Class + " " + st.Field
+		b = append(b, "sload "...)
+		b = append(b, st.Dst...)
+		b = append(b, ' ')
+		b = append(b, st.Class...)
+		b = append(b, ' ')
+		return append(b, st.Field...)
 	case *ir.StaticStore:
-		return "sstore " + st.Class + " " + st.Field + " " + st.Src
+		b = append(b, "sstore "...)
+		b = append(b, st.Class...)
+		b = append(b, ' ')
+		b = append(b, st.Field...)
+		b = append(b, ' ')
+		return append(b, st.Src...)
 	case *ir.BinOp:
-		return "binop " + st.Dst + " " + st.Op.String() + " " + st.A + " " + st.B
+		b = append(b, "binop "...)
+		b = append(b, st.Dst...)
+		b = append(b, ' ')
+		b = append(b, st.Op.String()...)
+		b = append(b, ' ')
+		b = append(b, st.A...)
+		b = append(b, ' ')
+		return append(b, st.B...)
 	case *ir.Invoke:
-		kind := "v"
+		b = append(b, "call "...)
 		switch st.Kind {
 		case ir.InvokeStatic:
-			kind = "s"
+			b = append(b, 's')
 		case ir.InvokeSpecial:
-			kind = "p"
-		}
-		parts := []string{"call", kind, orUnderscore(st.Dst), orUnderscore(st.Recv), st.Class, st.Method}
-		parts = append(parts, st.Args...)
-		return strings.Join(parts, " ")
-	case *ir.If:
-		b := st.B
-		var operand string
-		switch {
-		case b.IsVar:
-			operand = "var " + b.Var
-		case b.Kind == ir.ConstInt:
-			operand = "int " + strconv.FormatInt(b.Int, 10)
-		case b.Kind == ir.ConstBool:
-			operand = "bool " + strconv.FormatBool(b.Bool)
+			b = append(b, 'p')
 		default:
-			operand = "null"
+			b = append(b, 'v')
 		}
-		return "if " + st.A + " " + st.Op.String() + " " + operand
+		b = append(b, ' ')
+		b = appendOrUnderscore(b, st.Dst)
+		b = append(b, ' ')
+		b = appendOrUnderscore(b, st.Recv)
+		b = append(b, ' ')
+		b = append(b, st.Class...)
+		b = append(b, ' ')
+		b = append(b, st.Method...)
+		for _, a := range st.Args {
+			b = append(b, ' ')
+			b = append(b, a...)
+		}
+		return b
+	case *ir.If:
+		b = append(b, "if "...)
+		b = append(b, st.A...)
+		b = append(b, ' ')
+		b = append(b, st.Op.String()...)
+		b = append(b, ' ')
+		op := st.B
+		switch {
+		case op.IsVar:
+			b = append(b, "var "...)
+			return append(b, op.Var...)
+		case op.Kind == ir.ConstInt:
+			b = append(b, "int "...)
+			return strconv.AppendInt(b, op.Int, 10)
+		case op.Kind == ir.ConstBool:
+			b = append(b, "bool "...)
+			return strconv.AppendBool(b, op.Bool)
+		default:
+			return append(b, "null"...)
+		}
 	case *ir.Return:
-		return "ret " + orUnderscore(st.Src)
+		b = append(b, "ret "...)
+		return appendOrUnderscore(b, st.Src)
 	default:
-		return "# unknown"
+		return append(b, "# unknown"...)
 	}
 }
 

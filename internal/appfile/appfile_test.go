@@ -167,13 +167,13 @@ func TestStmtLineCoversAllKinds(t *testing.T) {
 		&ir.If{A: "x", Op: ir.CmpLE, B: ir.VarOperand("y")},
 	}
 	for _, s := range stmts {
-		line := stmtLine(s)
+		line := StmtLine(s)
 		got, err := parseStmt(strings.Fields(line), line)
 		if err != nil {
 			t.Fatalf("parse %q: %v", line, err)
 		}
-		if stmtLine(got) != line {
-			t.Errorf("round trip %q -> %q", line, stmtLine(got))
+		if StmtLine(got) != line {
+			t.Errorf("round trip %q -> %q", line, StmtLine(got))
 		}
 	}
 }

@@ -28,10 +28,8 @@ package batch
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"runtime/debug"
 	"strings"
-	"sync"
 	"time"
 
 	"sierra/internal/obs"
@@ -74,6 +72,11 @@ type Job struct {
 	// cancellable (see the package comment's cancellation contract) and
 	// may return a partial value alongside a cancelled context.
 	Fn func(ctx context.Context) ([]byte, error)
+	// Cleanup, when non-nil, runs on the worker once the job settles —
+	// whatever the status, cached and canceled included — so a producer
+	// can recycle per-job resources (the streaming pipeline returns app
+	// buffers to its pool here). It must not touch the Result.
+	Cleanup func()
 }
 
 // Result is one job's outcome.
@@ -123,94 +126,10 @@ type Options struct {
 	// the completed prefix grows (job i is reported only after jobs
 	// 0..i-1). Called from the Run goroutine, never concurrently.
 	OnResult func(index int, r Result)
-}
-
-// Run executes the jobs on a bounded worker pool and returns their
-// results indexed by input position. It blocks until every dispatched
-// job has returned; when ctx is cancelled, undispatched jobs are marked
-// StatusCanceled without running. ctx may be nil.
-func Run(ctx context.Context, jobs []Job, o Options) []Result {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	workers := o.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	start := time.Now()
-	o.Tracker.begin(len(jobs))
-	results := make([]Result, len(jobs))
-	if len(jobs) == 0 {
-		return results
-	}
-
-	type indexed struct {
-		i int
-		r Result
-	}
-	idxCh := make(chan int)
-	resCh := make(chan indexed)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				resCh <- indexed{i, runJob(ctx, i, jobs[i], o)}
-			}
-		}()
-	}
-	go func() {
-		defer close(idxCh)
-		for i := range jobs {
-			select {
-			case idxCh <- i:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	go func() {
-		wg.Wait()
-		close(resCh)
-	}()
-
-	// Collect out-of-order completions, emit the done prefix in input
-	// order (the determinism guarantee).
-	done := make([]bool, len(jobs))
-	next := 0
-	emit := func() {
-		for next < len(jobs) && done[next] {
-			if o.OnResult != nil {
-				o.OnResult(next, results[next])
-			}
-			next++
-		}
-	}
-	for ir := range resCh {
-		results[ir.i] = ir.r
-		done[ir.i] = true
-		o.Tracker.observe(ir.r)
-		recordResult(o.Obs, ir.r)
-		emit()
-	}
-	// Jobs never dispatched (run cancelled): mark and emit the rest.
-	for i := range results {
-		if !done[i] {
-			results[i] = Result{Name: jobs[i].Name, Status: StatusCanceled}
-			done[i] = true
-			o.Tracker.observe(results[i])
-			recordResult(o.Obs, results[i])
-			o.Events.Emit(eventlog.Event{Type: "job_end", Job: jobs[i].Name, Index: i,
-				Status: string(StatusCanceled)})
-		}
-	}
-	emit()
-	recordRun(o.Obs, len(results), time.Since(start), workers)
-	return results
+	// Prefetch bounds the producer→worker queue in RunSource (0 =
+	// 2×workers). A lazy source is never more than this many jobs ahead
+	// of the pool — the engine's backpressure / peak-RSS knob.
+	Prefetch int
 }
 
 // runJob executes one job on the calling worker: cache probe, deadline,

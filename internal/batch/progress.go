@@ -12,16 +12,18 @@ import (
 // obs conventions. A Tracker may be reused across sequential Runs (the
 // evaluate tables): each Run re-begins it.
 type Tracker struct {
-	mu       sync.Mutex
-	start    time.Time
-	total    int
-	done     int
-	ok       int
-	cached   int
-	failed   int
-	panics   int
-	timeouts int
-	canceled int
+	mu        sync.Mutex
+	start     time.Time
+	total     int
+	streaming bool
+	srcDone   bool
+	done      int
+	ok        int
+	cached    int
+	failed    int
+	panics    int
+	timeouts  int
+	canceled  int
 }
 
 // begin resets the tracker for a run of total jobs.
@@ -32,7 +34,43 @@ func (t *Tracker) begin(total int) {
 	t.mu.Lock()
 	t.start = time.Now()
 	t.total = total
+	t.streaming, t.srcDone = false, false
 	t.done, t.ok, t.cached, t.failed, t.panics, t.timeouts, t.canceled = 0, 0, 0, 0, 0, 0, 0
+	t.mu.Unlock()
+}
+
+// beginStream resets the tracker for a streaming run whose total is
+// unknown: jobs_total grows as the source produces (see produce) and
+// the ETA stays 0 until the source is exhausted.
+func (t *Tracker) beginStream() {
+	if t == nil {
+		return
+	}
+	t.begin(0)
+	t.mu.Lock()
+	t.streaming = true
+	t.mu.Unlock()
+}
+
+// produce records one job pulled from a streaming source — the growing
+// jobs_total denominator.
+func (t *Tracker) produce() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.total++
+	t.mu.Unlock()
+}
+
+// sourceDone marks the streaming source exhausted: jobs_total is final
+// and the ETA extrapolation switches on.
+func (t *Tracker) sourceDone() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.srcDone = true
 	t.mu.Unlock()
 }
 
@@ -78,7 +116,13 @@ type Progress struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	// ETASeconds extrapolates the remaining jobs at the current rate
 	// (0 when done or before the first completion — always finite).
+	// Streaming runs report 0 until the source is exhausted: with a
+	// growing denominator there is nothing honest to extrapolate.
 	ETASeconds float64 `json:"eta_seconds"`
+	// Streaming marks a run over a lazy source: JobsTotal is the
+	// produced-so-far count, final only once SourceDone.
+	Streaming  bool `json:"streaming,omitempty"`
+	SourceDone bool `json:"source_done,omitempty"`
 }
 
 // Snapshot reads the tracker's current state.
@@ -92,13 +136,16 @@ func (t *Tracker) Snapshot() Progress {
 		JobsTotal: t.total, JobsDone: t.done,
 		OK: t.ok, Cached: t.cached, Failed: t.failed,
 		Panics: t.panics, Timeouts: t.timeouts, Canceled: t.canceled,
+		Streaming: t.streaming, SourceDone: t.srcDone,
 	}
 	if !t.start.IsZero() {
 		p.ElapsedSeconds = time.Since(t.start).Seconds()
 	}
 	if p.ElapsedSeconds > 0 && p.JobsDone > 0 {
 		p.JobsPerSec = float64(p.JobsDone) / p.ElapsedSeconds
-		p.ETASeconds = float64(p.JobsTotal-p.JobsDone) / p.JobsPerSec
+		if !t.streaming || t.srcDone {
+			p.ETASeconds = float64(p.JobsTotal-p.JobsDone) / p.JobsPerSec
+		}
 	}
 	if probed := p.Cached + p.OK; probed > 0 {
 		p.CacheHitRate = float64(p.Cached) / float64(probed)

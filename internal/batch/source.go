@@ -1,0 +1,209 @@
+package batch
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Source produces jobs lazily, one at a time, for RunSource. Next is
+// called from a single producer goroutine — implementations need no
+// internal locking against concurrent Next calls. The contract:
+//
+//   - Next returns (job, true, nil) to yield the next job; jobs are
+//     numbered by arrival order (the determinism index).
+//   - Next returns (_, false, nil) at end of stream.
+//   - Next returns (_, false, err) on a production failure, which
+//     terminates the run's intake; already-produced jobs still finish.
+//   - ctx is the run context. A source doing real work (generating an
+//     app) should return ok=false once ctx is done, so cancellation
+//     stops production promptly. A source with trivially cheap items
+//     may ignore ctx and drain fully — that is how SliceSource
+//     preserves Run's canceled-tail accounting.
+//
+// Backpressure: RunSource pulls from the source only while the bounded
+// prefetch queue has room, so a fast producer cannot run ahead of slow
+// analysis by more than Options.Prefetch jobs — that queue bound times
+// the max job payload is the engine's contribution to peak RSS.
+type Source interface {
+	Next(ctx context.Context) (Job, bool, error)
+}
+
+// Sized is an optional Source refinement: a source that knows its total
+// job count up front. RunSource uses it to clamp the worker pool and to
+// give the progress tracker a fixed denominator; without it the run is
+// a "streaming" run with a growing total.
+type Sized interface {
+	Len() int
+}
+
+// sliceSource adapts a materialized job list. It deliberately ignores
+// ctx in Next so that a cancelled run still pulls every job through the
+// engine and marks the undispatched tail StatusCanceled — Run's
+// historical contract.
+type sliceSource struct {
+	jobs []Job
+	next int
+}
+
+// SliceSource wraps a pre-built job list as a Source.
+func SliceSource(jobs []Job) Source { return &sliceSource{jobs: jobs} }
+
+func (s *sliceSource) Len() int { return len(s.jobs) }
+
+func (s *sliceSource) Next(context.Context) (Job, bool, error) {
+	if s.next >= len(s.jobs) {
+		return Job{}, false, nil
+	}
+	j := s.jobs[s.next]
+	s.next++
+	return j, true, nil
+}
+
+// FuncSource adapts a closure as a Source.
+type FuncSource func(ctx context.Context) (Job, bool, error)
+
+func (f FuncSource) Next(ctx context.Context) (Job, bool, error) { return f(ctx) }
+
+// RunSource executes jobs pulled lazily from src on a bounded worker
+// pool and returns their results indexed by production order. All of
+// Run's guarantees carry over unchanged — in-order OnResult emission,
+// per-job deadlines, panic isolation, cache probing, canceled
+// classification — plus the streaming contract documented on Source.
+// The returned error is the source's production error, if any; results
+// for jobs produced before the failure are complete and ordered.
+func RunSource(ctx context.Context, src Source, o Options) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	total, sized := -1, false
+	if s, ok := src.(Sized); ok {
+		total, sized = s.Len(), true
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if sized && workers > total {
+		workers = total
+	}
+	start := time.Now()
+	if sized {
+		o.Tracker.begin(total)
+		if total == 0 {
+			return []Result{}, nil
+		}
+	} else {
+		o.Tracker.beginStream()
+	}
+	prefetch := o.Prefetch
+	if prefetch <= 0 {
+		prefetch = 2 * workers
+	}
+
+	type indexedJob struct {
+		i int
+		j Job
+	}
+	type indexedRes struct {
+		i int
+		r Result
+	}
+	jobCh := make(chan indexedJob, prefetch)
+	resCh := make(chan indexedRes)
+	var produced int64
+	var depth, depthPeak int64
+	var srcErr error
+
+	// Producer: the single goroutine pulling the source assigns the
+	// determinism indices; the buffered jobCh is the backpressure bound.
+	go func() {
+		defer close(jobCh)
+		for i := 0; ; i++ {
+			j, ok, err := src.Next(ctx)
+			if err != nil {
+				srcErr = err
+				o.Obs.Count("batch.stream_source_errors", 1)
+				return
+			}
+			if !ok {
+				return
+			}
+			atomic.AddInt64(&produced, 1)
+			if !sized {
+				o.Tracker.produce()
+			}
+			d := atomic.AddInt64(&depth, 1)
+			for {
+				p := atomic.LoadInt64(&depthPeak)
+				if d <= p || atomic.CompareAndSwapInt64(&depthPeak, p, d) {
+					break
+				}
+			}
+			jobCh <- indexedJob{i, j}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ij := range jobCh {
+				atomic.AddInt64(&depth, -1)
+				r := runJob(ctx, ij.i, ij.j, o)
+				if ij.j.Cleanup != nil {
+					ij.j.Cleanup()
+				}
+				resCh <- indexedRes{ij.i, r}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// Collect out-of-order completions, emit the done prefix in
+	// production order (the determinism guarantee).
+	var results []Result
+	pending := map[int]Result{}
+	next := 0
+	for ir := range resCh {
+		pending[ir.i] = ir.r
+		o.Tracker.observe(ir.r)
+		recordResult(o.Obs, ir.r)
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			results = append(results, r)
+			if o.OnResult != nil {
+				o.OnResult(next, r)
+			}
+			next++
+		}
+	}
+	o.Tracker.sourceDone()
+	if !sized {
+		o.Obs.Count("batch.stream_produced", atomic.LoadInt64(&produced))
+		o.Obs.Gauge("batch.stream_queue_peak", float64(atomic.LoadInt64(&depthPeak)))
+	}
+	recordRun(o.Obs, len(results), time.Since(start), workers)
+	return results, srcErr
+}
+
+// Run executes the jobs on a bounded worker pool and returns their
+// results indexed by input position. It blocks until every dispatched
+// job has returned; when ctx is cancelled, undispatched jobs are marked
+// StatusCanceled without running. ctx may be nil. Run is the
+// materialized-list form of RunSource; see the package comment for the
+// determinism and cancellation contracts.
+func Run(ctx context.Context, jobs []Job, o Options) []Result {
+	results, _ := RunSource(ctx, SliceSource(jobs), o)
+	return results
+}

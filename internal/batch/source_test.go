@@ -1,0 +1,223 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// genSource yields n trivial jobs lazily, tracking how far production
+// has run ahead of completion (the backpressure observable).
+type genSource struct {
+	n        int
+	next     int
+	produced int32
+}
+
+func (g *genSource) Next(ctx context.Context) (Job, bool, error) {
+	if g.next >= g.n || ctx.Err() != nil {
+		return Job{}, false, nil
+	}
+	i := g.next
+	g.next++
+	atomic.AddInt32(&g.produced, 1)
+	return Job{
+		Name: fmt.Sprintf("job-%03d", i),
+		Fn: func(context.Context) ([]byte, error) {
+			return []byte(fmt.Sprintf("v%d", i)), nil
+		},
+	}, true, nil
+}
+
+// TestRunSourceOrdering: results and OnResult callbacks arrive in
+// production order for any worker count, matching the slice path.
+func TestRunSourceOrdering(t *testing.T) {
+	for _, workers := range []int{1, 4, 9} {
+		var emitted []string
+		results, err := RunSource(nil, &genSource{n: 40}, Options{
+			Workers: workers,
+			OnResult: func(i int, r Result) {
+				if i != len(emitted) {
+					t.Fatalf("OnResult out of order: got %d want %d", i, len(emitted))
+				}
+				emitted = append(emitted, string(r.Value))
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 40 || len(emitted) != 40 {
+			t.Fatalf("workers=%d: %d results, %d emitted", workers, len(results), len(emitted))
+		}
+		for i, r := range results {
+			want := fmt.Sprintf("v%d", i)
+			if string(r.Value) != want || r.Status != StatusOK {
+				t.Fatalf("workers=%d result[%d] = %q (%s)", workers, i, r.Value, r.Status)
+			}
+		}
+	}
+}
+
+// TestRunSourceBackpressure: a lazy source never runs more than
+// prefetch + workers + 1 jobs ahead of completions.
+func TestRunSourceBackpressure(t *testing.T) {
+	const n, workers, prefetch = 60, 2, 3
+	var completed int32
+	var maxAhead int32
+	src := &genSource{n: n}
+	wrapped := FuncSource(func(ctx context.Context) (Job, bool, error) {
+		j, ok, err := src.Next(ctx)
+		if !ok || err != nil {
+			return j, ok, err
+		}
+		inner := j.Fn
+		j.Fn = func(ctx context.Context) ([]byte, error) {
+			time.Sleep(time.Millisecond)
+			v, e := inner(ctx)
+			done := atomic.AddInt32(&completed, 1)
+			ahead := atomic.LoadInt32(&src.produced) - done
+			for {
+				m := atomic.LoadInt32(&maxAhead)
+				if ahead <= m || atomic.CompareAndSwapInt32(&maxAhead, m, ahead) {
+					break
+				}
+			}
+			return v, e
+		}
+		return j, true, nil
+	})
+	if _, err := RunSource(nil, wrapped, Options{Workers: workers, Prefetch: prefetch}); err != nil {
+		t.Fatal(err)
+	}
+	// Queue capacity + one per worker + one in the producer's hand.
+	limit := int32(prefetch + workers + 1)
+	if atomic.LoadInt32(&maxAhead) > limit {
+		t.Fatalf("producer ran %d ahead; backpressure bound is %d", maxAhead, limit)
+	}
+}
+
+// TestRunSourceCleanup: Cleanup runs exactly once per job whatever the
+// status — ok, failed, panicked, cached, canceled.
+func TestRunSourceCleanup(t *testing.T) {
+	cache := NewMemCache()
+	cache.Put(Key(RawDigest([]byte("seed")), "warm"), []byte("cached-value"))
+	var mu sync.Mutex
+	cleaned := map[string]int{}
+	mk := func(name string, fn func(context.Context) ([]byte, error), key string) Job {
+		j := Job{Name: name, Fn: fn, Cleanup: func() {
+			mu.Lock()
+			cleaned[name]++
+			mu.Unlock()
+		}}
+		if key != "" {
+			j.KeyFn = func() (string, error) { return Key(RawDigest([]byte("seed")), key), nil }
+		}
+		return j
+	}
+	jobs := []Job{
+		mk("ok", func(context.Context) ([]byte, error) { return []byte("x"), nil }, ""),
+		mk("fail", func(context.Context) ([]byte, error) { return nil, errors.New("no") }, ""),
+		mk("panic", func(context.Context) ([]byte, error) { panic("boom") }, ""),
+		mk("hit", func(context.Context) ([]byte, error) { t.Fatal("cached job ran"); return nil, nil }, "warm"),
+	}
+	results := Run(nil, jobs, Options{Workers: 2, Cache: cache})
+	for i, want := range []Status{StatusOK, StatusFailed, StatusPanic, StatusCached} {
+		if results[i].Status != want {
+			t.Fatalf("job %d status = %s, want %s", i, results[i].Status, want)
+		}
+	}
+	for _, j := range jobs {
+		if cleaned[j.Name] != 1 {
+			t.Fatalf("cleanup ran %d times for %s", cleaned[j.Name], j.Name)
+		}
+	}
+
+	// Canceled: a pre-cancelled context still cleans up every job.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	mu.Lock()
+	cleaned = map[string]int{}
+	mu.Unlock()
+	results = Run(ctx, jobs[:2], Options{Workers: 1})
+	for _, r := range results {
+		if r.Status != StatusCanceled {
+			t.Fatalf("status %s after cancel", r.Status)
+		}
+	}
+	if cleaned["ok"] != 1 || cleaned["fail"] != 1 {
+		t.Fatalf("cleanup skipped on canceled jobs: %v", cleaned)
+	}
+}
+
+// TestRunSourceError: a failing source terminates intake, returns the
+// error, and keeps the already-produced prefix complete and ordered.
+func TestRunSourceError(t *testing.T) {
+	boom := errors.New("generator exploded")
+	i := 0
+	src := FuncSource(func(context.Context) (Job, bool, error) {
+		if i == 5 {
+			return Job{}, false, boom
+		}
+		n := i
+		i++
+		return Job{Name: fmt.Sprintf("j%d", n), Fn: func(context.Context) ([]byte, error) {
+			return []byte{byte('0' + n)}, nil
+		}}, true, nil
+	})
+	results, err := RunSource(nil, src, Options{Workers: 3})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("%d results before the failure", len(results))
+	}
+	for n, r := range results {
+		if string(r.Value) != string(byte('0'+n)) {
+			t.Fatalf("result %d = %q", n, r.Value)
+		}
+	}
+}
+
+// TestTrackerStreaming: a stream run's total grows with production, the
+// ETA stays 0 until the source is done, and the final snapshot matches.
+func TestTrackerStreaming(t *testing.T) {
+	tr := &Tracker{}
+	release := make(chan struct{})
+	var sawMidrun atomic.Bool
+	i := 0
+	src := FuncSource(func(context.Context) (Job, bool, error) {
+		if i == 8 {
+			return Job{}, false, nil
+		}
+		i++
+		return Job{Name: fmt.Sprintf("s%d", i), Fn: func(context.Context) ([]byte, error) {
+			if !sawMidrun.Swap(true) {
+				p := tr.Snapshot()
+				if !p.Streaming {
+					t.Error("mid-run snapshot not streaming")
+				}
+				if p.SourceDone && p.JobsTotal < 8 {
+					t.Error("source done before production finished")
+				}
+				close(release)
+			} else {
+				<-release
+			}
+			return nil, nil
+		}}, true, nil
+	})
+	if _, err := RunSource(nil, src, Options{Workers: 2, Tracker: tr}); err != nil {
+		t.Fatal(err)
+	}
+	p := tr.Snapshot()
+	if !p.Streaming || !p.SourceDone {
+		t.Fatalf("final snapshot: %+v", p)
+	}
+	if p.JobsTotal != 8 || p.JobsDone != 8 || p.OK != 8 {
+		t.Fatalf("final counts: %+v", p)
+	}
+}

@@ -50,6 +50,37 @@ type Knobs struct {
 	// PaddingStmts adds unanalyzed plain code to approximate bytecode
 	// size ranking.
 	PaddingStmts int
+
+	// The remaining knobs drive the scenario families (see scenario.go)
+	// the config-driven generator stresses beyond the paper's shapes.
+
+	// ServiceTotal plants extra started services whose onStartCommand
+	// races with the activity lifecycle. startService targets are
+	// statically opaque, so every call site over-approximates to every
+	// manifest service: N services yield ~N² service actions — the
+	// service-lifecycle storm.
+	ServiceTotal int
+	// BindTotal plants bound-service connections: onServiceConnected
+	// writes activity state that onDestroy reads and onStop clears.
+	BindTotal int
+	// MsgChainTotal plants deep Message.what chains: a handler hop
+	// writes shared state and forwards to the next handler, MsgChainDepth
+	// hops long, so each chain is a depth-long line of message actions.
+	MsgChainTotal int
+	// MsgChainDepth is the hop count per message chain (min 2).
+	MsgChainDepth int
+	// ReflectTotal plants reflection-storm dispatch hubs: one slot field
+	// conflates ReflectTargets receiver objects, so a single virtual call
+	// fans out to every target (DroidEL-style reflective dispatch
+	// pressure on the points-to solver).
+	ReflectTotal int
+	// ReflectTargets is the receiver fan-out per reflection storm.
+	ReflectTargets int
+	// TrapDepth is the alias-trap helper chain depth (0 = the legacy 3).
+	// Depths beyond the policies' k=2 make the trap adversarial for any
+	// fixed-k context abstraction; only action sensitivity keeps the
+	// per-callback cells apart.
+	TrapDepth int
 }
 
 // share splits a total count across activities round-robin.
@@ -155,7 +186,7 @@ func (g *genState) buildActivity(app *apk.App, ai int, k Knobs) {
 	// apart.
 	trapField := fmt.Sprintf("v%d", ai)
 	g.gt.TrapFields[trapField] = true
-	buildTrapUtil(p, ai, trapField)
+	buildTrapUtil(p, ai, trapField, k.TrapDepth)
 	emitTrapInit(onCreate, ai)
 
 	newView := func(cls string) (int, string) {
@@ -194,6 +225,19 @@ func (g *genState) buildActivity(app *apk.App, ai int, k Knobs) {
 	// (c'') worker-handler pattern on activity 1.
 	if k.WithHandlerThread && ai == 1 {
 		g.handlerThreadPattern(p, act, onCreate, onStop, ai)
+	}
+	// (c''') scenario-family patterns (see scenario.go).
+	for j := 0; j < share(k.ServiceTotal, k.Activities, ai); j++ {
+		g.serviceStormPattern(app, act, onCreate, onStop, ai, j)
+	}
+	for j := 0; j < share(k.BindTotal, k.Activities, ai); j++ {
+		g.bindServicePattern(app, act, onCreate, onStop, onDestroy, ai, j)
+	}
+	for j := 0; j < share(k.MsgChainTotal, k.Activities, ai); j++ {
+		g.messageChainPattern(p, act, onCreate, onStop, ai, j, k.MsgChainDepth)
+	}
+	for j := 0; j < share(k.ReflectTotal, k.Activities, ai); j++ {
+		g.reflectionStormPattern(p, act, onCreate, onStop, ai, j, k.ReflectTargets, newView)
 	}
 	// (d) implicit-dependency patterns (designed FPs).
 	for j := 0; j < share(k.ImplicitTotal, k.Activities, ai); j++ {
@@ -246,30 +290,33 @@ func (g *genState) buildActivity(app *apk.App, ai int, k Knobs) {
 }
 
 // buildTrapUtil creates the §3.3 aliasing trap: a shared per-activity
-// helper object whose 3-deep virtual chain m1→m2→m3 allocates a Cell.
-// Every caller dispatches on the same helper instance, so k-obj (and
-// hybrid) contexts coincide and the per-callback cells conflate into one
-// abstract object; only the action id in action-sensitive contexts keeps
-// them apart. Each callback writes its own cell — under conflation those
-// writes look like races.
-func buildTrapUtil(p *ir.Program, ai int, trapField string) {
+// helper object whose depth-long virtual chain m1→…→mD allocates a
+// Cell. Every caller dispatches on the same helper instance, so k-obj
+// (and hybrid) contexts coincide and the per-callback cells conflate
+// into one abstract object; only the action id in action-sensitive
+// contexts keeps them apart. Each callback writes its own cell — under
+// conflation those writes look like races. Depth 0 means the legacy
+// 3-deep chain; deeper chains (the alias-trap-deep family) defeat any
+// fixed-k context abstraction, not just k=2.
+func buildTrapUtil(p *ir.Program, ai int, trapField string, depth int) {
+	if depth < 3 {
+		depth = 3
+	}
 	cell := ir.NewClass(fmt.Sprintf("Cell%d", ai), frontend.Object)
 	cell.Fields = []string{trapField}
 	p.AddClass(cell)
 
 	util := ir.NewClass(fmt.Sprintf("Util%d", ai), frontend.Object)
-	m3 := ir.NewMethodBuilder("m3")
-	m3.NewObj("o", cell.Name)
-	m3.Ret("o")
-	util.AddMethod(m3.Build())
-	m2 := ir.NewMethodBuilder("m2")
-	m2.Call("r", "this", util.Name, "m3")
-	m2.Ret("r")
-	util.AddMethod(m2.Build())
-	m1 := ir.NewMethodBuilder("m1")
-	m1.Call("r", "this", util.Name, "m2")
-	m1.Ret("r")
-	util.AddMethod(m1.Build())
+	last := ir.NewMethodBuilder(fmt.Sprintf("m%d", depth))
+	last.NewObj("o", cell.Name)
+	last.Ret("o")
+	util.AddMethod(last.Build())
+	for d := depth - 1; d >= 1; d-- {
+		m := ir.NewMethodBuilder(fmt.Sprintf("m%d", d))
+		m.Call("r", "this", util.Name, fmt.Sprintf("m%d", d+1))
+		m.Ret("r")
+		util.AddMethod(m.Build())
+	}
 	p.AddClass(util)
 }
 

@@ -46,6 +46,11 @@ func (b *MethodBuilder) emit(s Stmt) {
 	if b.sealed[b.cur] {
 		panic(fmt.Sprintf("ir: emit into sealed block %d of %s", b.cur.Index, b.m.Name))
 	}
+	// Corpus generation emits millions of statements; seeding capacity
+	// skips the 1→2→4 growslice churn that dominates builder profiles.
+	if b.cur.Stmts == nil {
+		b.cur.Stmts = make([]Stmt, 0, 8)
+	}
 	b.cur.Stmts = append(b.cur.Stmts, s)
 }
 

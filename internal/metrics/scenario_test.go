@@ -1,0 +1,38 @@
+package metrics
+
+import (
+	"testing"
+
+	"sierra/internal/apk"
+	"sierra/internal/corpus"
+)
+
+// TestScenarioFamiliesAnalyze runs the full static pipeline over one
+// app of each streaming scenario family and requires the planted
+// pattern to surface: actions discovered, races surviving refutation,
+// and no ground-truth false positives.
+func TestScenarioFamiliesAnalyze(t *testing.T) {
+	for _, s := range corpus.Scenarios() {
+		if s.Name == "table2-x10" || s.Name == "paper-mix" {
+			continue // row-derived shapes; covered by the dataset tests
+		}
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			row := EvaluateApp("smoke-"+s.Name, func() (*apk.App, *corpus.GroundTruth) {
+				return s.Generate("smoke-"+s.Name, 7, nil)
+			}, Options{})
+			if row.Actions == 0 {
+				t.Fatalf("%s: no actions discovered", s.Name)
+			}
+			if row.AfterRefut == 0 {
+				t.Fatalf("%s: no surviving races — pattern inert", s.Name)
+			}
+			if row.TrueRaces == 0 {
+				t.Fatalf("%s: no ground-truth true positives", s.Name)
+			}
+			if row.FP != 0 {
+				t.Fatalf("%s: %d ground-truth false positives", s.Name, row.FP)
+			}
+		})
+	}
+}

@@ -1,0 +1,205 @@
+package stream
+
+import (
+	"crypto/sha256"
+	"strings"
+	"testing"
+
+	"sierra/internal/corpus"
+)
+
+const testConfig = `
+# test mix
+corpus demo
+seed 99
+apps 12
+tot-size 200KB
+scenario async-storm weight 3 patterns 4
+scenario service-lifecycle weight 2
+scenario message-chain depth 5
+scenario reflection-storm targets 6
+scenario alias-trap-deep depth 7
+`
+
+func mustParse(t *testing.T, text string) *Config {
+	t.Helper()
+	c, err := ParseConfig(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return c
+}
+
+func TestParseConfig(t *testing.T) {
+	c := mustParse(t, testConfig)
+	if c.Name != "demo" || c.Seed != 99 || c.Apps != 12 {
+		t.Fatalf("header mismatch: %+v", c)
+	}
+	if c.TotSize != 200<<10 {
+		t.Fatalf("tot-size = %d", c.TotSize)
+	}
+	if len(c.Mix) != 5 {
+		t.Fatalf("mix entries = %d", len(c.Mix))
+	}
+	if c.Mix[0].Weight != 3 || c.Mix[0].Knobs["patterns"] != 4 {
+		t.Fatalf("explicit weight/knob lost: %+v", c.Mix[0])
+	}
+	// Unweighted entries inherit the family default.
+	def, _ := corpus.ScenarioByName("message-chain")
+	if c.Mix[2].Weight != def.Weight {
+		t.Fatalf("default weight: got %d want %d", c.Mix[2].Weight, def.Weight)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	for _, bad := range []string{
+		"apps 5\n",                               // no scenario
+		"scenario async-storm\n",                 // no budget
+		"apps 5\nscenario no-such-family\n",      // unknown family
+		"apps 5\nscenario async-storm bogus 3\n", // unknown knob
+		"apps 5\nscenario async-storm weight\n",  // dangling pair
+		"apps 5\ntot-size 12XB\nscenario async-storm\n",
+	} {
+		if _, err := ParseConfig(strings.NewReader(bad)); err == nil {
+			t.Errorf("config %q: expected error", bad)
+		}
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+	}{{"0", 0}, {"123", 123}, {"123B", 123}, {"4KB", 4096}, {"2MB", 2 << 20}, {"1GB", 1 << 30}, {"3gb", 3 << 30}} {
+		got, err := ParseSize(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+}
+
+// streamDigest runs the serial reference stream and hashes every app's
+// bytes in order.
+func streamDigest(t *testing.T, c *Config) ([32]byte, int, int64) {
+	t.Helper()
+	h := sha256.New()
+	count, bytes := 0, int64(0)
+	err := c.Stream(func(a StreamApp) error {
+		if a.Index != count {
+			t.Fatalf("out-of-order index %d at position %d", a.Index, count)
+		}
+		if a.Name != c.AppName(a.Index) {
+			t.Fatalf("name mismatch: %s", a.Name)
+		}
+		h.Write(a.Raw)
+		count++
+		bytes += int64(len(a.Raw))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum, count, bytes
+}
+
+// TestStreamDeterminism: the same config + seed yields a byte-identical
+// app stream across two independent runs, and a different seed does not.
+func TestStreamDeterminism(t *testing.T) {
+	c1 := mustParse(t, testConfig)
+	c2 := mustParse(t, testConfig)
+	d1, n1, b1 := streamDigest(t, c1)
+	d2, n2, b2 := streamDigest(t, c2)
+	if d1 != d2 || n1 != n2 || b1 != b2 {
+		t.Fatalf("stream not deterministic: (%x,%d,%d) vs (%x,%d,%d)", d1, n1, b1, d2, n2, b2)
+	}
+	if n1 == 0 {
+		t.Fatal("empty stream")
+	}
+	c3 := mustParse(t, strings.Replace(testConfig, "seed 99", "seed 100", 1))
+	d3, _, _ := streamDigest(t, c3)
+	if d3 == d1 {
+		t.Fatal("different seed produced an identical stream")
+	}
+}
+
+// TestStreamBudget: tot-size admits apps while cumulative bytes are
+// under budget and emits the crossing app, never under-filling.
+func TestStreamBudget(t *testing.T) {
+	c := mustParse(t, `
+seed 7
+tot-size 40KB
+scenario message-chain
+`)
+	var total int64
+	var count int
+	var lastBefore int64
+	err := c.Stream(func(a StreamApp) error {
+		lastBefore = total
+		total += int64(len(a.Raw))
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if total < c.TotSize {
+		t.Fatalf("under-filled: %d < %d", total, c.TotSize)
+	}
+	if lastBefore >= c.TotSize {
+		t.Fatalf("emitted an app after the budget was already crossed (%d >= %d)", lastBefore, c.TotSize)
+	}
+	if count < 2 {
+		t.Fatalf("budget stream too short: %d apps", count)
+	}
+	// The count cap composes with the byte budget.
+	c.Apps = 1
+	n := 0
+	if err := c.Stream(func(StreamApp) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("apps cap ignored: %d", n)
+	}
+}
+
+// TestGenerateRawRecyclesBuffer: a large-enough recycled buffer is
+// reused rather than reallocated, and contents match the fresh path.
+func TestGenerateRawRecyclesBuffer(t *testing.T) {
+	c := mustParse(t, "apps 1\nscenario message-chain\n")
+	fresh, _, err := c.GenerateRaw(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 2*len(fresh))
+	reused, _, err := c.GenerateRaw(0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fresh) != string(reused) {
+		t.Fatal("recycled buffer changed serialization")
+	}
+	if &buf[:1][0] != &reused[:1][0] {
+		t.Fatal("large-enough buffer was not reused")
+	}
+}
+
+// TestPickScenarioMix: every configured family appears in a long
+// enough stream, roughly in weight proportion.
+func TestPickScenarioMix(t *testing.T) {
+	c := mustParse(t, testConfig)
+	counts := map[string]int{}
+	for i := 0; i < 500; i++ {
+		s, _ := c.PickScenario(i)
+		counts[s.Name]++
+	}
+	for _, m := range c.Mix {
+		if counts[m.Name] == 0 {
+			t.Errorf("family %s never drawn", m.Name)
+		}
+	}
+	if counts["async-storm"] <= counts["service-lifecycle"]/2 {
+		t.Errorf("weights ignored: %+v", counts)
+	}
+}

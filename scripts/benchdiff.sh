@@ -22,6 +22,13 @@
 #                                        generated app (default 24), asserting
 #                                        byte-identical reports, written to
 #                                        BENCH_incremental.json
+#   ./scripts/benchdiff.sh -stream [cfg] streaming lane: fused generate+analyze
+#                                        vs the same corpus pre-materialized on
+#                                        disk (apps/sec both lanes, queue peak,
+#                                        heap high water, verdict parity),
+#                                        written to BENCH_streaming.json; cfg
+#                                        defaults to a built-in all-family mix
+#                                        of BENCH_STREAM_APPS (default 400) apps
 #   ./scripts/benchdiff.sh <ref>         bench HEAD and <ref> (via a throwaway
 #                                        git worktree) and print a per-kernel
 #                                        ns/op + allocs/op delta as JSON in the
@@ -47,12 +54,12 @@ COUNT="${BENCH_COUNT:-3}"
 PAR_PATTERN='BenchmarkKernel(Pointer|SHBGClosure|Refutation)Parallel'
 
 usage() {
-    echo "usage: $0 -smoke | $0 -cpu [1,2,4,8] | $0 -incr [groups] | $0 <git-ref>" >&2
+    echo "usage: $0 -smoke | $0 -cpu [1,2,4,8] | $0 -incr [groups] | $0 -stream [config] | $0 <git-ref>" >&2
     exit 2
 }
 
 [ $# -ge 1 ] && [ $# -le 2 ] || usage
-[ $# -eq 2 ] && [ "$1" != "-cpu" ] && [ "$1" != "-incr" ] && usage
+[ $# -eq 2 ] && [ "$1" != "-cpu" ] && [ "$1" != "-incr" ] && [ "$1" != "-stream" ] && usage
 
 repo_root=$(git rev-parse --show-toplevel)
 cd "$repo_root"
@@ -69,6 +76,50 @@ if [ "$1" = "-smoke" ]; then
     trap 'rm -rf "$tmp"' EXIT INT TERM
     go run ./cmd/evaluate -incr-bench "$tmp/incr.json" -incr-iters 1 -incr-groups 6 -q
     echo "benchdiff: incremental smoke ok (byte-identical warm report)" >&2
+    # One-iteration streaming smoke: a tiny fused generate+analyze run vs
+    # its materialized twin; -stream-bench exits non-zero unless the two
+    # lanes' verdict tables are byte-identical.
+    cat >"$tmp/stream.cfg" <<EOF
+corpus smoke-stream
+seed 7
+apps 6
+scenario async-storm
+scenario message-chain
+scenario service-lifecycle
+EOF
+    go run ./cmd/evaluate -stream "$tmp/stream.cfg" -stream-bench "$tmp/stream.json" -q
+    echo "benchdiff: streaming smoke ok (verdict parity stream vs disk)" >&2
+    exit 0
+fi
+
+if [ "$1" = "-stream" ]; then
+    OUT="${BENCH_STREAMING:-$repo_root/BENCH_streaming.json}"
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT INT TERM
+    CFG="${2:-}"
+    if [ -z "$CFG" ]; then
+        CFG="$tmp/stream.cfg"
+        cat >"$CFG" <<EOF
+# benchdiff -stream default mix: every scenario family at its default
+# weight except table2-x10, whose ~10x apps cost minutes each and
+# would dominate the lane; pass a config path to bench a custom
+# corpus (including table2-x10) instead.
+corpus benchdiff-stream
+seed 20180425
+apps ${BENCH_STREAM_APPS:-400}
+scenario paper-mix
+scenario async-storm
+scenario guarded-sync
+scenario service-lifecycle
+scenario message-chain
+scenario reflection-storm
+scenario alias-trap-deep
+EOF
+    fi
+    echo "benchdiff: streaming lane ($CFG)..." >&2
+    go run ./cmd/evaluate -stream "$CFG" -stream-bench "$OUT" -q
+    cat "$OUT"
+    echo "benchdiff: wrote $OUT" >&2
     exit 0
 fi
 
@@ -88,15 +139,33 @@ if [ "$1" = "-cpu" ]; then
     SCALING="${BENCH_SCALING:-$repo_root/BENCH_scaling.json}"
     tmp=$(mktemp -d)
     trap 'rm -rf "$tmp"' EXIT INT TERM
+    host_cpus=$(nproc 2>/dev/null || echo 1)
+    # Honesty on small hosts: a jobs=N lane with N > host_cpus measures
+    # scheduler overhead, not parallel speedup, and would poison the
+    # speedup-vs-1 curve. Skip those lanes and record them in the
+    # artifact; BENCH_OVERSUB=1 forces them anyway.
+    RUN_CPUS=""
+    SKIPPED=""
     for n in $(printf '%s' "$CPUS" | tr ',' ' '); do
+        if [ "$n" -gt "$host_cpus" ] && [ "${BENCH_OVERSUB:-0}" != "1" ]; then
+            SKIPPED="${SKIPPED:+$SKIPPED,}$n"
+            echo "benchdiff: skipping jobs=$n lane (host has $host_cpus CPUs; BENCH_OVERSUB=1 forces it)" >&2
+            continue
+        fi
+        RUN_CPUS="${RUN_CPUS:+$RUN_CPUS,}$n"
+    done
+    if [ -z "$RUN_CPUS" ]; then
+        echo "benchdiff: no runnable -cpu lanes: every requested N in {$CPUS} exceeds the host's $host_cpus CPUs" >&2
+        exit 1
+    fi
+    for n in $(printf '%s' "$RUN_CPUS" | tr ',' ' '); do
         echo "benchdiff: scaling lane GOMAXPROCS=$n jobs=$n (count=$COUNT)..." >&2
         # jobs=N exists at every N because the benches' jobs list includes
         # GOMAXPROCS(0); the jobs=N$ anchor skips any #01 duplicate.
         go test -run '^$' -bench "$PAR_PATTERN/jobs=$n\$" -benchmem \
             -count="$COUNT" -cpu "$n" . >>"$tmp/scaling.txt"
     done
-    host_cpus=$(nproc 2>/dev/null || echo 1)
-    awk -v cpus="$CPUS" -v host_cpus="$host_cpus" -v count="$COUNT" \
+    awk -v cpus="$RUN_CPUS" -v skipped="$SKIPPED" -v host_cpus="$host_cpus" -v count="$COUNT" \
         -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
         -v head_sha="$(git rev-parse HEAD)" '
     function median(arr, n,    i, j, tmpv, half) {
@@ -136,7 +205,8 @@ if [ "$1" = "-cpu" ]; then
         printf "  \"date\": \"%s\",\n  \"head_sha\": \"%s\",\n", date, head_sha
         printf "  \"host_cpus\": %d,\n  \"count\": %d,\n", host_cpus, count
         printf "  \"cpus\": [%s],\n", cpus
-        printf "  \"note\": \"Each lane runs jobs=N under GOMAXPROCS=N; every parallel kernel is bit-for-bit deterministic, so the curves measure wall clock only. Lanes with N > host_cpus oversubscribe the host and measure scheduling overhead, not parallel speedup.\",\n"
+        printf "  \"skipped_oversubscribed\": [%s],\n", skipped
+        printf "  \"note\": \"Each lane runs jobs=N under GOMAXPROCS=N; every parallel kernel is bit-for-bit deterministic, so the curves measure wall clock only. Lanes with N > host_cpus oversubscribe the host and measure scheduling overhead, not parallel speedup; they are skipped (and listed in skipped_oversubscribed) unless BENCH_OVERSUB=1 forces them.\",\n"
         printf "  \"kernels\": {\n"
         for (i = 1; i <= nk; i++) {
             kernel = kernels[i]
